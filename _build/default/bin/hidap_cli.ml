@@ -1,0 +1,253 @@
+(* hidap — command-line front end.
+
+   Subcommands:
+     stats  FILE.hnl           netlist statistics and abstraction sizes
+     place  FILE.hnl           run the HiDaP flow, print macro placements
+     eval   (FILE.hnl | -c N)  compare IndEDA / HiDaP / handFP
+     gen    -c NAME -o FILE    emit a synthetic suite circuit as HNL *)
+
+open Cmdliner
+
+let load_design path =
+  match Hnl.Parser.parse_file path with
+  | Ok d -> d
+  | Error { Hnl.Parser.line; message } ->
+    Format.eprintf "%s:%d: %s@." path line message;
+    exit 1
+
+let design_of ~file ~circuit =
+  match (file, circuit) with
+  | Some path, None -> (Filename.remove_extension (Filename.basename path), load_design path)
+  | None, Some name ->
+    (match Circuitgen.Suite.find name with
+    | Some c -> (name, Circuitgen.Gen.generate c.Circuitgen.Suite.params)
+    | None ->
+      Format.eprintf "unknown suite circuit %s (c1..c8)@." name;
+      exit 1)
+  | Some _, Some _ | None, None ->
+    Format.eprintf "give exactly one of FILE.hnl or --circuit@.";
+    exit 1
+
+(* ---- common args -------------------------------------------------- *)
+
+let file_arg =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE.hnl" ~doc:"HNL netlist file.")
+
+let circuit_arg =
+  Arg.(value & opt (some string) None & info [ "c"; "circuit" ] ~docv:"NAME"
+         ~doc:"Synthetic suite circuit (c1..c8).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed for the flow.")
+
+let lambda_arg =
+  Arg.(value & opt (some float) None & info [ "lambda" ]
+         ~doc:"Fix the block/macro dataflow blend instead of sweeping 0.2/0.5/0.8.")
+
+let svg_arg =
+  Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"OUT.svg"
+         ~doc:"Write the floorplan as SVG.")
+
+let config_of ~seed ~lambda =
+  let config = { Hidap.Config.default with Hidap.Config.seed } in
+  match lambda with
+  | Some l -> Hidap.Config.with_lambda config l
+  | None -> config
+
+(* ---- stats -------------------------------------------------------- *)
+
+let stats_cmd =
+  let run file circuit dot_hier dot_gseq =
+    let _, design = design_of ~file ~circuit in
+    let flat = Netlist.Flat.elaborate design in
+    Format.printf "%a@." Netlist.Stats.pp (Netlist.Stats.compute flat);
+    let gseq = Seqgraph.build flat in
+    Format.printf "%a@." Seqgraph.pp_summary gseq;
+    let tree = Hier.Tree.build flat in
+    let dc =
+      Hier.Decluster.run tree ~nh:(Hier.Tree.root tree) ~open_frac:0.4 ~min_frac:0.01
+    in
+    Format.printf "top-level declustering: %d blocks, %d glue nodes@."
+      (List.length dc.Hier.Decluster.hcb)
+      (List.length dc.Hier.Decluster.hcg);
+    (match dot_hier with
+    | Some path ->
+      Viz.Dot.write_file path (Viz.Dot.hierarchy tree ());
+      Format.printf "wrote %s@." path
+    | None -> ());
+    match dot_gseq with
+    | Some path ->
+      Viz.Dot.write_file path (Viz.Dot.seqgraph gseq ());
+      Format.printf "wrote %s@." path
+    | None -> ()
+  in
+  let dot_hier_arg =
+    Arg.(value & opt (some string) None & info [ "dot-hier" ] ~docv:"OUT.dot"
+           ~doc:"Write the hierarchy tree as Graphviz DOT.")
+  in
+  let dot_gseq_arg =
+    Arg.(value & opt (some string) None & info [ "dot-gseq" ] ~docv:"OUT.dot"
+           ~doc:"Write the sequential graph as Graphviz DOT.")
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Netlist statistics and abstraction sizes")
+    Term.(const run $ file_arg $ circuit_arg $ dot_hier_arg $ dot_gseq_arg)
+
+(* ---- place -------------------------------------------------------- *)
+
+let place_cmd =
+  let run file circuit seed lambda svg ascii save =
+    let _, design = design_of ~file ~circuit in
+    let flat = Netlist.Flat.elaborate design in
+    let config = config_of ~seed ~lambda in
+    let t0 = Unix.gettimeofday () in
+    let r = Hidap.place ~config flat in
+    Format.printf "placed %d macros in %.2fs (lambda %.2f, overlap %.2f)@."
+      (List.length r.Hidap.placements)
+      (Unix.gettimeofday () -. t0)
+      r.Hidap.lambda (Hidap.overlap_area r);
+    List.iter
+      (fun (p : Hidap.macro_placement) ->
+        Format.printf "%s %.3f %.3f %.3f %.3f %s@."
+          flat.Netlist.Flat.nodes.(p.Hidap.fid).Netlist.Flat.path p.Hidap.rect.Geom.Rect.x
+          p.Hidap.rect.Geom.Rect.y p.Hidap.rect.Geom.Rect.w p.Hidap.rect.Geom.Rect.h
+          (Geom.Orientation.to_string p.Hidap.orient))
+      r.Hidap.placements;
+    if ascii then
+      print_string
+        (Viz.Ascii.floorplan ~die:r.Hidap.die
+           ~rects:
+             (List.map (fun (p : Hidap.macro_placement) -> ("M", p.Hidap.rect)) r.Hidap.placements)
+           ~width:64 ~height:28 ());
+    (match save with
+    | Some path ->
+      let placements =
+        List.map
+          (fun (p : Hidap.macro_placement) -> (p.Hidap.fid, p.Hidap.rect, p.Hidap.orient))
+          r.Hidap.placements
+      in
+      Hidap.Placement_io.save path
+        (Hidap.Placement_io.make ~flat ~die:r.Hidap.die ~placements);
+      Format.printf "saved placement to %s@." path
+    | None -> ());
+    match svg with
+    | Some path ->
+      let rects =
+        List.map
+          (fun (p : Hidap.macro_placement) ->
+            ( flat.Netlist.Flat.nodes.(p.Hidap.fid).Netlist.Flat.base,
+              p.Hidap.rect, Viz.Svg.macro_style ))
+          r.Hidap.placements
+      in
+      Viz.Svg.write_file path (Viz.Svg.floorplan ~die:r.Hidap.die ~rects ());
+      Format.printf "wrote %s@." path
+    | None -> ()
+  in
+  let ascii_arg =
+    Arg.(value & flag & info [ "ascii" ] ~doc:"Print an ASCII rendering of the floorplan.")
+  in
+  let save_arg =
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"OUT.place"
+           ~doc:"Save the placement to a file (reload with 'view').")
+  in
+  Cmd.v (Cmd.info "place" ~doc:"Run the HiDaP macro placement flow")
+    Term.(const run $ file_arg $ circuit_arg $ seed_arg $ lambda_arg $ svg_arg $ ascii_arg
+          $ save_arg)
+
+(* ---- eval --------------------------------------------------------- *)
+
+let eval_cmd =
+  let run file circuit seed =
+    let name, design = design_of ~file ~circuit in
+    let config = { Hidap.Config.default with Hidap.Config.seed } in
+    let res = Evalflow.run_all ~config ~name design in
+    Format.printf "circuit %s: %d cells, %d macros@." res.Evalflow.circuit
+      res.Evalflow.cells res.Evalflow.macro_count;
+    let rows =
+      List.map
+        (fun (r : Evalflow.run) ->
+          let m = r.Evalflow.metrics in
+          [ Evalflow.flow_name r.Evalflow.kind;
+            Report.Table.fmt_f 3 m.Evalflow.wl_m;
+            Report.Table.fmt_f 3 (Evalflow.normalized_wl res r.Evalflow.kind);
+            Report.Table.fmt_f 2 m.Evalflow.grc_pct;
+            Report.Table.fmt_f 1 m.Evalflow.wns_pct;
+            Report.Table.fmt_f 0 m.Evalflow.tns;
+            Report.Table.fmt_f 2 m.Evalflow.runtime_s ])
+        res.Evalflow.runs
+    in
+    print_string
+      (Report.Table.render
+         ~header:[ "flow"; "WL(m)"; "WLnorm"; "GRC%"; "WNS%"; "TNS"; "rt(s)" ]
+         rows)
+  in
+  Cmd.v (Cmd.info "eval" ~doc:"Compare the IndEDA / HiDaP / handFP flows")
+    Term.(const run $ file_arg $ circuit_arg $ seed_arg)
+
+(* ---- gen ---------------------------------------------------------- *)
+
+let gen_cmd =
+  let run circuit out =
+    match circuit with
+    | None ->
+      Format.eprintf "--circuit is required@.";
+      exit 1
+    | Some name ->
+      let _, design = design_of ~file:None ~circuit:(Some name) in
+      (match out with
+      | Some path ->
+        Hnl.Printer.write_file path design;
+        Format.printf "wrote %s@." path
+      | None -> print_string (Hnl.Printer.to_string design))
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE.hnl"
+           ~doc:"Output file (stdout when omitted).")
+  in
+  Cmd.v (Cmd.info "gen" ~doc:"Emit a synthetic suite circuit as HNL text")
+    Term.(const run $ circuit_arg $ out_arg)
+
+(* ---- view --------------------------------------------------------- *)
+
+let view_cmd =
+  let run file circuit placement_file =
+    let _, design = design_of ~file ~circuit in
+    let flat = Netlist.Flat.elaborate design in
+    match Hidap.Placement_io.load placement_file with
+    | Error msg ->
+      Format.eprintf "%s: %s@." placement_file msg;
+      exit 1
+    | Ok pl ->
+      (match Hidap.Placement_io.resolve flat pl with
+      | Error msg ->
+        Format.eprintf "%s@." msg;
+        exit 1
+      | Ok placements ->
+        let die = pl.Hidap.Placement_io.die in
+        let gseq = Seqgraph.build flat in
+        let ports = Hidap.Port_plan.make gseq ~die in
+        let macros =
+          List.map
+            (fun (fid, rect, orient) -> { Cellplace.fid; rect; orient })
+            placements
+        in
+        let m, _ = Evalflow.measure ~flat ~gseq ~ports ~die ~macros in
+        Format.printf "WL %.3f m  GRC %.2f%%  WNS %.1f%%  TNS %.0f@." m.Evalflow.wl_m
+          m.Evalflow.grc_pct m.Evalflow.wns_pct m.Evalflow.tns;
+        print_string
+          (Viz.Ascii.floorplan ~die
+             ~rects:(List.map (fun (_, r, _) -> ("M", r)) placements)
+             ~width:64 ~height:28 ()))
+  in
+  let placement_arg =
+    Arg.(required & opt (some file) None & info [ "placement" ] ~docv:"FILE.place"
+           ~doc:"Placement file produced by 'place --save'.")
+  in
+  Cmd.v (Cmd.info "view" ~doc:"Evaluate and render a saved placement")
+    Term.(const run $ file_arg $ circuit_arg $ placement_arg)
+
+let () =
+  let info =
+    Cmd.info "hidap" ~version:"1.0.0"
+      ~doc:"RTL-aware dataflow-driven macro placement (DATE 2019 reproduction)"
+  in
+  exit (Cmd.eval (Cmd.group info [ stats_cmd; place_cmd; eval_cmd; gen_cmd; view_cmd ]))

@@ -1,0 +1,1 @@
+examples/hnl_roundtrip.ml: Array Format Geom Hidap Hnl List Netlist Viz

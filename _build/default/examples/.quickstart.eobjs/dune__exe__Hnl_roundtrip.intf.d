@@ -1,0 +1,1 @@
+examples/hnl_roundtrip.mli:

@@ -1,0 +1,1 @@
+examples/industrial_flow.ml: Array Circuitgen Evalflow Filename Format Hidap List Netlist Printf Sys Unix Viz

@@ -1,0 +1,1 @@
+examples/lambda_sweep.ml: Array Cellplace Char Circuitgen Evalflow Format Hidap List Netlist Seqgraph String Viz

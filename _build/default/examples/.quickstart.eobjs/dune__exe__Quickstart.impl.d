@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Circuitgen Format Geom Hidap List Netlist Viz

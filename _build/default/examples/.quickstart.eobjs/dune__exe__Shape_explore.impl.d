@@ -1,0 +1,1 @@
+examples/shape_explore.ml: Circuitgen Format Hidap Hier List Netlist Shape Util

@@ -1,0 +1,63 @@
+(* The HNL text format: parse a hand-written hierarchical netlist, run
+   it through elaboration and the placer, and print it back.
+
+   Run with: dune exec examples/hnl_roundtrip.exe *)
+
+let source = {|
+# A toy SoC: two memory channels behind a shared crossbar.
+design soc
+
+module channel {
+  input in_0
+  input in_1
+  output out_0
+  output out_1
+  macro ram size 48 32 (in d_0 d_1 ; out q_0 q_1)
+  flop pipe_0 (in in_0 ; out d_0)
+  flop pipe_1 (in in_1 ; out d_1)
+  comb mix_0 (in q_0 q_1 ; out out_0)
+  comb mix_1 area 2.5 (in q_1 ; out out_1)
+}
+
+module soc {
+  input data_0
+  input data_1
+  output result_0
+  output result_1
+  comb split_0 (in data_0 ; out a_0)
+  comb split_1 (in data_1 ; out a_1)
+  inst ch0 : channel (in_0 => a_0, in_1 => a_1, out_0 => b_0, out_1 => b_1)
+  inst ch1 : channel (in_0 => b_0, in_1 => b_1, out_0 => result_0, out_1 => result_1)
+}
+|}
+
+let () =
+  let design =
+    match Hnl.Parser.parse_string source with
+    | Ok d -> d
+    | Error { Hnl.Parser.line; message } ->
+      Format.eprintf "parse error at line %d: %s@." line message;
+      exit 1
+  in
+  Format.printf "parsed %d modules, top = %s@." (Netlist.Design.module_count design)
+    design.Netlist.Design.top;
+  (* Round trip: print and re-parse. *)
+  let text = Hnl.Printer.to_string design in
+  (match Hnl.Parser.parse_string text with
+  | Ok d2 when d2 = design -> print_endline "round-trip: identical"
+  | Ok _ -> print_endline "round-trip: parsed but differs (bug!)"
+  | Error _ -> print_endline "round-trip: failed to re-parse (bug!)");
+  (* Elaborate and place. *)
+  let flat = Netlist.Flat.elaborate design in
+  Format.printf "%a@." Netlist.Flat.pp_summary flat;
+  let r = Hidap.place flat in
+  List.iter
+    (fun (p : Hidap.macro_placement) ->
+      Format.printf "  %s placed at %a %s@."
+        flat.Netlist.Flat.nodes.(p.Hidap.fid).Netlist.Flat.path Geom.Rect.pp p.Hidap.rect
+        (Geom.Orientation.to_string p.Hidap.orient))
+    r.Hidap.placements;
+  print_string
+    (Viz.Ascii.floorplan ~die:r.Hidap.die
+       ~rects:(List.map (fun (p : Hidap.macro_placement) -> ("M", p.Hidap.rect)) r.Hidap.placements)
+       ~width:40 ~height:16 ())

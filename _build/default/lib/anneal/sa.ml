@@ -1,0 +1,93 @@
+type params = {
+  initial_temp : float option;
+  initial_acceptance : float;
+  cooling : float;
+  moves_per_plateau : int;
+  min_temp : float;
+  max_moves : int;
+}
+
+let default_params =
+  { initial_temp = None;
+    initial_acceptance = 0.85;
+    cooling = 0.92;
+    moves_per_plateau = 64;
+    min_temp = 1e-4;
+    max_moves = 100_000 }
+
+let quick_params =
+  { default_params with moves_per_plateau = 24; max_moves = 6_000; cooling = 0.85 }
+
+type 'a result = {
+  best : 'a;
+  best_cost : float;
+  moves : int;
+  accepted : int;
+  plateaus : int;
+}
+
+(* Sample random moves to estimate the mean uphill cost delta, then pick
+   T0 so that exp(-mean_uphill / T0) = target acceptance. *)
+let calibrate ~rng ~cost ~neighbor ~target state c0 =
+  let samples = 32 in
+  let uphill = ref 0.0 and n_up = ref 0 in
+  let s = ref state and c = ref c0 in
+  for _ = 1 to samples do
+    let s' = neighbor rng !s in
+    let c' = cost s' in
+    if c' > !c then begin
+      uphill := !uphill +. (c' -. !c);
+      incr n_up
+    end;
+    s := s';
+    c := c'
+  done;
+  if !n_up = 0 then max 1e-9 (abs_float c0 *. 0.1)
+  else
+    let mean_up = !uphill /. float_of_int !n_up in
+    let t = -.mean_up /. log target in
+    max 1e-9 t
+
+let minimize ~rng ~init ~cost ~neighbor ?(params = default_params) () =
+  let c0 = cost init in
+  let t0 =
+    match params.initial_temp with
+    | Some t -> t
+    | None ->
+      calibrate ~rng:(Util.Rng.split rng) ~cost ~neighbor
+        ~target:params.initial_acceptance init c0
+  in
+  let cur = ref init and cur_cost = ref c0 in
+  let best = ref init and best_cost = ref c0 in
+  let temp = ref t0 in
+  let moves = ref 0 and accepted = ref 0 and plateaus = ref 0 in
+  let stop_temp = params.min_temp *. t0 in
+  while !temp > stop_temp && !moves < params.max_moves do
+    let plateau_accepts = ref 0 in
+    for _ = 1 to params.moves_per_plateau do
+      if !moves < params.max_moves then begin
+        incr moves;
+        let cand = neighbor rng !cur in
+        let cand_cost = cost cand in
+        let delta = cand_cost -. !cur_cost in
+        let accept =
+          delta <= 0.0
+          || Util.Rng.float rng 1.0 < exp (-.delta /. !temp)
+        in
+        if accept then begin
+          cur := cand;
+          cur_cost := cand_cost;
+          incr accepted;
+          incr plateau_accepts;
+          if cand_cost < !best_cost then begin
+            best := cand;
+            best_cost := cand_cost
+          end
+        end
+      end
+    done;
+    incr plateaus;
+    temp := !temp *. params.cooling
+  done;
+  { best = !best; best_cost = !best_cost; moves = !moves; accepted = !accepted;
+    plateaus = !plateaus }

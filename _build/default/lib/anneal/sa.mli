@@ -1,0 +1,45 @@
+(** Generic simulated annealing (minimization).
+
+    The engine is purely functional in the solution type: [neighbor]
+    returns a fresh candidate and the engine keeps the incumbent and the
+    best-so-far. Temperature follows a geometric schedule; the initial
+    temperature can be calibrated automatically from the uphill move
+    distribution (Kirkpatrick-style) so that an initial acceptance
+    probability is met. *)
+
+type params = {
+  initial_temp : float option;
+      (** [None] calibrates from sampled uphill deltas. *)
+  initial_acceptance : float;
+      (** target acceptance probability for calibration (default 0.85) *)
+  cooling : float;  (** geometric factor per plateau, in (0, 1) *)
+  moves_per_plateau : int;  (** proposals evaluated at each temperature *)
+  min_temp : float;  (** stop when temperature drops below *)
+  max_moves : int;  (** hard cap on total proposals *)
+}
+
+val default_params : params
+(** cooling 0.92, 64 moves per plateau, min_temp 1e-4 relative,
+    100_000 max moves, calibrated initial temperature. *)
+
+val quick_params : params
+(** A small budget for inner loops (shape-curve generation). *)
+
+type 'a result = {
+  best : 'a;
+  best_cost : float;
+  moves : int;  (** proposals evaluated *)
+  accepted : int;
+  plateaus : int;
+}
+
+val minimize :
+  rng:Util.Rng.t ->
+  init:'a ->
+  cost:('a -> float) ->
+  neighbor:(Util.Rng.t -> 'a -> 'a) ->
+  ?params:params ->
+  unit ->
+  'a result
+(** Runs the schedule and returns the best solution seen. Deterministic
+    given the rng state. *)

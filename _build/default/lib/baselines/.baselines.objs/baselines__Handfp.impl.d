@@ -1,0 +1,1 @@
+lib/baselines/handfp.ml: Array Dataflow Geom Hashtbl Hidap Hier Legalize List Netlist Seqgraph Util

@@ -1,0 +1,1 @@
+lib/baselines/handfp.mli: Geom Hidap Netlist Seqgraph

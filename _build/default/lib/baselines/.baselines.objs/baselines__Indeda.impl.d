@@ -1,0 +1,1 @@
+lib/baselines/indeda.ml: Array Geom Hashtbl Legalize List Netlist Seqgraph

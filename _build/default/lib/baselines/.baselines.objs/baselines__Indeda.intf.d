@@ -1,0 +1,1 @@
+lib/baselines/indeda.mli: Geom Netlist Seqgraph

@@ -1,0 +1,1 @@
+lib/baselines/legalize.ml: Array Geom Util

@@ -1,0 +1,1 @@
+lib/baselines/legalize.mli: Geom

@@ -1,0 +1,58 @@
+(** Standard-cell global placement substrate.
+
+    Places the movable cells (flops and combinational gates) of a flat
+    netlist with macros and ports fixed, in two phases:
+
+    + {e connectivity optimization}: iterated star-model averaging (a
+      Jacobi relaxation of the quadratic wirelength objective) pulls each
+      cell to the weighted centroid of its nets, anchored by the fixed
+      macros and ports;
+    + {e spreading}: a deterministic slice-based spreader distributes
+      cells over the die's free area (macros act as blockages), roughly
+      preserving the relative order found by phase 1.
+
+    The same engine evaluates every macro-placement flow, mirroring the
+    paper's protocol ("metrics are taken after placement of standard
+    cells using the same tool"). *)
+
+type macro_place = {
+  fid : int;
+  rect : Geom.Rect.t;
+  orient : Geom.Orientation.t;
+}
+
+type t = {
+  positions : Geom.Point.t array;  (** per flat node id (cells and ports) *)
+  die : Geom.Rect.t;
+  movable : bool array;  (** per flat node id *)
+}
+
+type params = {
+  iterations : int;  (** star-model relaxation sweeps *)
+  spread_grid : int;  (** spreading slices per axis *)
+  smooth_iterations : int;  (** post-spreading relaxation sweeps *)
+}
+
+val default_params : params
+
+val run :
+  ?params:params ->
+  flat:Netlist.Flat.t ->
+  macros:macro_place list ->
+  port_pos:(int -> Geom.Point.t option) ->
+  die:Geom.Rect.t ->
+  unit ->
+  t
+(** [port_pos fid] gives the position of flat port [fid]; ports without a
+    position default to the die boundary point nearest the die centre
+    (degenerate, but keeps the solver total). *)
+
+val density_map :
+  t -> flat:Netlist.Flat.t -> macros:macro_place list -> bins:int -> float array array
+(** [bins x bins] grid of placement density (cell area per bin area,
+    macros included); row 0 is the bottom of the die. *)
+
+val macro_pin_position :
+  flat:Netlist.Flat.t -> macros:macro_place list -> int -> dir:[ `In | `Out ] ->
+  Geom.Point.t option
+(** Pin position of a macro flat node under the flipping pin model. *)

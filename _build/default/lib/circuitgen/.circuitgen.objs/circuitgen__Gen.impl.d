@@ -1,0 +1,1 @@
+lib/circuitgen/gen.ml: Array Format List Netlist Printf Util

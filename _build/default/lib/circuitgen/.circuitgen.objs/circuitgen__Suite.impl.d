@@ -1,0 +1,1 @@
+lib/circuitgen/suite.ml: Gen List Netlist Printf

@@ -1,0 +1,1 @@
+lib/circuitgen/suite.mli: Gen Netlist

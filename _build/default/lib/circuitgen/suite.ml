@@ -1,0 +1,173 @@
+module D = Netlist.Design
+
+(* Fig. 1: 16 macros in two 8-macro subsystems with a cells-only
+   connector between them. Unit structure 2 x (2 units x 4 macros). *)
+let fig1_design () =
+  Gen.generate
+    { Gen.name = "fig1";
+      seed = 16;
+      n_subsystems = 2;
+      units_per_subsystem = 2;
+      n_macros = 16;
+      bus_width = 12;
+      pipe_stages = 1;
+      target_cells = 1_500;
+      macro_w = 55.0;
+      macro_h = 40.0;
+      port_arrays = 2;
+      cross_links = 0;
+      cell_area = 8.0 }
+
+(* Fig. 2: four macro blocks A-D communicating through a std-cell block
+   X. Hand-built so the connectivity matches the figure: A -> X -> B,
+   A -> X -> C, B -> X -> D, C -> X -> D. *)
+let fig2_system () =
+  let w = 8 in
+  let bits prefix = List.init w (fun i -> Printf.sprintf "%s_%d" prefix i) in
+  let macro_block ~mname =
+    (* in bus -> regs -> macro -> regs -> out bus *)
+    let cells =
+      List.concat
+        (List.mapi
+           (fun i inn ->
+             [ D.cell ~name:(Printf.sprintf "ri_%d" i) ~kind:D.Flop ~ins:[ inn ]
+                 ~outs:[ Printf.sprintf "d_%d" i ] () ])
+           (bits "in"))
+      @ [ D.cell ~name:"mem0" ~kind:(D.make_macro ~w:50.0 ~h:35.0) ~ins:(bits "d")
+            ~outs:(bits "q") () ]
+      @ List.concat
+          (List.mapi
+             (fun i out ->
+               [ D.cell ~name:(Printf.sprintf "ro_%d" i) ~kind:D.Flop
+                   ~ins:[ Printf.sprintf "q_%d" i ] ~outs:[ out ] () ])
+             (bits "out"))
+    in
+    let ports =
+      List.map (fun n -> D.port ~name:n ~dir:D.Input) (bits "in")
+      @ List.map (fun n -> D.port ~name:n ~dir:D.Output) (bits "out")
+    in
+    D.module_def ~name:mname ~ports ~cells ()
+  in
+  (* X: pure standard cells, two independent register crossings
+     (A->B/C and B/C->D). *)
+  let x_block =
+    let cross tag =
+      List.concat
+        (List.mapi
+           (fun i inn ->
+             [ D.cell ~name:(Printf.sprintf "%sc_%d" tag i) ~kind:D.Comb ~ins:[ inn ]
+                 ~outs:[ Printf.sprintf "%sn_%d" tag i ] ();
+               D.cell
+                 ~name:(Printf.sprintf "%sr_%d" tag i)
+                 ~kind:D.Flop
+                 ~ins:[ Printf.sprintf "%sn_%d" tag i ]
+                 ~outs:[ Printf.sprintf "%sq_%d" tag i ]
+                 ();
+               D.cell ~name:(Printf.sprintf "%so_%d" tag i) ~kind:D.Comb
+                 ~ins:[ Printf.sprintf "%sq_%d" tag i ]
+                 ~outs:[ Printf.sprintf "%sout_%d" tag i ] () ])
+           (bits (tag ^ "in")))
+    in
+    (* some extra glue bulk so X has visible area *)
+    let filler =
+      List.init 200 (fun j ->
+          D.cell ~name:(Printf.sprintf "f_%d" j) ~kind:D.Comb
+            ~ins:[ (if j = 0 then "ainq_0" else Printf.sprintf "fn_%d" (j - 1)) ]
+            ~outs:[ Printf.sprintf "fn_%d" j ] ())
+    in
+    let ports =
+      List.map (fun n -> D.port ~name:n ~dir:D.Input) (bits "ainin")
+      @ List.map (fun n -> D.port ~name:n ~dir:D.Output) (bits "ainout")
+      @ List.map (fun n -> D.port ~name:n ~dir:D.Input) (bits "binin")
+      @ List.map (fun n -> D.port ~name:n ~dir:D.Output) (bits "binout")
+      @ List.map (fun n -> D.port ~name:n ~dir:D.Input) (bits "cinin")
+      @ List.map (fun n -> D.port ~name:n ~dir:D.Output) (bits "cinout")
+    in
+    D.module_def ~name:"fig2_x" ~ports ~cells:(cross "ain" @ cross "bin" @ cross "cin" @ filler) ()
+  in
+  let bind formals actuals = List.map2 (fun f a -> (f, a)) formals actuals in
+  let top =
+    (* A -> X(ain) -> fan to B and C; B -> X(bin) -> D; C -> X(cin) -> D
+       (the bin/cin crossings merge into D's input via top combs). *)
+    let cells =
+      List.mapi
+        (fun i _ ->
+          D.cell ~name:(Printf.sprintf "mrg_%d" i) ~kind:D.Comb
+            ~ins:[ Printf.sprintf "bx_%d" i; Printf.sprintf "cx_%d" i ]
+            ~outs:[ Printf.sprintf "din_%d" i ] ())
+        (bits "d")
+    in
+    let insts =
+      [ D.inst ~name:"blk_a" ~module_:"fig2_blk"
+          ~bindings:(bind (bits "in") (bits "pin") @ bind (bits "out") (bits "aout"));
+        D.inst ~name:"blk_x" ~module_:"fig2_x"
+          ~bindings:
+            (bind (bits "ainin") (bits "aout")
+            @ bind (bits "ainout") (bits "xa")
+            @ bind (bits "binin") (bits "bout")
+            @ bind (bits "binout") (bits "bx")
+            @ bind (bits "cinin") (bits "cout")
+            @ bind (bits "cinout") (bits "cx"));
+        D.inst ~name:"blk_b" ~module_:"fig2_blk"
+          ~bindings:(bind (bits "in") (bits "xa") @ bind (bits "out") (bits "bout"));
+        D.inst ~name:"blk_c" ~module_:"fig2_blk"
+          ~bindings:(bind (bits "in") (bits "xa") @ bind (bits "out") (bits "cout"));
+        D.inst ~name:"blk_d" ~module_:"fig2_blk"
+          ~bindings:(bind (bits "in") (bits "din") @ bind (bits "out") (bits "pout")) ]
+    in
+    let ports =
+      List.map (fun n -> D.port ~name:n ~dir:D.Input) (bits "pin")
+      @ List.map (fun n -> D.port ~name:n ~dir:D.Output) (bits "pout")
+    in
+    D.module_def ~name:"fig2" ~ports ~cells ~insts ()
+  in
+  D.design ~top:"fig2" ~modules:[ top; macro_block ~mname:"fig2_blk"; x_block ]
+
+type circuit = {
+  cname : string;
+  params : Gen.params;
+  paper_cells : int;
+  paper_macros : int;
+}
+
+(* The paper's 8 circuits: macro counts kept exact, cell counts scaled
+   1:100 (DESIGN.md §1). Structure parameters vary so the suite is not
+   eight copies of one topology. *)
+let c_suite () =
+  let mk cname ~seed ~cells ~macros ~ss ~ups ~bw ~stages ~mw ~mh ~ports ~xl =
+    { cname;
+      paper_cells = cells;
+      paper_macros = macros;
+      params =
+        { Gen.name = cname;
+          seed;
+          n_subsystems = ss;
+          units_per_subsystem = ups;
+          n_macros = macros;
+          bus_width = bw;
+          pipe_stages = stages;
+          target_cells = cells / 100;
+          macro_w = mw;
+          macro_h = mh;
+          port_arrays = ports;
+          cross_links = xl;
+          cell_area = 8.0 } }
+  in
+  [ mk "c1" ~seed:101 ~cells:520_000 ~macros:32 ~ss:2 ~ups:4 ~bw:16 ~stages:1
+      ~mw:70.0 ~mh:50.0 ~ports:4 ~xl:1;
+    mk "c2" ~seed:102 ~cells:3_950_000 ~macros:100 ~ss:4 ~ups:5 ~bw:24 ~stages:2
+      ~mw:80.0 ~mh:55.0 ~ports:6 ~xl:2;
+    mk "c3" ~seed:103 ~cells:3_780_000 ~macros:94 ~ss:4 ~ups:4 ~bw:24 ~stages:2
+      ~mw:85.0 ~mh:50.0 ~ports:6 ~xl:1;
+    mk "c4" ~seed:104 ~cells:4_810_000 ~macros:122 ~ss:5 ~ups:5 ~bw:28 ~stages:2
+      ~mw:75.0 ~mh:55.0 ~ports:8 ~xl:2;
+    mk "c5" ~seed:105 ~cells:1_390_000 ~macros:133 ~ss:6 ~ups:4 ~bw:16 ~stages:1
+      ~mw:45.0 ~mh:35.0 ~ports:6 ~xl:1;
+    mk "c6" ~seed:106 ~cells:2_870_000 ~macros:90 ~ss:3 ~ups:5 ~bw:20 ~stages:3
+      ~mw:85.0 ~mh:60.0 ~ports:6 ~xl:1;
+    mk "c7" ~seed:107 ~cells:1_670_000 ~macros:108 ~ss:4 ~ups:6 ~bw:16 ~stages:1
+      ~mw:55.0 ~mh:40.0 ~ports:4 ~xl:2;
+    mk "c8" ~seed:108 ~cells:2_200_000 ~macros:37 ~ss:2 ~ups:3 ~bw:20 ~stages:2
+      ~mw:90.0 ~mh:65.0 ~ports:4 ~xl:1 ]
+
+let find name = List.find_opt (fun c -> c.cname = name) (c_suite ())

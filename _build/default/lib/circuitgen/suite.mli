@@ -1,0 +1,24 @@
+(** Concrete designs used by the paper's figures and evaluation.
+
+    - {!fig1_design}: the 16-macro design of Fig. 1 (two 8-macro
+      subsystems joined by a cells-only connector);
+    - {!fig2_system}: the 4-blocks-plus-X system of Figs. 2–3 (A feeds B
+      and C through the std-cell block X; B and C feed D);
+    - {!c_suite}: synthetic analogues c1'–c8' of the industrial circuits
+      in Table III — identical macro counts, cell counts scaled 1:100. *)
+
+val fig1_design : unit -> Netlist.Design.t
+
+val fig2_system : unit -> Netlist.Design.t
+
+type circuit = {
+  cname : string;
+  params : Gen.params;
+  paper_cells : int;  (** cell count of the paper's circuit *)
+  paper_macros : int;
+}
+
+val c_suite : unit -> circuit list
+
+val find : string -> circuit option
+(** Look a circuit up by name (["c1"] .. ["c8"]). *)

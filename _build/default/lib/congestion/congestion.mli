@@ -1,0 +1,41 @@
+(** Global-routing congestion estimation (the paper's "GRC%" column).
+
+    RUDY-style (Rectangular Uniform wire DensitY): each global net (one
+    whose bounding box is not negligible against a grid bin — purely
+    local nets ride the lower metal layers) spreads a routing demand of
+    [hpwl / bbox_area] uniformly over its bounding box; demand is
+    integrated on a grid and compared with the die's routing supply.
+    The overflow percentage is the demand above capacity relative to
+    total capacity — 0 for a perfectly spreadable design, growing when
+    wiring concentrates. *)
+
+type params = {
+  bins : int;  (** grid resolution per axis *)
+  capacity_factor : float;
+      (** routing supply density: microns of wire per square micron of
+          routable area — a property of the die and metal stack, so it is
+          identical for every flow evaluated on the same circuit *)
+  macro_porosity : float;
+      (** fraction of routing capacity that survives over a macro
+          (memories block most routing layers); wall-packed macro rings
+          therefore overflow when nets must cross them *)
+}
+
+val default_params : params
+(** 32 bins, supply density 14 um/um^2, macro porosity 0.35. *)
+
+type result = {
+  demand : float array array;  (** demand per bin *)
+  capacity : float;  (** nominal per-bin capacity (macro-free bin) *)
+  overflow_pct : float;  (** 100 * sum max(0, d - cap) / sum cap *)
+  overflowed_bins_pct : float;  (** share of bins above capacity *)
+}
+
+val estimate :
+  ?params:params ->
+  flat:Netlist.Flat.t ->
+  positions:Geom.Point.t array ->
+  die:Geom.Rect.t ->
+  ?macros:Geom.Rect.t list ->
+  unit ->
+  result

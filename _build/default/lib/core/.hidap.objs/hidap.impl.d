@@ -1,0 +1,1 @@
+lib/core/hidap.ml: Array Block Config Flipping Floorplan Geom Hashtbl Hier Layout_gen List Netlist Placement_io Port_plan Seqgraph Shape_curves Target_area Util

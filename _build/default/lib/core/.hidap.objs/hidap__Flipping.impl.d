@@ -1,0 +1,1 @@
+lib/core/flipping.ml: Array Geom Hashtbl Hier List Netlist Port_plan Seqgraph

@@ -1,0 +1,1 @@
+lib/core/flipping.mli: Config Geom Hashtbl Hier Port_plan Seqgraph

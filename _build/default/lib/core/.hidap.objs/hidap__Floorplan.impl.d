@@ -1,0 +1,1 @@
+lib/core/floorplan.ml: Array Block Config Dataflow Geom Hashtbl Hier Layout_gen List Netlist Port_plan Seqgraph Shape_curves Target_area Util

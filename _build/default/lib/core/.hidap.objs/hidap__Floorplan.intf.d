@@ -1,0 +1,1 @@
+lib/core/floorplan.mli: Block Config Geom Hashtbl Hier Port_plan Seqgraph Shape_curves Util

@@ -1,0 +1,1 @@
+lib/core/layout_gen.ml: Anneal Array Block Config Geom List Slicing

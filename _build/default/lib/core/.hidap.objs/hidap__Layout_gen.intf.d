@@ -1,0 +1,1 @@
+lib/core/layout_gen.mli: Block Config Geom Slicing Util

@@ -1,0 +1,1 @@
+lib/core/placement_io.ml: Array Buffer Geom Hashtbl List Netlist Printf String Util

@@ -1,0 +1,1 @@
+lib/core/placement_io.mli: Geom Netlist

@@ -1,0 +1,1 @@
+lib/core/port_plan.ml: Array Float Geom Hashtbl List Seqgraph

@@ -1,0 +1,1 @@
+lib/core/shape_curves.ml: Anneal Array Config Hier List Netlist Shape Slicing

@@ -1,0 +1,1 @@
+lib/core/shape_curves.mli: Config Hier Shape Util

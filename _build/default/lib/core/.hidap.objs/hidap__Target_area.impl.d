@@ -1,0 +1,1 @@
+lib/core/target_area.ml: Array Block Graphlib Hier List Netlist Shape_curves

@@ -1,0 +1,1 @@
+lib/core/target_area.mli: Block Hier Shape_curves

@@ -1,0 +1,16 @@
+type t = {
+  idx : int;
+  ht_id : int;
+  name : string;
+  curve : Shape.Curve.t;
+  am : float;
+  at : float;
+  macro_count : int;
+}
+
+let to_leaf t =
+  { Slicing.Layout.lid = t.idx; curve = t.curve; area_min = t.am; area_target = t.at }
+
+let pp ppf t =
+  Format.fprintf ppf "block %d %s: am=%.1f at=%.1f macros=%d" t.idx t.name t.am t.at
+    t.macro_count

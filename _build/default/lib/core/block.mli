@@ -1,0 +1,17 @@
+(** The floorplanning block: 〈Γ, am, at〉 plus bookkeeping
+    (paper §II-D). *)
+
+type t = {
+  idx : int;  (** index within the current floorplan instance *)
+  ht_id : int;  (** hierarchy-tree node this block models *)
+  name : string;
+  curve : Shape.Curve.t;  (** Γ: macro shape curve, standard cells ignored *)
+  am : float;  (** minimum area: all macros + cells under the node *)
+  at : float;  (** target area: am + absorbed glue area (+ whitespace) *)
+  macro_count : int;
+}
+
+val to_leaf : t -> Slicing.Layout.leaf
+(** The slicing-layout view of the block. *)
+
+val pp : Format.formatter -> t -> unit

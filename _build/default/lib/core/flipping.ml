@@ -1,0 +1,89 @@
+module Tree = Hier.Tree
+module Flat = Netlist.Flat
+module Rect = Geom.Rect
+module Point = Geom.Point
+module Orientation = Geom.Orientation
+
+let pin_offset ~orient ~w ~h ~dir =
+  let base =
+    match dir with
+    | `In -> Point.make 0.0 (h /. 2.0)  (* west face centre *)
+    | `Out -> Point.make w (h /. 2.0)  (* east face centre *)
+  in
+  Orientation.apply_offset orient ~w ~h base
+
+let pin_position ~rect ~orient ~dir =
+  let off = pin_offset ~orient ~w:rect.Rect.w ~h:rect.Rect.h ~dir in
+  Point.make (rect.Rect.x +. off.Point.x) (rect.Rect.y +. off.Point.y)
+
+type result = {
+  orientations : (int * Orientation.t) list;
+  gain : float;
+}
+
+(* Position of a Gseq node from the finished floorplan: macros at their
+   placed centre, ports on the boundary, registers at the centre of the
+   deepest block rectangle containing them. *)
+let node_position ~tree ~gseq ~ports ~macro_rect ~ht_rects ~die gid =
+  let nd = gseq.Seqgraph.nodes.(gid) in
+  match nd.Seqgraph.kind with
+  | Seqgraph.Macro fid ->
+    (match macro_rect fid with Some r -> Rect.center r | None -> Rect.center die)
+  | Seqgraph.Port _ ->
+    (match Port_plan.gseq_pos ports gid with Some p -> p | None -> Rect.center die)
+  | Seqgraph.Register (fid :: _) ->
+    let rec up ht =
+      if ht < 0 then Rect.center die
+      else
+        match Hashtbl.find_opt ht_rects ht with
+        | Some r -> Rect.center r
+        | None -> up (Tree.node tree ht).Tree.parent
+    in
+    up (Tree.ht_node_of_flat tree fid)
+  | Seqgraph.Register [] -> Rect.center die
+
+let run ~tree ~gseq ~ports ~macro_rects ~ht_rects ~die ~config =
+  ignore config;
+  let rect_of = Hashtbl.create (List.length macro_rects) in
+  List.iter (fun (fid, r) -> Hashtbl.replace rect_of fid r) macro_rects;
+  let macro_rect fid = Hashtbl.find_opt rect_of fid in
+  let position = node_position ~tree ~gseq ~ports ~macro_rect ~ht_rects ~die in
+  let gain = ref 0.0 in
+  let orientations =
+    List.map
+      (fun (fid, rect) ->
+        match gseq.Seqgraph.of_flat.(fid) with
+        | -1 -> (fid, Orientation.R0)
+        | gid ->
+          let pulls =
+            List.map
+              (fun (e : Seqgraph.edge) -> (`In, float_of_int e.Seqgraph.width, position e.Seqgraph.src))
+              (Seqgraph.pred_edges gseq gid)
+            @ List.map
+                (fun (e : Seqgraph.edge) ->
+                  (`Out, float_of_int e.Seqgraph.width, position e.Seqgraph.dst))
+                (Seqgraph.succ_edges gseq gid)
+          in
+          let cost orient =
+            List.fold_left
+              (fun acc (dir, w, p) ->
+                acc +. (w *. Point.manhattan (pin_position ~rect ~orient ~dir) p))
+              0.0 pulls
+          in
+          let square = abs_float (rect.Rect.w -. rect.Rect.h) < 1e-9 in
+          let candidates =
+            if square then Orientation.all else Orientation.non_rotating
+          in
+          let base_cost = cost Orientation.R0 in
+          let best, best_cost =
+            Array.fold_left
+              (fun (bo, bc) o ->
+                let c = cost o in
+                if c < bc -. 1e-12 then (o, c) else (bo, bc))
+              (Orientation.R0, base_cost) candidates
+          in
+          gain := !gain +. (base_cost -. best_cost);
+          (fid, best))
+      macro_rects
+  in
+  { orientations; gain = !gain }

@@ -1,0 +1,35 @@
+(** Macro orientation post-process (paper Algorithm 1, "memory
+    flipping").
+
+    The pin model places all input pins at the centre of the macro's west
+    face and all output pins at the centre of its east face (in the
+    reference orientation) — the typical single-sided/double-sided memory
+    pinout. Flipping evaluates the footprint-preserving orientations
+    (R0 / MX / MY / R180) against the macro's side dataflow: each Gseq
+    edge pulls its pin toward the other endpoint's position, weighted by
+    the connection width. The same pin model is exported for the
+    downstream wirelength/timing metrics so that flipping gains are
+    measurable. *)
+
+val pin_offset :
+  orient:Geom.Orientation.t -> w:float -> h:float -> dir:[ `In | `Out ] -> Geom.Point.t
+(** Pin offset from the macro's lower-left corner, for a macro whose
+    placed footprint is [w] x [h]. *)
+
+val pin_position :
+  rect:Geom.Rect.t -> orient:Geom.Orientation.t -> dir:[ `In | `Out ] -> Geom.Point.t
+
+type result = {
+  orientations : (int * Geom.Orientation.t) list;  (** flat macro id -> orientation *)
+  gain : float;  (** estimated side-dataflow wirelength reduction *)
+}
+
+val run :
+  tree:Hier.Tree.t ->
+  gseq:Seqgraph.t ->
+  ports:Port_plan.t ->
+  macro_rects:(int * Geom.Rect.t) list ->
+  ht_rects:(int, Geom.Rect.t) Hashtbl.t ->
+  die:Geom.Rect.t ->
+  config:Config.t ->
+  result

@@ -1,0 +1,239 @@
+module Tree = Hier.Tree
+module Flat = Netlist.Flat
+module Rect = Geom.Rect
+module Point = Geom.Point
+
+type level_info = {
+  depth : int;
+  ht_id : int;
+  rect : Rect.t;
+  macro_count : int;
+}
+
+type instance_snapshot = {
+  inst_blocks : Block.t array;
+  inst_affinity : float array array;
+  inst_rects : Rect.t array;
+}
+
+type t = {
+  macro_rects : (int * Rect.t) list;
+  levels : level_info list;
+  top : instance_snapshot option;
+  ht_rects : (int, Rect.t) Hashtbl.t;
+  sa_moves_total : int;
+}
+
+type context = {
+  tree : Tree.t;
+  gseq : Seqgraph.t;
+  sgamma : Shape_curves.t;
+  ports : Port_plan.t;
+  config : Config.t;
+  rng : Util.Rng.t;
+  die : Rect.t;
+  macro_pos : (int, Point.t) Hashtbl.t;  (* flat macro id -> provisional position *)
+  mutable out_macros : (int * Rect.t) list;
+  mutable out_levels : level_info list;
+  mutable out_top : instance_snapshot option;
+  ht_rects : (int, Rect.t) Hashtbl.t;
+  mutable sa_moves : int;
+}
+
+(* Representative flat cell of a Gseq node, used to locate it in HT.
+   Ports have no HT location. *)
+let rep_flat (nd : Seqgraph.node) =
+  match nd.Seqgraph.kind with
+  | Seqgraph.Macro fid -> Some fid
+  | Seqgraph.Register (fid :: _) -> Some fid
+  | Seqgraph.Register [] -> None
+  | Seqgraph.Port _ -> None
+
+(* Block index of each Gseq node for one instance: the HT leaf of its
+   representative cell is walked upward until an HCB node is found. *)
+let block_membership ctx ~hcb =
+  let block_of_ht = Hashtbl.create 16 in
+  List.iteri (fun bi ht -> Hashtbl.replace block_of_ht ht bi) hcb;
+  let cache = Hashtbl.create 256 in
+  let rec lookup ht =
+    if ht < 0 then -1
+    else
+      match Hashtbl.find_opt cache ht with
+      | Some b -> b
+      | None ->
+        let b =
+          match Hashtbl.find_opt block_of_ht ht with
+          | Some bi -> bi
+          | None -> lookup (Tree.node ctx.tree ht).Tree.parent
+        in
+        Hashtbl.add cache ht b;
+        b
+  in
+  fun gid ->
+    match rep_flat ctx.gseq.Seqgraph.nodes.(gid) with
+    | None -> -1
+    | Some fid -> lookup (Tree.ht_node_of_flat ctx.tree fid)
+
+(* Position of a fixed endpoint: port-plan position for ports, the
+   provisional position for external macros. *)
+let fixed_position ctx gid =
+  let nd = ctx.gseq.Seqgraph.nodes.(gid) in
+  match nd.Seqgraph.kind with
+  | Seqgraph.Port _ ->
+    (match Port_plan.gseq_pos ctx.ports gid with
+    | Some p -> p
+    | None -> Rect.center ctx.die)
+  | Seqgraph.Macro fid ->
+    (match Hashtbl.find_opt ctx.macro_pos fid with
+    | Some p -> p
+    | None -> Rect.center ctx.die)
+  | Seqgraph.Register _ ->
+    (* registers are never fixed endpoints *)
+    assert false
+
+(* The attractor of a block: affinity-weighted centroid of the other
+   endpoints' positions. [None] when the block has no affinity. *)
+let attractor ~affinity ~positions bi =
+  let sw = ref 0.0 and sx = ref 0.0 and sy = ref 0.0 in
+  Array.iteri
+    (fun j (p : Point.t) ->
+      if j <> bi then begin
+        let w = affinity.(bi).(j) in
+        if w > 1e-12 then begin
+          sw := !sw +. w;
+          sx := !sx +. (w *. p.Point.x);
+          sy := !sy +. (w *. p.Point.y)
+        end
+      end)
+    positions;
+  if !sw > 0.0 then Some (Point.make (!sx /. !sw) (!sy /. !sw)) else None
+
+(* Fix a single macro in the corner of its block rectangle nearest the
+   attractor (paper Algorithm 2 line 11). *)
+let fix_position ctx ~fid ~rect ~attract =
+  let info =
+    match (Tree.flat ctx.tree).Flat.nodes.(fid).Flat.kind with
+    | Flat.Kmacro info -> info
+    | Flat.Kflop | Flat.Kcomb | Flat.Kport _ -> assert false
+  in
+  let w0 = info.Netlist.Design.mw and h0 = info.Netlist.Design.mh in
+  (* Rotate if only the rotated footprint fits. *)
+  let w, h =
+    if w0 <= rect.Rect.w +. 1e-9 && h0 <= rect.Rect.h +. 1e-9 then (w0, h0)
+    else if h0 <= rect.Rect.w +. 1e-9 && w0 <= rect.Rect.h +. 1e-9 then (h0, w0)
+    else (w0, h0)
+  in
+  let w = min w rect.Rect.w and h = min h rect.Rect.h in
+  let candidates =
+    [ Rect.make ~x:rect.Rect.x ~y:rect.Rect.y ~w ~h;
+      Rect.make ~x:(rect.Rect.x +. rect.Rect.w -. w) ~y:rect.Rect.y ~w ~h;
+      Rect.make ~x:rect.Rect.x ~y:(rect.Rect.y +. rect.Rect.h -. h) ~w ~h;
+      Rect.make ~x:(rect.Rect.x +. rect.Rect.w -. w) ~y:(rect.Rect.y +. rect.Rect.h -. h) ~w
+        ~h ]
+  in
+  let target = match attract with Some p -> p | None -> Rect.center ctx.die in
+  let best =
+    List.fold_left
+      (fun acc r ->
+        let d = Point.manhattan (Rect.center r) target in
+        match acc with
+        | Some (_, bd) when bd <= d -> acc
+        | Some _ | None -> Some (r, d))
+      None candidates
+  in
+  let r = match best with Some (r, _) -> r | None -> assert false in
+  ctx.out_macros <- (fid, r) :: ctx.out_macros;
+  Hashtbl.replace ctx.macro_pos fid (Rect.center r)
+
+let rec instance ctx ~nh ~budget ~depth =
+  let config = ctx.config in
+  let dc =
+    Hier.Decluster.run ctx.tree ~nh ~open_frac:config.Config.open_frac
+      ~min_frac:config.Config.min_frac
+  in
+  match dc.Hier.Decluster.hcb with
+  | [] -> () (* nothing to place below this node *)
+  | hcb ->
+    let blocks =
+      Target_area.assign ctx.tree ~sgamma:ctx.sgamma ~hcb ~hcg:dc.Hier.Decluster.hcg
+    in
+    let n_blocks = Array.length blocks in
+    let block_of_node = block_membership ctx ~hcb in
+    (* Fixed endpoints: all port arrays plus macros outside this subtree. *)
+    let fixed =
+      Array.of_list
+        (List.filter_map
+           (fun (nd : Seqgraph.node) ->
+             match nd.Seqgraph.kind with
+             | Seqgraph.Port _ -> Some nd.Seqgraph.id
+             | Seqgraph.Macro _ ->
+               if block_of_node nd.Seqgraph.id < 0 then Some nd.Seqgraph.id else None
+             | Seqgraph.Register _ -> None)
+           (Array.to_list ctx.gseq.Seqgraph.nodes))
+    in
+    let gdf = Dataflow.Gdf.build ctx.gseq ~n_blocks ~block_of_node ~fixed in
+    let affinity =
+      Dataflow.Gdf.affinity_matrix gdf ~lambda:config.Config.lambda ~k:config.Config.k ()
+    in
+    let fixed_pos = Array.map (fun gid -> fixed_position ctx gid) fixed in
+    let layout =
+      Layout_gen.run ~rng:ctx.rng ~config ~blocks ~affinity ~fixed_pos ~budget
+    in
+    ctx.sa_moves <- ctx.sa_moves + layout.Layout_gen.sa_moves;
+    (* Record rectangles; update provisional macro positions. *)
+    let positions =
+      Array.append (Array.map Rect.center layout.Layout_gen.rects) fixed_pos
+    in
+    Array.iteri
+      (fun bi (b : Block.t) ->
+        let r = layout.Layout_gen.rects.(bi) in
+        Hashtbl.replace ctx.ht_rects b.Block.ht_id r;
+        ctx.out_levels <-
+          { depth; ht_id = b.Block.ht_id; rect = r; macro_count = b.Block.macro_count }
+          :: ctx.out_levels;
+        List.iter
+          (fun fid -> Hashtbl.replace ctx.macro_pos fid (Rect.center r))
+          (Tree.macros_below ctx.tree b.Block.ht_id))
+      blocks;
+    if depth = 0 then
+      ctx.out_top <-
+        Some
+          { inst_blocks = blocks; inst_affinity = affinity;
+            inst_rects = Array.copy layout.Layout_gen.rects };
+    (* Recurse / fix. *)
+    Array.iteri
+      (fun bi (b : Block.t) ->
+        let r = layout.Layout_gen.rects.(bi) in
+        if b.Block.macro_count > 1 then
+          instance ctx ~nh:b.Block.ht_id ~budget:r ~depth:(depth + 1)
+        else if b.Block.macro_count = 1 then begin
+          let fid =
+            match Tree.macros_below ctx.tree b.Block.ht_id with
+            | [ fid ] -> fid
+            | _ -> assert false
+          in
+          let attract = attractor ~affinity ~positions bi in
+          fix_position ctx ~fid ~rect:r ~attract
+        end)
+      blocks
+
+let run ~tree ~gseq ~sgamma ~ports ~config ~rng ~die =
+  let ctx =
+    { tree; gseq; sgamma; ports; config; rng; die;
+      macro_pos = Hashtbl.create 64;
+      out_macros = [];
+      out_levels = [];
+      out_top = None;
+      ht_rects = Hashtbl.create 64;
+      sa_moves = 0 }
+  in
+  (* Provisional positions: die center. *)
+  List.iter
+    (fun (n : Flat.node) -> Hashtbl.replace ctx.macro_pos n.Flat.id (Rect.center die))
+    (Flat.macros (Tree.flat tree));
+  instance ctx ~nh:(Tree.root tree) ~budget:die ~depth:0;
+  { macro_rects = List.rev ctx.out_macros;
+    levels = List.rev ctx.out_levels;
+    top = ctx.out_top;
+    ht_rects = ctx.ht_rects;
+    sa_moves_total = ctx.sa_moves }

@@ -1,0 +1,41 @@
+(** Recursive block floorplanning (paper Algorithm 2).
+
+    Each instance declusters a hierarchy node into blocks, characterizes
+    them (target-area assignment), infers their dataflow affinity and
+    generates a slicing layout inside the instance rectangle. Blocks
+    holding more than one macro are recursed into; blocks holding exactly
+    one macro have it fixed in the corner of their rectangle that
+    minimizes wirelength toward the block's dataflow attractor. *)
+
+type level_info = {
+  depth : int;
+  ht_id : int;
+  rect : Geom.Rect.t;
+  macro_count : int;
+}
+
+type instance_snapshot = {
+  inst_blocks : Block.t array;
+  inst_affinity : float array array;
+  inst_rects : Geom.Rect.t array;
+}
+(** The top-level instance, kept for visualization (paper Fig. 9d). *)
+
+type t = {
+  macro_rects : (int * Geom.Rect.t) list;  (** flat macro id -> placed rect *)
+  levels : level_info list;  (** every block rectangle of every instance *)
+  top : instance_snapshot option;  (** [None] when the design has no blocks *)
+  ht_rects : (int, Geom.Rect.t) Hashtbl.t;  (** block rectangles by HT node *)
+  sa_moves_total : int;
+}
+
+val run :
+  tree:Hier.Tree.t ->
+  gseq:Seqgraph.t ->
+  sgamma:Shape_curves.t ->
+  ports:Port_plan.t ->
+  config:Config.t ->
+  rng:Util.Rng.t ->
+  die:Geom.Rect.t ->
+  t
+(** Places every macro of the design inside [die]. *)

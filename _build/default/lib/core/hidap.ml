@@ -1,0 +1,111 @@
+module Config = Config
+module Block = Block
+module Port_plan = Port_plan
+module Shape_curves = Shape_curves
+module Target_area = Target_area
+module Layout_gen = Layout_gen
+module Floorplan = Floorplan
+module Flipping = Flipping
+module Placement_io = Placement_io
+module Rect = Geom.Rect
+module Flat = Netlist.Flat
+
+type macro_placement = {
+  fid : int;
+  rect : Rect.t;
+  orient : Geom.Orientation.t;
+}
+
+type result = {
+  die : Rect.t;
+  placements : macro_placement list;
+  levels : Floorplan.level_info list;
+  top : Floorplan.instance_snapshot option;
+  tree : Hier.Tree.t;
+  gseq : Seqgraph.t;
+  ports : Port_plan.t;
+  ht_rects : (int, Rect.t) Hashtbl.t;
+  lambda : float;
+  sa_moves : int;
+  flip_gain : float;
+}
+
+let die_for flat ~config =
+  let area = Flat.total_cell_area flat /. config.Config.utilization in
+  let aspect = config.Config.die_aspect in
+  let h = sqrt (area /. aspect) in
+  let w = aspect *. h in
+  Rect.make ~x:0.0 ~y:0.0 ~w ~h
+
+let place ?(config = Config.default) ?die flat =
+  let die = match die with Some d -> d | None -> die_for flat ~config in
+  let rng = Util.Rng.create config.Config.seed in
+  let tree = Hier.Tree.build flat in
+  let gseq = Seqgraph.build ~bit_threshold:config.Config.bit_threshold flat in
+  let sgamma = Shape_curves.generate tree ~config ~rng:(Util.Rng.split rng) in
+  let ports = Port_plan.make gseq ~die in
+  let fp =
+    Floorplan.run ~tree ~gseq ~sgamma ~ports ~config ~rng:(Util.Rng.split rng) ~die
+  in
+  let flip =
+    Flipping.run ~tree ~gseq ~ports ~macro_rects:fp.Floorplan.macro_rects
+      ~ht_rects:fp.Floorplan.ht_rects ~die ~config
+  in
+  let orient_of = Hashtbl.create 64 in
+  List.iter
+    (fun (fid, o) -> Hashtbl.replace orient_of fid o)
+    flip.Flipping.orientations;
+  let placements =
+    List.map
+      (fun (fid, rect) ->
+        let orient =
+          match Hashtbl.find_opt orient_of fid with
+          | Some o -> o
+          | None -> Geom.Orientation.R0
+        in
+        { fid; rect; orient })
+      fp.Floorplan.macro_rects
+  in
+  { die;
+    placements;
+    levels = fp.Floorplan.levels;
+    top = fp.Floorplan.top;
+    tree;
+    gseq;
+    ports;
+    ht_rects = fp.Floorplan.ht_rects;
+    lambda = config.Config.lambda;
+    sa_moves = fp.Floorplan.sa_moves_total;
+    flip_gain = flip.Flipping.gain }
+
+let place_sweep ?(config = Config.default) ?die ~objective flat =
+  let lambdas =
+    match config.Config.lambda_sweep with [] -> [ config.Config.lambda ] | l -> l
+  in
+  let runs =
+    List.map
+      (fun lambda ->
+        let r = place ~config:{ config with Config.lambda } ?die flat in
+        (r, objective r))
+      lambdas
+  in
+  match runs with
+  | [] -> assert false
+  | first :: rest ->
+    List.fold_left (fun (br, bo) (r, o) -> if o < bo then (r, o) else (br, bo)) first rest
+
+let overlap_area result =
+  let rects = List.map (fun p -> p.rect) result.placements in
+  let arr = Array.of_list rects in
+  let total = ref 0.0 in
+  for i = 0 to Array.length arr - 1 do
+    for j = i + 1 to Array.length arr - 1 do
+      total := !total +. Rect.intersection_area arr.(i) arr.(j)
+    done
+  done;
+  !total
+
+let placement_bbox_ok result =
+  List.for_all
+    (fun p -> Rect.contains_rect ~outer:result.die ~inner:p.rect)
+    result.placements

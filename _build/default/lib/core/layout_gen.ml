@@ -1,0 +1,132 @@
+module Rect = Geom.Rect
+module Point = Geom.Point
+
+type result = {
+  rects : Rect.t array;
+  cost : float;
+  wirelength_term : float;
+  viol : Slicing.Layout.violations;
+  sa_moves : int;
+}
+
+(* Sparse list of affinity pairs that involve at least one block. *)
+let affinity_pairs ~n_blocks ~n_endpoints affinity =
+  let pairs = ref [] in
+  for i = 0 to n_blocks - 1 do
+    for j = i + 1 to n_endpoints - 1 do
+      let w = affinity.(i).(j) in
+      if w > 1e-12 then pairs := (i, j, w) :: !pairs
+    done
+  done;
+  Array.of_list !pairs
+
+let evaluate_expr ~leaves ~budget ~pairs ~fixed_pos ~config ~n_blocks expr =
+  let placement = Slicing.Layout.evaluate expr ~leaves ~budget in
+  let centers = Array.make n_blocks (Rect.center budget) in
+  let rects = Array.make n_blocks budget in
+  List.iter
+    (fun (lid, r) ->
+      rects.(lid) <- r;
+      centers.(lid) <- Rect.center r)
+    placement.Slicing.Layout.rects;
+  let pos i = if i < n_blocks then centers.(i) else fixed_pos.(i - n_blocks) in
+  let wl = ref 0.0 in
+  Array.iter (fun (i, j, w) -> wl := !wl +. (w *. Point.manhattan (pos i) (pos j))) pairs;
+  (* Normalize violation areas by the budget area so the penalty weights
+     are scale-free. *)
+  let scale v = v /. max 1e-9 (Rect.area budget) in
+  let viol = placement.Slicing.Layout.viol in
+  let norm_viol =
+    { Slicing.Layout.at_shift = scale viol.Slicing.Layout.at_shift;
+      am_deficit = scale viol.Slicing.Layout.am_deficit;
+      macro_deficit = scale viol.Slicing.Layout.macro_deficit }
+  in
+  let pen =
+    Slicing.Layout.penalty norm_viol ~at_w:config.Config.at_weight
+      ~am_w:config.Config.am_weight ~macro_w:config.Config.macro_weight
+  in
+  (* A tiny wirelength-free bias keeps annealing meaningful when the
+     affinity matrix is empty: prefer legal layouts. *)
+  let base = if Array.length pairs = 0 then 1.0 else !wl in
+  let cost = base *. (1.0 +. pen) in
+  (rects, cost, !wl, viol)
+
+let run ~rng ~config ~blocks ~affinity ~fixed_pos ~budget =
+  let n_blocks = Array.length blocks in
+  assert (n_blocks >= 1);
+  let leaves = Array.map Block.to_leaf blocks in
+  if n_blocks = 1 then begin
+    let placement = Slicing.Layout.evaluate (Slicing.Polish.initial ~n:1) ~leaves ~budget in
+    let rects = Array.make 1 budget in
+    List.iter (fun (lid, r) -> rects.(lid) <- r) placement.Slicing.Layout.rects;
+    { rects; cost = 0.0; wirelength_term = 0.0; viol = placement.Slicing.Layout.viol;
+      sa_moves = 0 }
+  end
+  else begin
+    let n_endpoints = Array.length affinity in
+    assert (n_endpoints = n_blocks + Array.length fixed_pos);
+    let pairs = affinity_pairs ~n_blocks ~n_endpoints affinity in
+    let eval expr =
+      evaluate_expr ~leaves ~budget ~pairs ~fixed_pos ~config ~n_blocks expr
+    in
+    let cost expr =
+      let _, c, _, _ = eval expr in
+      c
+    in
+    (* Two starts: an affinity-greedy chain (strongly coupled blocks
+       adjacent in the expression, so adjacent in the initial layout) and
+       a random shuffle; keep the better annealed result. *)
+    let greedy_init =
+      let total i =
+        let acc = ref 0.0 in
+        for j = 0 to n_endpoints - 1 do
+          if j <> i then acc := !acc +. affinity.(i).(j)
+        done;
+        !acc
+      in
+      let remaining = ref (List.init n_blocks (fun i -> i)) in
+      let first =
+        List.fold_left
+          (fun best i -> if total i > total best then i else best)
+          (List.hd !remaining) !remaining
+      in
+      remaining := List.filter (( <> ) first) !remaining;
+      let order = ref [ first ] in
+      while !remaining <> [] do
+        let last = List.hd !order in
+        let next =
+          List.fold_left
+            (fun best i -> if affinity.(last).(i) > affinity.(last).(best) then i else best)
+            (List.hd !remaining) !remaining
+        in
+        remaining := List.filter (( <> ) next) !remaining;
+        order := next :: !order
+      done;
+      let chain = Array.of_list (List.rev !order) in
+      let skeleton = Slicing.Polish.elements (Slicing.Polish.initial ~n:n_blocks) in
+      let k = ref 0 in
+      let elems =
+        Array.map
+          (fun e ->
+            match e with
+            | Slicing.Polish.Operand _ ->
+              let v = chain.(!k) in
+              incr k;
+              Slicing.Polish.Operand v
+            | Slicing.Polish.Operator _ -> e)
+          skeleton
+      in
+      Slicing.Polish.of_elements elems
+    in
+    let anneal init =
+      Anneal.Sa.minimize ~rng ~init ~cost
+        ~neighbor:(fun rng e -> Slicing.Polish.perturb rng e)
+        ~params:config.Config.layout_sa ()
+    in
+    let sa1 = anneal greedy_init in
+    let sa2 = anneal (Slicing.Polish.initial_random rng ~n:n_blocks) in
+    let sa = if sa1.Anneal.Sa.best_cost <= sa2.Anneal.Sa.best_cost then sa1 else sa2 in
+    let rects, cost, wl, viol = eval sa.Anneal.Sa.best in
+    { rects; cost; wirelength_term = wl; viol;
+      sa_moves = sa1.Anneal.Sa.moves + sa2.Anneal.Sa.moves }
+  end

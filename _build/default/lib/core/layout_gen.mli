@@ -1,0 +1,30 @@
+(** Layout generation for one floorplan instance (paper §IV-E).
+
+    The blocks are arranged by a slicing tree explored with simulated
+    annealing (operand swap / operator-chain inversion / operand-operator
+    swap). The cost is
+    [(1 + penalty) * sum over pairs of distance * affinity], where the
+    pairs range over (block, block) and (block, fixed endpoint); fixed
+    endpoints (ports, external macros) contribute with their fixed
+    positions. The penalty grades target-area, minimum-area and
+    macro-area violations of the top-down area-budgeted layout. *)
+
+type result = {
+  rects : Geom.Rect.t array;  (** per block index *)
+  cost : float;
+  wirelength_term : float;  (** cost without the penalty factor *)
+  viol : Slicing.Layout.violations;
+  sa_moves : int;
+}
+
+val run :
+  rng:Util.Rng.t ->
+  config:Config.t ->
+  blocks:Block.t array ->
+  affinity:float array array ->
+  fixed_pos:Geom.Point.t array ->
+  budget:Geom.Rect.t ->
+  result
+(** [affinity] is indexed over blocks then fixed endpoints
+    ([Array.length blocks + Array.length fixed_pos] square).
+    A single block is placed directly with no search. *)

@@ -1,0 +1,48 @@
+module Rect = Geom.Rect
+module Point = Geom.Point
+
+type t = {
+  gseq_positions : (int, Point.t) Hashtbl.t;
+  flat_positions : (int, Point.t) Hashtbl.t;
+  order : int list;
+}
+
+(* Point at curvilinear distance d along the die perimeter, starting at
+   the lower-left corner and walking counter-clockwise. *)
+let perimeter_point (die : Rect.t) d =
+  let w = die.Rect.w and h = die.Rect.h in
+  let p = 2.0 *. (w +. h) in
+  let d = Float.rem d p in
+  let d = if d < 0.0 then d +. p else d in
+  if d < w then Point.make (die.Rect.x +. d) die.Rect.y
+  else if d < w +. h then Point.make (die.Rect.x +. w) (die.Rect.y +. (d -. w))
+  else if d < (2.0 *. w) +. h then
+    Point.make (die.Rect.x +. w -. (d -. w -. h)) (die.Rect.y +. h)
+  else Point.make die.Rect.x (die.Rect.y +. h -. (d -. (2.0 *. w) -. h))
+
+let make (g : Seqgraph.t) ~die =
+  let ports =
+    Array.to_list g.Seqgraph.nodes
+    |> List.filter Seqgraph.is_port_node
+    |> List.sort (fun (a : Seqgraph.node) b -> compare a.Seqgraph.name b.Seqgraph.name)
+  in
+  let n = List.length ports in
+  let perimeter = 2.0 *. (die.Rect.w +. die.Rect.h) in
+  let gseq_positions = Hashtbl.create (max 1 n) in
+  let flat_positions = Hashtbl.create (max 1 n) in
+  List.iteri
+    (fun i (nd : Seqgraph.node) ->
+      let d = (float_of_int i +. 0.5) *. perimeter /. float_of_int (max 1 n) in
+      let pos = perimeter_point die d in
+      Hashtbl.replace gseq_positions nd.Seqgraph.id pos;
+      match nd.Seqgraph.kind with
+      | Seqgraph.Port members -> List.iter (fun fid -> Hashtbl.replace flat_positions fid pos) members
+      | Seqgraph.Macro _ | Seqgraph.Register _ -> assert false)
+    ports;
+  { gseq_positions; flat_positions; order = List.map (fun (nd : Seqgraph.node) -> nd.Seqgraph.id) ports }
+
+let gseq_pos t id = Hashtbl.find_opt t.gseq_positions id
+
+let flat_pos t id = Hashtbl.find_opt t.flat_positions id
+
+let port_nodes t = t.order

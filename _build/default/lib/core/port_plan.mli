@@ -1,0 +1,20 @@
+(** Deterministic port placement on the die boundary.
+
+    Port arrays (Gseq port nodes) are spread uniformly along the die
+    perimeter in name order; each member bit of an array shares the
+    array's position. The same plan is used by macro placement (fixed
+    dataflow endpoints), by the cell placer (fixed anchors) and by the
+    metrics, so all flows see identical port locations. *)
+
+type t
+
+val make : Seqgraph.t -> die:Geom.Rect.t -> t
+
+val gseq_pos : t -> int -> Geom.Point.t option
+(** Position of a Gseq node if it is a port array. *)
+
+val flat_pos : t -> int -> Geom.Point.t option
+(** Position of a flat port node. *)
+
+val port_nodes : t -> int list
+(** Gseq node ids of all port arrays, in placement order. *)

@@ -1,0 +1,17 @@
+(** Shape-curve set SΓ generation (paper §IV-A).
+
+    Computed bottom-up over the hierarchy tree, once, at the beginning of
+    the flow. Leaves (macros) contribute their footprint orientations;
+    at each intermediate node an area-minimizing slicing annealing over
+    the children's curves generates a set of small-area shape
+    combinations — the node's Γ. Macro-free nodes are unconstrained. *)
+
+type t
+
+val generate : Hier.Tree.t -> config:Config.t -> rng:Util.Rng.t -> t
+
+val curve : t -> int -> Shape.Curve.t
+(** Γ of an HT node. *)
+
+val macro_area : t -> int -> float
+(** Total macro area under an HT node (standard cells excluded). *)

@@ -1,0 +1,19 @@
+(** Target-area assignment (paper §IV-C, Fig. 6).
+
+    Blocks in HCG are not floorplanned directly; their cell area is
+    absorbed into the target area [at] of the HCB blocks. A multi-source
+    BFS over the flat netlist graph Gnet, seeded with every cell of every
+    HCB block, labels each glue cell with its nearest block; the glue
+    cell's area is added to that block's [at]. Glue cells unreachable
+    from any block are distributed proportionally to [am], so the sum of
+    the target areas always accounts for every cell below the instance
+    node. *)
+
+val assign :
+  Hier.Tree.t ->
+  sgamma:Shape_curves.t ->
+  hcb:int list ->
+  hcg:int list ->
+  Block.t array
+(** Builds the fully characterized 〈Γ, am, at〉 blocks for one
+    floorplanning instance. Block order follows [hcb]. *)

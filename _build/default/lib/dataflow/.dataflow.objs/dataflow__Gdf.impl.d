@@ -1,0 +1,1 @@
+lib/dataflow/gdf.ml: Array Format List Seqgraph Util

@@ -1,0 +1,1 @@
+lib/dataflow/gdf.mli: Format Seqgraph Util

@@ -1,0 +1,191 @@
+module H = Util.Histogram
+
+type t = {
+  nb : int;
+  n_endpoints : int;
+  bflow : H.t array array;
+  mflow : H.t array array;
+}
+
+(* Dijkstra by cumulative edge latency from a set of source Gseq nodes.
+   [may_traverse v] controls which settled nodes are expanded;
+   [on_reach ~node ~latency ~via_width] fires once per settled non-source
+   node. Sources themselves are neither reported nor subject to the
+   traversal predicate (the search leaves them unconditionally).
+   [direction] selects forward (paths source -> x) or backward
+   (paths x -> source) traversal. *)
+let latency_search (g : Seqgraph.t) ~direction ~sources ~may_traverse ~on_reach =
+  let n = Seqgraph.node_count g in
+  let dist = Array.make n max_int in
+  let via = Array.make n 0 in
+  let heap = Util.Heap.create () in
+  let is_source = Array.make n false in
+  List.iter
+    (fun s ->
+      is_source.(s) <- true;
+      dist.(s) <- 0;
+      Util.Heap.push heap ~key:0.0 s)
+    sources;
+  let neighbors u =
+    match direction with
+    | `Fwd -> List.map (fun (e : Seqgraph.edge) -> (e.Seqgraph.dst, e)) (Seqgraph.succ_edges g u)
+    | `Bwd -> List.map (fun (e : Seqgraph.edge) -> (e.Seqgraph.src, e)) (Seqgraph.pred_edges g u)
+  in
+  let expand u =
+    List.iter
+      (fun (v, (e : Seqgraph.edge)) ->
+        let d = dist.(u) + e.Seqgraph.latency in
+        if d < dist.(v) then begin
+          dist.(v) <- d;
+          via.(v) <- e.Seqgraph.width;
+          Util.Heap.push heap ~key:(float_of_int d) v
+        end)
+      (neighbors u)
+  in
+  let settled = Array.make n false in
+  let rec drain () =
+    match Util.Heap.pop_min heap with
+    | None -> ()
+    | Some (_, u) ->
+      if not settled.(u) then begin
+        settled.(u) <- true;
+        if is_source.(u) then expand u
+        else begin
+          on_reach ~node:u ~latency:dist.(u) ~via_width:via.(u);
+          if may_traverse u then expand u
+        end
+      end;
+      drain ()
+  in
+  drain ()
+
+let build (g : Seqgraph.t) ~n_blocks ~block_of_node ~fixed =
+  let nfixed = Array.length fixed in
+  let n_endpoints = n_blocks + nfixed in
+  (* Endpoint index of each Gseq node: block index, fixed index, or -1. *)
+  let endpoint_of = Array.make (Seqgraph.node_count g) (-1) in
+  Array.iteri
+    (fun i nd ->
+      let b = block_of_node i in
+      if b >= 0 then endpoint_of.(i) <- b
+      else ignore nd)
+    g.Seqgraph.nodes;
+  Array.iteri
+    (fun fi v ->
+      assert (block_of_node v < 0);
+      endpoint_of.(v) <- n_blocks + fi)
+    fixed;
+  let bflow = Array.init n_endpoints (fun _ -> Array.init n_endpoints (fun _ -> H.create ())) in
+  let mflow = Array.init n_endpoints (fun _ -> Array.init n_endpoints (fun _ -> H.create ())) in
+  (* Component lists per endpoint. *)
+  let members = Array.make n_endpoints [] in
+  Array.iteri
+    (fun v nd ->
+      ignore nd;
+      let e = endpoint_of.(v) in
+      if e >= 0 then members.(e) <- v :: members.(e))
+    g.Seqgraph.nodes;
+  let is_macro v = Seqgraph.is_macro_node g.Seqgraph.nodes.(v) in
+  let is_port v = Seqgraph.is_port_node g.Seqgraph.nodes.(v) in
+  (* Searches run only from block endpoints: the layout cost only uses
+     pairs with at least one movable block, so fixed-fixed flow is never
+     needed. Forward search from block i fills flow.(i).(j); backward
+     search fills flow.(j).(i) for fixed j (block-block pairs are covered
+     by the forward searches alone). *)
+  let record flow ~from_block:i ~direction ~node ~latency ~via_width =
+    let j = endpoint_of.(node) in
+    if j >= 0 && j <> i then begin
+      match direction with
+      | `Fwd -> H.add flow.(i).(j) ~bin:latency ~weight:(float_of_int via_width)
+      | `Bwd ->
+        if j >= n_blocks then
+          H.add flow.(j).(i) ~bin:latency ~weight:(float_of_int via_width)
+    end
+  in
+  (* Block flow: traverse only glue registers (no endpoint membership,
+     not macros). *)
+  let glue v = endpoint_of.(v) < 0 && not (is_macro v) in
+  for i = 0 to n_blocks - 1 do
+    let sources = members.(i) in
+    if sources <> [] then
+      List.iter
+        (fun direction ->
+          latency_search g ~direction ~sources ~may_traverse:glue
+            ~on_reach:(fun ~node ~latency ~via_width ->
+              record bflow ~from_block:i ~direction ~node ~latency ~via_width))
+        [ `Fwd; `Bwd ]
+  done;
+  (* Macro flow: sources are the macros (and ports) of the endpoint;
+     traversal is allowed through any register; endpoints are macros and
+     ports of other endpoints. *)
+  let seq_register v = (not (is_macro v)) && not (is_port v) in
+  for i = 0 to n_blocks - 1 do
+    let sources = List.filter (fun v -> is_macro v || is_port v) members.(i) in
+    if sources <> [] then
+      List.iter
+        (fun direction ->
+          latency_search g ~direction ~sources ~may_traverse:seq_register
+            ~on_reach:(fun ~node ~latency ~via_width ->
+              if is_macro node || is_port node then
+                record mflow ~from_block:i ~direction ~node ~latency ~via_width))
+        [ `Fwd; `Bwd ]
+  done;
+  { nb = n_blocks; n_endpoints; bflow; mflow }
+
+let endpoint_count t = t.n_endpoints
+
+let n_blocks t = t.nb
+
+let block_flow t i j = t.bflow.(i).(j)
+
+let macro_flow t i j = t.mflow.(i).(j)
+
+let affinity_matrix t ~lambda ~k ?(normalize = true) () =
+  assert (lambda >= 0.0 && lambda <= 1.0 && k >= 0);
+  let n = t.n_endpoints in
+  let pair_score flow i j = H.score flow.(i).(j) ~k +. H.score flow.(j).(i) ~k in
+  let scores flow =
+    let m = Array.make_matrix n n 0.0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let s = pair_score flow i j in
+        m.(i).(j) <- s;
+        m.(j).(i) <- s
+      done
+    done;
+    m
+  in
+  let sb = scores t.bflow and sm = scores t.mflow in
+  let max_of m =
+    Array.fold_left (fun acc row -> Array.fold_left max acc row) 0.0 m
+  in
+  let norm m =
+    let mx = max_of m in
+    if normalize && mx > 0.0 then
+      Array.map (Array.map (fun x -> x /. mx)) m
+    else m
+  in
+  let sb = norm sb and sm = norm sm in
+  let out = Array.make_matrix n n 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      out.(i).(j) <- (lambda *. sb.(i).(j)) +. ((1.0 -. lambda) *. sm.(i).(j))
+    done
+  done;
+  out
+
+let edge_count t =
+  let n = t.n_endpoints in
+  let c = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if not (H.is_empty t.bflow.(i).(j) && H.is_empty t.bflow.(j).(i)
+              && H.is_empty t.mflow.(i).(j) && H.is_empty t.mflow.(j).(i))
+      then incr c
+    done
+  done;
+  !c
+
+let pp_summary ppf t =
+  Format.fprintf ppf "Gdf: %d endpoints (%d blocks), %d edges" t.n_endpoints t.nb
+    (edge_count t)

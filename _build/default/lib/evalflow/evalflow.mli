@@ -1,0 +1,71 @@
+(** The evaluation pipeline shared by all macro-placement flows
+    (paper §V).
+
+    For a given macro placement the pipeline places the standard cells
+    with the same engine, then measures:
+    - WL: total half-perimeter wirelength over all nets (macro pins use
+      the flipping pin model, so orientation matters), reported in
+      microns and meters;
+    - GRC%: RUDY global-routing overflow;
+    - WNS% / TNS: static timing on the sequential graph.
+
+    The three flows of the paper are provided: IndEDA (wall-packing
+    proxy), HiDaP (this repository's contribution, best wirelength of
+    the λ sweep) and handFP (expert-oracle proxy). *)
+
+type flow_kind = IndEDA | HiDaP | HandFP
+
+val flow_name : flow_kind -> string
+
+type metrics = {
+  wl_um : float;
+  wl_m : float;
+  grc_pct : float;
+  wns_pct : float;  (** <= 0; percentage of the clock period *)
+  tns : float;  (** ps, <= 0 *)
+  runtime_s : float;  (** flow runtime (macro placement only) *)
+}
+
+type run = {
+  kind : flow_kind;
+  metrics : metrics;
+  macros : Cellplace.macro_place list;
+  placement : Cellplace.t;
+  lambda_used : float option;  (** HiDaP only *)
+}
+
+val measure :
+  flat:Netlist.Flat.t ->
+  gseq:Seqgraph.t ->
+  ports:Hidap.Port_plan.t ->
+  die:Geom.Rect.t ->
+  macros:Cellplace.macro_place list ->
+  metrics * Cellplace.t
+(** Runtime field is 0; the flow runners fill it in. *)
+
+val run_flow :
+  flow_kind ->
+  ?config:Hidap.Config.t ->
+  flat:Netlist.Flat.t ->
+  gseq:Seqgraph.t ->
+  ports:Hidap.Port_plan.t ->
+  die:Geom.Rect.t ->
+  unit ->
+  run
+
+type circuit_result = {
+  circuit : string;
+  cells : int;
+  macro_count : int;
+  runs : run list;  (** IndEDA, HiDaP, handFP order *)
+}
+
+val run_all :
+  ?config:Hidap.Config.t -> name:string -> Netlist.Design.t -> circuit_result
+(** Elaborates the design once and runs the three flows on the same die
+    with the same port plan. *)
+
+val normalized_wl : circuit_result -> flow_kind -> float
+(** WL relative to the handFP run of the same circuit. *)
+
+val density_map : run -> flat:Netlist.Flat.t -> bins:int -> float array array

@@ -1,0 +1,1 @@
+lib/geom/orientation.ml: Array Format Point

@@ -1,0 +1,1 @@
+lib/geom/wirelength.ml: Array List Point

@@ -1,0 +1,59 @@
+type t = R0 | R90 | R180 | R270 | MX | MY | MX90 | MY90
+
+let all = [| R0; R90; R180; R270; MX; MY; MX90; MY90 |]
+
+let non_rotating = [| R0; R180; MX; MY |]
+
+let swaps_dims = function
+  | R90 | R270 | MX90 | MY90 -> true
+  | R0 | R180 | MX | MY -> false
+
+let apply_dims o ~w ~h = if swaps_dims o then (h, w) else (w, h)
+
+(* Orientation as a linear map on the unit square, expressed on local
+   coordinates: each case gives the image of offset (x, y) inside the
+   oriented footprint. *)
+let apply_offset o ~w ~h (p : Point.t) =
+  let x = p.Point.x and y = p.Point.y in
+  match o with
+  | R0 -> Point.make x y
+  | R180 -> Point.make (w -. x) (h -. y)
+  | MX -> Point.make x (h -. y)
+  | MY -> Point.make (w -. x) y
+  | R90 -> Point.make (h -. y) x
+  | R270 -> Point.make y (w -. x)
+  | MX90 -> Point.make y x
+  | MY90 -> Point.make (h -. y) (w -. x)
+
+(* Composition table computed by composing the underlying symmetries of
+   the square (dihedral group D4). *)
+let compose a b =
+  let to_idx = function
+    | R0 -> 0 | R90 -> 1 | R180 -> 2 | R270 -> 3
+    | MY -> 4 | MX90 -> 5 | MX -> 6 | MY90 -> 7
+  in
+  let of_idx = [| R0; R90; R180; R270; MY; MX90; MX; MY90 |] in
+  (* Indices 0-3: rotations by 90*i. Indices 4-7: reflection then rotation
+     by 90*(i-4). D4 multiplication: r^i * r^j = r^(i+j);
+     r^i * s r^j = s r^(j-i); s r^i * r^j = s r^(i+j);
+     s r^i * s r^j = r^(j-i). *)
+  let ia = to_idx a and ib = to_idx b in
+  let result =
+    match (ia < 4, ib < 4) with
+    | true, true -> (ia + ib) mod 4
+    | true, false -> 4 + (((ib - 4) - ia) mod 4 + 4) mod 4
+    | false, true -> 4 + ((ia - 4 + ib) mod 4)
+    | false, false -> (((ib - 4) - (ia - 4)) mod 4 + 4) mod 4
+  in
+  of_idx.(result)
+
+let to_string = function
+  | R0 -> "R0" | R90 -> "R90" | R180 -> "R180" | R270 -> "R270"
+  | MX -> "MX" | MY -> "MY" | MX90 -> "MX90" | MY90 -> "MY90"
+
+let of_string = function
+  | "R0" -> Some R0 | "R90" -> Some R90 | "R180" -> Some R180 | "R270" -> Some R270
+  | "MX" -> Some MX | "MY" -> Some MY | "MX90" -> Some MX90 | "MY90" -> Some MY90
+  | _ -> None
+
+let pp ppf o = Format.pp_print_string ppf (to_string o)

@@ -1,0 +1,35 @@
+(** Macro orientations (DEF-style).
+
+    [R0] is the reference orientation; [MY] mirrors about the Y axis,
+    [MX] about the X axis, [R180] both; [R90]/[R270]/[MX90]/[MY90] swap
+    the width and height. The flipping post-process of the paper searches
+    these to reduce pin-side wirelength. *)
+
+type t = R0 | R90 | R180 | R270 | MX | MY | MX90 | MY90
+
+val all : t array
+
+val non_rotating : t array
+(** The four orientations that keep the footprint (w, h): R0, R180, MX,
+    MY — the set explored by macro flipping when rotation is not
+    permitted by the macro's aspect. *)
+
+val swaps_dims : t -> bool
+(** Whether the orientation exchanges width and height. *)
+
+val apply_dims : t -> w:float -> h:float -> float * float
+(** Footprint after orientation. *)
+
+val apply_offset : t -> w:float -> h:float -> Point.t -> Point.t
+(** Map a pin offset given in R0 local coordinates (relative to the
+    lower-left corner of the un-oriented macro) into the oriented macro's
+    local coordinates. *)
+
+val compose : t -> t -> t
+(** [compose a b] applies [b] after [a]. *)
+
+val to_string : t -> string
+
+val of_string : string -> t option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+(** Axis-aligned rectangles (lower-left corner + dimensions). *)
+
+type t = { x : float; y : float; w : float; h : float }
+
+val make : x:float -> y:float -> w:float -> h:float -> t
+(** Requires [w >= 0] and [h >= 0]. *)
+
+val of_corners : Point.t -> Point.t -> t
+(** Bounding box of two points. *)
+
+val area : t -> float
+
+val center : t -> Point.t
+
+val contains_point : t -> Point.t -> bool
+(** Closed containment. *)
+
+val contains_rect : outer:t -> inner:t -> bool
+(** [inner] fully inside [outer] (with a small epsilon tolerance). *)
+
+val overlaps : t -> t -> bool
+(** Strict interior overlap: touching edges do not count. *)
+
+val intersection_area : t -> t -> float
+
+val union_bbox : t -> t -> t
+
+val inset : t -> float -> t
+(** Shrink by a margin on every side (clamped at degenerate). *)
+
+val translate : t -> Point.t -> t
+
+val aspect_ratio : t -> float
+(** max(w/h, h/w); [infinity] for degenerate rectangles. *)
+
+val split_v : t -> float -> t * t
+(** [split_v r frac] cuts vertically: left part takes fraction [frac] of
+    the width. Requires [0 <= frac <= 1]. *)
+
+val split_h : t -> float -> t * t
+(** [split_h r frac] cuts horizontally: bottom part takes fraction [frac]
+    of the height. *)
+
+val corners : t -> Point.t array
+(** The 4 corners: ll, lr, ur, ul. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,81 @@
+(* Adjacency lists as growable int arrays, one pair per node. *)
+
+type adj = { mutable data : int array; mutable len : int }
+
+type t = { fwd : adj array; bwd : adj array; mutable edges : int }
+
+let empty_adj () = { data = [||]; len = 0 }
+
+let create n =
+  { fwd = Array.init n (fun _ -> empty_adj ());
+    bwd = Array.init n (fun _ -> empty_adj ());
+    edges = 0 }
+
+let node_count t = Array.length t.fwd
+
+let edge_count t = t.edges
+
+let adj_push a v =
+  let cap = Array.length a.data in
+  if a.len = cap then begin
+    let nd = Array.make (max 4 (cap * 2)) 0 in
+    Array.blit a.data 0 nd 0 a.len;
+    a.data <- nd
+  end;
+  a.data.(a.len) <- v;
+  a.len <- a.len + 1
+
+let add_edge t u v =
+  adj_push t.fwd.(u) v;
+  adj_push t.bwd.(v) u;
+  t.edges <- t.edges + 1
+
+let adj_list a = Array.to_list (Array.sub a.data 0 a.len)
+
+let succ t u = adj_list t.fwd.(u)
+
+let pred t v = adj_list t.bwd.(v)
+
+let adj_iter a f =
+  for i = 0 to a.len - 1 do
+    f a.data.(i)
+  done
+
+let succ_iter t u f = adj_iter t.fwd.(u) f
+
+let pred_iter t v f = adj_iter t.bwd.(v) f
+
+let out_degree t u = t.fwd.(u).len
+
+let in_degree t v = t.bwd.(v).len
+
+let transpose t =
+  let g = create (node_count t) in
+  for u = 0 to node_count t - 1 do
+    succ_iter t u (fun v -> add_edge g v u)
+  done;
+  g
+
+let map_nodes t ~keep =
+  let n = node_count t in
+  let new_of_old = Array.make n (-1) in
+  let count = ref 0 in
+  for v = 0 to n - 1 do
+    if keep v then begin
+      new_of_old.(v) <- !count;
+      incr count
+    end
+  done;
+  let old_of_new = Array.make !count 0 in
+  for v = 0 to n - 1 do
+    if new_of_old.(v) >= 0 then old_of_new.(new_of_old.(v)) <- v
+  done;
+  let sub = create !count in
+  for u = 0 to n - 1 do
+    let nu = new_of_old.(u) in
+    if nu >= 0 then
+      succ_iter t u (fun v ->
+          let nv = new_of_old.(v) in
+          if nv >= 0 then add_edge sub nu nv)
+  done;
+  (sub, old_of_new, new_of_old)

@@ -1,0 +1,40 @@
+(** Directed graphs over dense integer node ids.
+
+    The netlist graph Gnet and the sequential graph Gseq are both stored
+    in this representation; it favours cheap traversal (the paper's
+    dataflow inference is traversal-bound on graphs with up to 10^7
+    vertices). *)
+
+type t
+
+val create : int -> t
+(** [create n] makes a graph with nodes [0 .. n-1] and no edges. *)
+
+val node_count : t -> int
+
+val edge_count : t -> int
+
+val add_edge : t -> int -> int -> unit
+(** Add directed edge [u -> v]. Duplicates are kept (parallel edges model
+    multi-bit connections). *)
+
+val succ : t -> int -> int list
+(** Successors in insertion order. *)
+
+val pred : t -> int -> int list
+
+val succ_iter : t -> int -> (int -> unit) -> unit
+(** Allocation-free successor iteration. *)
+
+val pred_iter : t -> int -> (int -> unit) -> unit
+
+val out_degree : t -> int -> int
+
+val in_degree : t -> int -> int
+
+val transpose : t -> t
+
+val map_nodes : t -> keep:(int -> bool) -> t * int array * int array
+(** [map_nodes g ~keep] builds the subgraph induced by the kept nodes.
+    Returns [(sub, old_of_new, new_of_old)]; [new_of_old.(v) = -1] for
+    dropped nodes. Edges incident to dropped nodes vanish. *)

@@ -1,0 +1,1 @@
+lib/hier/decluster.ml: Hashtbl List Queue Tree

@@ -1,0 +1,1 @@
+lib/hier/decluster.mli: Tree

@@ -1,0 +1,1 @@
+lib/hier/tree.ml: Array Format Hashtbl List Netlist Util

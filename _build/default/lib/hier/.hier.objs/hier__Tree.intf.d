@@ -1,0 +1,1 @@
+lib/hier/tree.mli: Format Netlist

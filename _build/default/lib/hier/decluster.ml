@@ -1,0 +1,42 @@
+type result = {
+  hcb : int list;
+  hcg : int list;
+}
+
+let run t ~nh ~open_frac ~min_frac =
+  assert (min_frac > 0.0 && min_frac <= open_frac && open_frac <= 1.0);
+  let total = Tree.area t nh in
+  let open_area = open_frac *. total in
+  let min_area = min_frac *. total in
+  let hcb = ref [] and hcg = ref [] in
+  let queue = Queue.create () in
+  (match Tree.children t nh with
+  | [] -> hcb := [ nh ]
+  | kids -> List.iter (fun c -> Queue.push c queue) kids);
+  while not (Queue.is_empty queue) do
+    let m = Queue.pop queue in
+    let children = Tree.children t m in
+    if Tree.macro_count t m = 0 && Tree.area t m > open_area && children <> [] then
+      List.iter (fun c -> Queue.push c queue) children
+    else if Tree.area t m > min_area || Tree.macro_count t m > 0 then
+      hcb := m :: !hcb
+    else hcg := m :: !hcg
+  done;
+  { hcb = List.rev !hcb; hcg = List.rev !hcg }
+
+let is_valid_cut t ~nh cut =
+  let in_cut = Hashtbl.create 16 in
+  List.iter (fun id -> Hashtbl.replace in_cut id ()) cut;
+  (* DFS counting cut crossings on each path; every leaf must see exactly
+     one crossing. *)
+  let ok = ref true in
+  let rec go id crossings =
+    let crossings = crossings + (if Hashtbl.mem in_cut id then 1 else 0) in
+    match Tree.children t id with
+    | [] -> if crossings <> 1 then ok := false
+    | kids -> List.iter (fun c -> go c crossings) kids
+  in
+  (match Tree.children t nh with
+  | [] -> if cut <> [ nh ] then ok := false
+  | kids -> List.iter (fun c -> go c 0) kids);
+  !ok

@@ -1,0 +1,30 @@
+(** Hierarchical declustering (paper §IV-B, Algorithm 3).
+
+    Given a hierarchy node [nh], finds the hierarchy cut to use for
+    floorplanning and splits it into HCB (blocks: nodes with macros or
+    relatively big area) and HCG (small glue-logic nodes whose area is
+    later absorbed into HCB blocks by target-area assignment).
+
+    Parameters [open_frac] and [min_frac] are fractions of [area nh]
+    (paper defaults 40% and 1%): a macro-free node bigger than
+    [open_frac * area nh] is opened and its children explored instead;
+    otherwise it lands in HCB when its area exceeds
+    [min_frac * area nh] and in HCG when not. Nodes containing macros
+    always become HCB blocks — the recursion of the top-level flow
+    (Algorithm 2) takes care of opening them level by level. *)
+
+type result = {
+  hcb : int list;  (** HT node ids of the blocks, exploration order *)
+  hcg : int list;  (** HT node ids of glue nodes *)
+}
+
+val run : Tree.t -> nh:int -> open_frac:float -> min_frac:float -> result
+(** Requires [0 < min_frac] and [min_frac <= open_frac <= 1]. The search
+    starts from the children of [nh] ([nh] itself is never a block of its
+    own floorplan); when [nh] is a leaf, the result is a single HCB block
+    [nh]. Every cell below [nh] is accounted for in exactly one returned
+    node. *)
+
+val is_valid_cut : Tree.t -> nh:int -> int list -> bool
+(** Checks the hierarchy-cut property of §II-C: every root-to-leaf path of
+    the subtree crosses exactly one node of the set. Used by tests. *)

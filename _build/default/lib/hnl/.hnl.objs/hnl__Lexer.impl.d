@@ -1,0 +1,1 @@
+lib/hnl/lexer.ml: List Printf String

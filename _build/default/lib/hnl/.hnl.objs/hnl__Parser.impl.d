@@ -1,0 +1,1 @@
+lib/hnl/parser.ml: Lexer List Netlist Printf

@@ -1,0 +1,1 @@
+lib/hnl/parser.mli: Netlist

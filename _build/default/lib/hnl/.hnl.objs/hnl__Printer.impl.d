@@ -1,0 +1,1 @@
+lib/hnl/printer.ml: Format List Netlist Printf

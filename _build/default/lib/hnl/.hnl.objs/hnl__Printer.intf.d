@@ -1,0 +1,1 @@
+lib/hnl/printer.mli: Format Netlist

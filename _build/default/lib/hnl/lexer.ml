@@ -1,0 +1,136 @@
+type token =
+  | Kw_design
+  | Kw_module
+  | Kw_input
+  | Kw_output
+  | Kw_macro
+  | Kw_flop
+  | Kw_comb
+  | Kw_inst
+  | Kw_size
+  | Kw_area
+  | Kw_in
+  | Kw_out
+  | Lbrace
+  | Rbrace
+  | Lparen
+  | Rparen
+  | Semi
+  | Comma
+  | Colon
+  | Arrow
+  | Ident of string
+  | Number of float
+  | Eof
+
+type error = { line : int; message : string }
+
+exception Lex_error of error
+
+let keyword_of_string = function
+  | "design" -> Some Kw_design
+  | "module" -> Some Kw_module
+  | "input" -> Some Kw_input
+  | "output" -> Some Kw_output
+  | "macro" -> Some Kw_macro
+  | "flop" -> Some Kw_flop
+  | "comb" -> Some Kw_comb
+  | "inst" -> Some Kw_inst
+  | "size" -> Some Kw_size
+  | "area" -> Some Kw_area
+  | "in" -> Some Kw_in
+  | "out" -> Some Kw_out
+  | _ -> None
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '[' || c = ']' || c = '/' || c = '.'
+  || c = '-'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let emit t = toks := (t, !line) :: !toks in
+  let fail message = raise (Lex_error { line = !line; message }) in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '#' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '{' then begin emit Lbrace; incr i end
+    else if c = '}' then begin emit Rbrace; incr i end
+    else if c = '(' then begin emit Lparen; incr i end
+    else if c = ')' then begin emit Rparen; incr i end
+    else if c = ';' then begin emit Semi; incr i end
+    else if c = ',' then begin emit Comma; incr i end
+    else if c = ':' then begin emit Colon; incr i end
+    else if c = '=' then begin
+      if !i + 1 < n && src.[!i + 1] = '>' then begin
+        emit Arrow;
+        i := !i + 2
+      end
+      else fail "expected '=>' after '='"
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && (is_digit src.[!i] || src.[!i] = '.' || src.[!i] = 'e' || src.[!i] = '-'
+                       && !i > start && (src.[!i - 1] = 'e')) do
+        incr i
+      done;
+      let s = String.sub src start (!i - start) in
+      match float_of_string_opt s with
+      | Some f -> emit (Number f)
+      | None -> fail (Printf.sprintf "bad number %S" s)
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      let s = String.sub src start (!i - start) in
+      match keyword_of_string s with
+      | Some kw -> emit kw
+      | None -> emit (Ident s)
+    end
+    else fail (Printf.sprintf "illegal character %C" c)
+  done;
+  emit Eof;
+  List.rev !toks
+
+let token_to_string = function
+  | Kw_design -> "design"
+  | Kw_module -> "module"
+  | Kw_input -> "input"
+  | Kw_output -> "output"
+  | Kw_macro -> "macro"
+  | Kw_flop -> "flop"
+  | Kw_comb -> "comb"
+  | Kw_inst -> "inst"
+  | Kw_size -> "size"
+  | Kw_area -> "area"
+  | Kw_in -> "in"
+  | Kw_out -> "out"
+  | Lbrace -> "{"
+  | Rbrace -> "}"
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Semi -> ";"
+  | Comma -> ","
+  | Colon -> ":"
+  | Arrow -> "=>"
+  | Ident s -> s
+  | Number f -> string_of_float f
+  | Eof -> "<eof>"

@@ -1,0 +1,37 @@
+(** Lexer for the HNL structural netlist format. *)
+
+type token =
+  | Kw_design
+  | Kw_module
+  | Kw_input
+  | Kw_output
+  | Kw_macro
+  | Kw_flop
+  | Kw_comb
+  | Kw_inst
+  | Kw_size
+  | Kw_area
+  | Kw_in
+  | Kw_out
+  | Lbrace
+  | Rbrace
+  | Lparen
+  | Rparen
+  | Semi
+  | Comma
+  | Colon
+  | Arrow  (** [=>] in instance bindings *)
+  | Ident of string
+  | Number of float
+  | Eof
+
+type error = { line : int; message : string }
+
+exception Lex_error of error
+
+val tokenize : string -> (token * int) list
+(** Token stream with 1-based line numbers; ends with [Eof]. [#] starts a
+    comment running to end of line. Raises {!Lex_error} on an illegal
+    character. *)
+
+val token_to_string : token -> string

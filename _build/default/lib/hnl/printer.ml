@@ -1,0 +1,72 @@
+module D = Netlist.Design
+
+(* Shortest decimal that round-trips to the same float. *)
+let fmt_float f =
+  let try_prec p =
+    let s = Printf.sprintf "%.*g" p f in
+    if float_of_string s = f then Some s else None
+  in
+  let rec search p = if p > 17 then Printf.sprintf "%.17g" f else
+    match try_prec p with Some s -> s | None -> search (p + 1)
+  in
+  search 6
+
+let pp_pins ppf (ins, outs) =
+  let pp_names ppf names =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+      Format.pp_print_string ppf names
+  in
+  match (ins, outs) with
+  | [], [] -> Format.pp_print_string ppf "()"
+  | ins, [] -> Format.fprintf ppf "(in %a)" pp_names ins
+  | [], outs -> Format.fprintf ppf "(out %a)" pp_names outs
+  | ins, outs -> Format.fprintf ppf "(in %a ; out %a)" pp_names ins pp_names outs
+
+let pp_cell ppf (c : D.cell_decl) =
+  match c.D.ckind with
+  | D.Macro { D.mw; mh } ->
+    Format.fprintf ppf "  macro %s size %s %s %a@," c.D.cname (fmt_float mw) (fmt_float mh) pp_pins (c.D.cins, c.D.couts)
+  | D.Flop ->
+    if c.D.carea = 1.0 then
+      Format.fprintf ppf "  flop %s %a@," c.D.cname pp_pins (c.D.cins, c.D.couts)
+    else
+      Format.fprintf ppf "  flop %s area %s %a@," c.D.cname (fmt_float c.D.carea) pp_pins
+        (c.D.cins, c.D.couts)
+  | D.Comb ->
+    if c.D.carea = 1.0 then
+      Format.fprintf ppf "  comb %s %a@," c.D.cname pp_pins (c.D.cins, c.D.couts)
+    else
+      Format.fprintf ppf "  comb %s area %s %a@," c.D.cname (fmt_float c.D.carea) pp_pins
+        (c.D.cins, c.D.couts)
+
+let pp_port ppf (p : D.port_decl) =
+  match p.D.pdir with
+  | D.Input -> Format.fprintf ppf "  input %s@," p.D.pname
+  | D.Output -> Format.fprintf ppf "  output %s@," p.D.pname
+
+let pp_inst ppf (i : D.inst_decl) =
+  let pp_binding ppf (f, a) = Format.fprintf ppf "%s => %s" f a in
+  Format.fprintf ppf "  inst %s : %s (%a)@," i.D.iname i.D.imodule
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") pp_binding)
+    i.D.bindings
+
+let pp_module ppf (m : D.module_def) =
+  Format.fprintf ppf "@[<v>module %s {@," m.D.mname;
+  List.iter (pp_port ppf) m.D.ports;
+  List.iter (pp_cell ppf) m.D.cells;
+  List.iter (pp_inst ppf) m.D.insts;
+  Format.fprintf ppf "}@]@."
+
+let pp_design ppf (d : D.t) =
+  Format.fprintf ppf "design %s@.@." d.D.top;
+  List.iter (fun (_, m) -> pp_module ppf m) d.D.modules
+
+let to_string d = Format.asprintf "%a" pp_design d
+
+let write_file path d =
+  let oc = open_out path in
+  let ppf = Format.formatter_of_out_channel oc in
+  pp_design ppf d;
+  Format.pp_print_flush ppf ();
+  close_out oc

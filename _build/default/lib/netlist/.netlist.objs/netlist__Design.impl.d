@@ -1,0 +1,1 @@
+lib/netlist/design.ml: Format Hashtbl List Result

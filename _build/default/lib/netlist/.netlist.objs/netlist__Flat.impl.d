@@ -1,0 +1,1 @@
+lib/netlist/flat.ml: Array Design Format Graphlib Hashtbl List Util

@@ -1,0 +1,1 @@
+lib/netlist/flat.mli: Design Format Graphlib

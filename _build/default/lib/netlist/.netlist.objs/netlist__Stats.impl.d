@@ -1,0 +1,1 @@
+lib/netlist/stats.ml: Array Flat Format Graphlib

@@ -1,0 +1,158 @@
+type direction = Input | Output
+
+type macro_info = { mw : float; mh : float }
+
+type cell_kind =
+  | Macro of macro_info
+  | Flop
+  | Comb
+
+type cell_decl = {
+  cname : string;
+  ckind : cell_kind;
+  carea : float;
+  cins : string list;
+  couts : string list;
+}
+
+type port_decl = { pname : string; pdir : direction }
+
+type inst_decl = {
+  iname : string;
+  imodule : string;
+  bindings : (string * string) list;
+}
+
+type module_def = {
+  mname : string;
+  ports : port_decl list;
+  cells : cell_decl list;
+  insts : inst_decl list;
+}
+
+type t = { top : string; modules : (string * module_def) list }
+
+let make_macro ~w ~h = Macro { mw = w; mh = h }
+
+let default_area = function
+  | Macro { mw; mh } -> mw *. mh
+  | Flop | Comb -> 1.0
+
+let cell ~name ~kind ?area ~ins ~outs () =
+  let carea = match area with Some a -> a | None -> default_area kind in
+  { cname = name; ckind = kind; carea; cins = ins; couts = outs }
+
+let port ~name ~dir = { pname = name; pdir = dir }
+
+let inst ~name ~module_ ~bindings = { iname = name; imodule = module_; bindings }
+
+let module_def ~name ?(ports = []) ?(cells = []) ?(insts = []) () =
+  { mname = name; ports; cells; insts }
+
+let design ~top ~modules = { top; modules = List.map (fun m -> (m.mname, m)) modules }
+
+let find_module t name = List.assoc_opt name t.modules
+
+type error =
+  | Missing_module of string
+  | Duplicate_module of string
+  | Unknown_port of { module_ : string; inst : string; port : string }
+  | Duplicate_cell of { module_ : string; cell : string }
+  | Recursive_instantiation of string
+
+let pp_error ppf = function
+  | Missing_module m -> Format.fprintf ppf "missing module %s" m
+  | Duplicate_module m -> Format.fprintf ppf "duplicate module %s" m
+  | Unknown_port { module_; inst; port } ->
+    Format.fprintf ppf "instance %s in module %s binds unknown port %s" inst module_ port
+  | Duplicate_cell { module_; cell } ->
+    Format.fprintf ppf "duplicate cell %s in module %s" cell module_
+  | Recursive_instantiation m -> Format.fprintf ppf "recursive instantiation of %s" m
+
+let module_count t = List.length t.modules
+
+let cell_area c = c.carea
+
+let kind_name = function
+  | Macro _ -> "macro"
+  | Flop -> "flop"
+  | Comb -> "comb"
+
+let validate t =
+  let ( let* ) r f = Result.bind r f in
+  let* () =
+    let seen = Hashtbl.create 16 in
+    List.fold_left
+      (fun acc (name, _) ->
+        let* () = acc in
+        if Hashtbl.mem seen name then Error (Duplicate_module name)
+        else begin
+          Hashtbl.add seen name ();
+          Ok ()
+        end)
+      (Ok ()) t.modules
+  in
+  let* top =
+    match find_module t t.top with
+    | Some m -> Ok m
+    | None -> Error (Missing_module t.top)
+  in
+  let check_module m =
+    let seen = Hashtbl.create 16 in
+    let* () =
+      List.fold_left
+        (fun acc c ->
+          let* () = acc in
+          if Hashtbl.mem seen c.cname then
+            Error (Duplicate_cell { module_ = m.mname; cell = c.cname })
+          else begin
+            Hashtbl.add seen c.cname ();
+            Ok ()
+          end)
+        (Ok ()) m.cells
+    in
+    List.fold_left
+      (fun acc i ->
+        let* () = acc in
+        match find_module t i.imodule with
+        | None -> Error (Missing_module i.imodule)
+        | Some child ->
+          let formal_ok (formal, _) =
+            List.exists (fun p -> p.pname = formal) child.ports
+          in
+          (match List.find_opt (fun b -> not (formal_ok b)) i.bindings with
+          | Some (formal, _) ->
+            Error (Unknown_port { module_ = m.mname; inst = i.iname; port = formal })
+          | None -> Ok ()))
+      (Ok ()) m.insts
+  in
+  let* () =
+    List.fold_left
+      (fun acc (_, m) ->
+        let* () = acc in
+        check_module m)
+      (Ok ()) t.modules
+  in
+  (* Recursion check: DFS over the instantiation DAG from top. *)
+  let visiting = Hashtbl.create 16 in
+  let done_ = Hashtbl.create 16 in
+  let rec dfs m =
+    if Hashtbl.mem done_ m.mname then Ok ()
+    else if Hashtbl.mem visiting m.mname then Error (Recursive_instantiation m.mname)
+    else begin
+      Hashtbl.add visiting m.mname ();
+      let* () =
+        List.fold_left
+          (fun acc i ->
+            let* () = acc in
+            match find_module t i.imodule with
+            | Some child -> dfs child
+            | None -> Error (Missing_module i.imodule))
+          (Ok ()) m.insts
+      in
+      Hashtbl.remove visiting m.mname;
+      Hashtbl.add done_ m.mname ();
+      Ok ()
+    end
+  in
+  dfs top

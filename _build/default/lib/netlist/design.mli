@@ -1,0 +1,82 @@
+(** Hierarchical netlist data model.
+
+    A design is a set of module definitions plus a top module name. Each
+    module declares single-bit ports (multi-bit buses are carried as
+    indexed names such as [data[7]] or [data_7], exactly the RTL-stage
+    array information the paper exploits), leaf cells (macros, flops,
+    combinational gates) and instances of other modules. Nets are local
+    names; instance port bindings stitch them across hierarchy levels. *)
+
+type direction = Input | Output
+
+type macro_info = { mw : float; mh : float }
+(** Physical footprint of a hard macro, in microns. *)
+
+type cell_kind =
+  | Macro of macro_info
+  | Flop
+  | Comb
+
+type cell_decl = {
+  cname : string;
+  ckind : cell_kind;
+  carea : float;  (** placement area; for macros this is [mw *. mh] *)
+  cins : string list;  (** input net names *)
+  couts : string list;  (** output net names *)
+}
+
+type port_decl = { pname : string; pdir : direction }
+
+type inst_decl = {
+  iname : string;
+  imodule : string;
+  bindings : (string * string) list;  (** (formal port, actual net) *)
+}
+
+type module_def = {
+  mname : string;
+  ports : port_decl list;
+  cells : cell_decl list;
+  insts : inst_decl list;
+}
+
+type t = { top : string; modules : (string * module_def) list }
+
+val make_macro : w:float -> h:float -> cell_kind
+(** Macro kind with area [w *. h]. *)
+
+val cell : name:string -> kind:cell_kind -> ?area:float ->
+  ins:string list -> outs:string list -> unit -> cell_decl
+(** Leaf-cell declaration; [area] defaults to the macro footprint for
+    macros and to 1.0 for flops / combinational cells. *)
+
+val port : name:string -> dir:direction -> port_decl
+
+val inst : name:string -> module_:string -> bindings:(string * string) list -> inst_decl
+
+val module_def : name:string -> ?ports:port_decl list -> ?cells:cell_decl list ->
+  ?insts:inst_decl list -> unit -> module_def
+
+val design : top:string -> modules:module_def list -> t
+
+val find_module : t -> string -> module_def option
+
+type error =
+  | Missing_module of string
+  | Duplicate_module of string
+  | Unknown_port of { module_ : string; inst : string; port : string }
+  | Duplicate_cell of { module_ : string; cell : string }
+  | Recursive_instantiation of string
+
+val validate : t -> (unit, error) result
+(** Structural sanity: top exists, all instantiated modules exist and are
+    non-recursive, instance bindings name declared ports, cell names are
+    unique within their module. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val module_count : t -> int
+
+val cell_area : cell_decl -> float
+
+val kind_name : cell_kind -> string

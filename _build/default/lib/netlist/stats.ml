@@ -1,0 +1,93 @@
+module G = Graphlib.Digraph
+
+type t = {
+  nodes : int;
+  macros : int;
+  flops : int;
+  combs : int;
+  ports : int;
+  nets : int;
+  edges : int;
+  scopes : int;
+  max_depth : int;
+  cell_area : float;
+  macro_area : float;
+  macro_area_pct : float;
+  max_fanout : int;
+  avg_fanout : float;
+  comb_depth : int;
+}
+
+(* Longest path in the combinational subgraph via topological order;
+   -1 when a combinational loop exists. *)
+let comb_depth (flat : Flat.t) =
+  let keep v = Flat.is_comb flat.Flat.nodes.(v) in
+  let sub, _, _ = G.map_nodes flat.Flat.gnet ~keep in
+  match Graphlib.Traversal.topological_order sub with
+  | None -> -1
+  | Some order ->
+    let n = G.node_count sub in
+    let depth = Array.make n 1 in
+    let best = ref 0 in
+    Array.iter
+      (fun u ->
+        G.succ_iter sub u (fun v -> if depth.(u) + 1 > depth.(v) then depth.(v) <- depth.(u) + 1);
+        if depth.(u) > !best then best := depth.(u))
+      order;
+    if n = 0 then 0 else !best
+
+let compute (flat : Flat.t) =
+  let count p = Array.fold_left (fun acc n -> if p n then acc + 1 else acc) 0 flat.Flat.nodes in
+  let macros = count Flat.is_macro in
+  let flops = count Flat.is_flop in
+  let combs = count Flat.is_comb in
+  let ports = count Flat.is_port in
+  let cell_area = Flat.total_cell_area flat in
+  let macro_area =
+    Array.fold_left
+      (fun acc (n : Flat.node) -> if Flat.is_macro n then acc +. n.Flat.area else acc)
+      0.0 flat.Flat.nodes
+  in
+  let max_depth =
+    Array.fold_left
+      (fun acc (s : Flat.scope) ->
+        let rec depth sid d =
+          if flat.Flat.scopes.(sid).Flat.sparent < 0 then d
+          else depth flat.Flat.scopes.(sid).Flat.sparent (d + 1)
+        in
+        max acc (depth s.Flat.sid 0))
+      0 flat.Flat.scopes
+  in
+  let max_fanout, fanout_sum, driven_nets =
+    Array.fold_left
+      (fun (mx, sum, n) (_, sinks) ->
+        let f = Array.length sinks in
+        if f > 0 then (max mx f, sum + f, n + 1) else (mx, sum, n))
+      (0, 0, 0) flat.Flat.net_pins
+  in
+  { nodes = Array.length flat.Flat.nodes;
+    macros;
+    flops;
+    combs;
+    ports;
+    nets = flat.Flat.net_count;
+    edges = G.edge_count flat.Flat.gnet;
+    scopes = Array.length flat.Flat.scopes;
+    max_depth;
+    cell_area;
+    macro_area;
+    macro_area_pct = (if cell_area > 0.0 then 100.0 *. macro_area /. cell_area else 0.0);
+    max_fanout;
+    avg_fanout =
+      (if driven_nets > 0 then float_of_int fanout_sum /. float_of_int driven_nets else 0.0);
+    comb_depth = comb_depth flat }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>nodes: %d (%d macros, %d flops, %d comb, %d ports)@,\
+     nets: %d (%d edges), fanout avg %.2f max %d@,\
+     hierarchy: %d scopes, depth %d@,\
+     area: %.0f total, %.0f macro (%.1f%%)@,\
+     longest combinational path: %d cells@]"
+    t.nodes t.macros t.flops t.combs t.ports t.nets t.edges t.avg_fanout t.max_fanout
+    t.scopes t.max_depth t.cell_area t.macro_area t.macro_area_pct t.comb_depth

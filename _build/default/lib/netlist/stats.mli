@@ -1,0 +1,27 @@
+(** Design statistics over the flat netlist: the numbers a physical
+    designer checks before floorplanning. *)
+
+type t = {
+  nodes : int;
+  macros : int;
+  flops : int;
+  combs : int;
+  ports : int;
+  nets : int;
+  edges : int;
+  scopes : int;
+  max_depth : int;  (** deepest instance nesting *)
+  cell_area : float;
+  macro_area : float;
+  macro_area_pct : float;  (** macro share of the total cell area *)
+  max_fanout : int;  (** largest net driver fanout *)
+  avg_fanout : float;
+  comb_depth : int;
+      (** longest purely combinational path (in cells); [-1] if the
+          combinational subgraph has a cycle *)
+}
+
+val compute : Flat.t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable report. *)

@@ -1,0 +1,34 @@
+(** The published numbers of the paper's evaluation (Tables II and III),
+    used to print paper-vs-measured comparisons. *)
+
+type flow_row = {
+  wl_m : float;  (** wirelength in meters *)
+  wl_norm : float;  (** normalized to handFP *)
+  grc_pct : float;
+  wns_pct : float;
+  tns : float;
+}
+
+type circuit_rows = {
+  name : string;
+  cells : int;
+  macros : int;
+  indeda : flow_row;
+  hidap : flow_row;
+  handfp : flow_row;
+}
+
+val table3 : circuit_rows list
+(** The 8 circuits of Table III. *)
+
+val table2_wl_norm : float * float * float
+(** Average normalized WL for (IndEDA, HiDaP, handFP): 1.143 / 1.013 /
+    1.000. *)
+
+val table2_wns : float * float * float
+(** Average WNS%: -39.1 / -24.6 / -17.9. *)
+
+val table2_effort : string * string * string
+(** The published effort entries. *)
+
+val find : string -> circuit_rows option

@@ -1,0 +1,290 @@
+module Flat = Netlist.Flat
+module Digraph = Graphlib.Digraph
+
+type node_kind =
+  | Macro of int
+  | Register of int list
+  | Port of int list
+
+type node = {
+  id : int;
+  kind : node_kind;
+  name : string;
+  scope : int;
+  bits : int;
+}
+
+type edge = { src : int; dst : int; width : int; latency : int }
+
+type t = {
+  nodes : node array;
+  edges : edge array;
+  out_edges : int list array;
+  in_edges : int list array;
+  of_flat : int array;
+}
+
+(* --- clustering (step 2) ------------------------------------------------ *)
+
+type proto = {
+  pkind : [ `Macro of int | `Register | `Port ];
+  pname : string;
+  pscope : int;
+  mutable members : int list;  (* flat ids, reversed *)
+}
+
+let cluster_key scope base =
+  match Util.Names.array_base base with
+  | Some (root, _) -> (scope, root)
+  | None -> (scope, base)
+
+let cluster (flat : Flat.t) =
+  let protos : proto list ref = ref [] in
+  let nprotos = ref 0 in
+  let table : (int * string, int) Hashtbl.t = Hashtbl.create 256 in
+  let arr = ref [||] in
+  let proto_of idx = !arr.(idx) in
+  let fresh pkind pname pscope =
+    let p = { pkind; pname; pscope; members = [] } in
+    protos := p :: !protos;
+    incr nprotos;
+    !nprotos - 1
+  in
+  let of_flat = Array.make (Array.length flat.Flat.nodes) (-1) in
+  Array.iter
+    (fun (n : Flat.node) ->
+      match n.Flat.kind with
+      | Flat.Kcomb -> ()
+      | Flat.Kmacro _ ->
+        let idx = fresh (`Macro n.Flat.id) n.Flat.path n.Flat.scope in
+        of_flat.(n.Flat.id) <- idx
+      | Flat.Kflop ->
+        let scope, root = cluster_key n.Flat.scope n.Flat.base in
+        let idx =
+          match Hashtbl.find_opt table (scope, "R:" ^ root) with
+          | Some i -> i
+          | None ->
+            let i = fresh `Register root scope in
+            Hashtbl.add table (scope, "R:" ^ root) i;
+            i
+        in
+        of_flat.(n.Flat.id) <- idx
+      | Flat.Kport _ ->
+        let scope, root = cluster_key 0 n.Flat.base in
+        let idx =
+          match Hashtbl.find_opt table (scope, "P:" ^ root) with
+          | Some i -> i
+          | None ->
+            let i = fresh `Port root 0 in
+            Hashtbl.add table (scope, "P:" ^ root) i;
+            i
+        in
+        of_flat.(n.Flat.id) <- idx)
+    flat.Flat.nodes;
+  arr := Array.of_list (List.rev !protos);
+  Array.iter
+    (fun (n : Flat.node) ->
+      let idx = of_flat.(n.Flat.id) in
+      if idx >= 0 then begin
+        let p = proto_of idx in
+        p.members <- n.Flat.id :: p.members
+      end)
+    flat.Flat.nodes;
+  (!arr, of_flat)
+
+(* --- edge inference (steps 1 and 3) ------------------------------------- *)
+
+(* From each sequential flat element, BFS forward through combinational
+   nodes only; every sequential endpoint reached contributes one bit to
+   the edge (source cluster -> endpoint cluster). Epoch-stamped visited
+   array avoids reallocation across the (many) searches. *)
+let infer_edges (flat : Flat.t) protos of_flat =
+  let gnet = flat.Flat.gnet in
+  let n = Array.length flat.Flat.nodes in
+  let stamp = Array.make n (-1) in
+  let epoch = ref (-1) in
+  let widths : (int * int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let bump src dst =
+    if src <> dst then begin
+      let key = (src, dst) in
+      let cur = try Hashtbl.find widths key with Not_found -> 0 in
+      Hashtbl.replace widths key (cur + 1)
+    end
+  in
+  let queue = Queue.create () in
+  Array.iteri
+    (fun src_cluster (p : proto) ->
+      List.iter
+        (fun elem ->
+          incr epoch;
+          Queue.clear queue;
+          (* Seed with the element's direct successors. *)
+          Digraph.succ_iter gnet elem (fun v ->
+              if stamp.(v) <> !epoch then begin
+                stamp.(v) <- !epoch;
+                Queue.push v queue
+              end);
+          while not (Queue.is_empty queue) do
+            let u = Queue.pop queue in
+            let cu = of_flat.(u) in
+            if cu >= 0 then bump src_cluster cu
+            else
+              Digraph.succ_iter gnet u (fun v ->
+                  if stamp.(v) <> !epoch then begin
+                    stamp.(v) <- !epoch;
+                    Queue.push v queue
+                  end)
+          done)
+        p.members)
+    protos;
+  widths
+
+(* --- threshold discarding with bridging (step 4) ------------------------ *)
+
+let build ?(bit_threshold = 1) (flat : Flat.t) =
+  let protos, of_flat = cluster flat in
+  let widths = infer_edges flat protos of_flat in
+  (* Raw edges as a map keyed by endpoints; latency 1 initially. *)
+  let raw : (int * int, int * int) Hashtbl.t = Hashtbl.create (Hashtbl.length widths) in
+  Hashtbl.iter (fun (s, d) w -> Hashtbl.replace raw (s, d) (w, 1)) widths;
+  let member_count p = List.length p.members in
+  let discard =
+    Array.map
+      (fun p ->
+        match p.pkind with
+        | `Register -> member_count p < bit_threshold
+        | `Macro _ | `Port -> false)
+      protos
+  in
+  (* Bridge each discarded node: predecessors connect to successors with
+     width the min of the two hops and latency the sum. Incremental
+     adjacency sets keep the whole pass near-linear even when narrow
+     registers form chains. *)
+  let nproto = Array.length protos in
+  let succ_set = Array.init nproto (fun _ -> Hashtbl.create 4) in
+  let pred_set = Array.init nproto (fun _ -> Hashtbl.create 4) in
+  let link s d = Hashtbl.replace succ_set.(s) d (); Hashtbl.replace pred_set.(d) s () in
+  let unlink s d =
+    Hashtbl.remove succ_set.(s) d;
+    Hashtbl.remove pred_set.(d) s;
+    Hashtbl.remove raw (s, d)
+  in
+  Hashtbl.iter (fun (s, d) _ -> link s d) raw;
+  let bridge v =
+    let preds = Hashtbl.fold (fun p () acc -> p :: acc) pred_set.(v) [] in
+    let succs = Hashtbl.fold (fun s () acc -> s :: acc) succ_set.(v) [] in
+    List.iter
+      (fun p ->
+        let wp, lp = Hashtbl.find raw (p, v) in
+        List.iter
+          (fun s ->
+            if p <> s then begin
+              let ws, ls = Hashtbl.find raw (v, s) in
+              let w = min wp ws and l = lp + ls in
+              (match Hashtbl.find_opt raw (p, s) with
+              | Some (w0, l0) -> Hashtbl.replace raw (p, s) (max w0 w, min l0 l)
+              | None -> Hashtbl.replace raw (p, s) (w, l));
+              link p s
+            end)
+          succs)
+      preds;
+    List.iter (fun p -> unlink p v) preds;
+    List.iter (fun s -> unlink v s) succs
+  in
+  Array.iteri (fun v dead -> if dead then bridge v) discard;
+  (* Renumber the surviving clusters. *)
+  let new_id = Array.make (Array.length protos) (-1) in
+  let count = ref 0 in
+  Array.iteri
+    (fun i dead ->
+      if not dead then begin
+        new_id.(i) <- !count;
+        incr count
+      end)
+    discard;
+  let bits_of_proto p =
+    match p.pkind with
+    | `Macro _ -> 1 (* refined below from connectivity *)
+    | `Register | `Port -> member_count p
+  in
+  let nodes =
+    Array.make !count
+      { id = 0; kind = Register []; name = ""; scope = 0; bits = 0 }
+  in
+  Array.iteri
+    (fun i (p : proto) ->
+      let id = new_id.(i) in
+      if id >= 0 then begin
+        let kind =
+          match p.pkind with
+          | `Macro fid -> Macro fid
+          | `Register -> Register (List.rev p.members)
+          | `Port -> Port (List.rev p.members)
+        in
+        nodes.(id) <- { id; kind; name = p.pname; scope = p.pscope; bits = bits_of_proto p }
+      end)
+    protos;
+  let edges = ref [] and nedges = ref 0 in
+  Hashtbl.iter
+    (fun (s, d) (w, l) ->
+      let s' = new_id.(s) and d' = new_id.(d) in
+      if s' >= 0 && d' >= 0 && s' <> d' then begin
+        edges := { src = s'; dst = d'; width = w; latency = l } :: !edges;
+        incr nedges
+      end)
+    raw;
+  (* Deterministic edge order independent of hash iteration. *)
+  let edges =
+    Array.of_list
+      (List.sort
+         (fun a b -> compare (a.src, a.dst) (b.src, b.dst))
+         !edges)
+  in
+  let out_edges = Array.make !count [] in
+  let in_edges = Array.make !count [] in
+  Array.iteri
+    (fun ei e ->
+      out_edges.(e.src) <- ei :: out_edges.(e.src);
+      in_edges.(e.dst) <- ei :: in_edges.(e.dst))
+    edges;
+  Array.iteri (fun i l -> out_edges.(i) <- List.rev l) out_edges;
+  Array.iteri (fun i l -> in_edges.(i) <- List.rev l) in_edges;
+  (* Macro bits: widest connected side. *)
+  let nodes =
+    Array.map
+      (fun nd ->
+        match nd.kind with
+        | Macro _ ->
+          let sum = List.fold_left (fun acc ei -> acc + edges.(ei).width) 0 in
+          let w = max (sum out_edges.(nd.id)) (sum in_edges.(nd.id)) in
+          { nd with bits = max 1 w }
+        | Register _ | Port _ -> nd)
+      nodes
+  in
+  (* Remap of_flat to final ids. *)
+  let of_flat = Array.map (fun c -> if c < 0 then -1 else new_id.(c)) of_flat in
+  { nodes; edges; out_edges; in_edges; of_flat }
+
+let node_count t = Array.length t.nodes
+
+let edge_count t = Array.length t.edges
+
+let is_macro_node n = match n.kind with Macro _ -> true | Register _ | Port _ -> false
+
+let is_port_node n = match n.kind with Port _ -> true | Macro _ | Register _ -> false
+
+let macro_nodes t = Array.to_list t.nodes |> List.filter is_macro_node
+
+let succ_edges t v = List.map (fun ei -> t.edges.(ei)) t.out_edges.(v)
+
+let pred_edges t v = List.map (fun ei -> t.edges.(ei)) t.in_edges.(v)
+
+let find_edge t ~src ~dst =
+  List.find_opt (fun e -> e.dst = dst) (succ_edges t src)
+
+let pp_summary ppf t =
+  let count p = Array.fold_left (fun acc n -> if p n then acc + 1 else acc) 0 t.nodes in
+  Format.fprintf ppf "Gseq: %d nodes (%d macros, %d registers, %d ports), %d edges"
+    (node_count t) (count is_macro_node)
+    (count (fun n -> match n.kind with Register _ -> true | _ -> false))
+    (count is_port_node) (edge_count t)

@@ -1,0 +1,64 @@
+(** The sequential graph Gseq (paper §II-C, §IV-D).
+
+    Gseq abstracts the bit-level netlist Gnet into multi-bit sequential
+    components: hard macros, register arrays and port arrays. It is built
+    in the paper's four steps:
+
+    + combinational cells are elided by connecting predecessors to
+      successors (edges are discovered by traversing only combinational
+      nodes between sequential endpoints);
+    + flops and ports are clustered into arrays using component names
+      ([name[i]] / [name_i]);
+    + edges between sequential components are inferred from transitive
+      fan-in/fan-out through combinational logic;
+    + components narrower than a bit threshold are discarded (bridged
+      through, preserving path latency, so that dataflow BFS still sees
+      multi-hop paths).
+
+    Each edge carries the connection width in bits and a latency in clock
+    cycles (1 for a direct register-to-register hop; larger for bridged
+    hops through discarded narrow registers). *)
+
+type node_kind =
+  | Macro of int  (** flat node id *)
+  | Register of int list  (** member flop flat ids *)
+  | Port of int list  (** member top-level port flat ids *)
+
+type node = {
+  id : int;
+  kind : node_kind;
+  name : string;  (** array base name or macro path *)
+  scope : int;  (** owning scope id *)
+  bits : int;  (** array width; for macros, the widest side connection *)
+}
+
+type edge = { src : int; dst : int; width : int; latency : int }
+
+type t = {
+  nodes : node array;
+  edges : edge array;
+  out_edges : int list array;  (** edge indices leaving each node *)
+  in_edges : int list array;
+  of_flat : int array;  (** flat node id -> Gseq node id, [-1] if none *)
+}
+
+val build : ?bit_threshold:int -> Netlist.Flat.t -> t
+(** [bit_threshold] defaults to 1 (keep everything). *)
+
+val node_count : t -> int
+
+val edge_count : t -> int
+
+val is_macro_node : node -> bool
+
+val is_port_node : node -> bool
+
+val macro_nodes : t -> node list
+
+val succ_edges : t -> int -> edge list
+
+val pred_edges : t -> int -> edge list
+
+val find_edge : t -> src:int -> dst:int -> edge option
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/shape/curve.ml: Array Format List

@@ -1,0 +1,1 @@
+lib/shape/curve.mli: Format

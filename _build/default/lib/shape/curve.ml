@@ -1,0 +1,132 @@
+(* Points sorted by increasing width; heights strictly decrease along the
+   array (Pareto staircase). [Unconstrained] is the curve of a block
+   without macros. *)
+
+type t =
+  | Unconstrained
+  | Staircase of (float * float) array
+
+let unconstrained = Unconstrained
+
+let pareto pts =
+  let pts = List.filter (fun (w, h) -> w > 0.0 && h > 0.0) pts in
+  let sorted =
+    List.sort
+      (fun (w1, h1) (w2, h2) -> if w1 = w2 then compare h1 h2 else compare w1 w2)
+      pts
+  in
+  (* Scan by increasing width keeping strictly decreasing heights. *)
+  let rec keep best_h = function
+    | [] -> []
+    | (w, h) :: rest -> if h < best_h then (w, h) :: keep h rest else keep best_h rest
+  in
+  keep infinity sorted
+
+let of_points pts =
+  match pareto pts with
+  | [] -> invalid_arg "Curve.of_points: no valid points"
+  | l -> Staircase (Array.of_list l)
+
+let of_macro ~w ~h ?(rotate = true) () =
+  assert (w > 0.0 && h > 0.0);
+  if rotate && w <> h then of_points [ (w, h); (h, w) ] else of_points [ (w, h) ]
+
+let points = function
+  | Unconstrained -> []
+  | Staircase a -> Array.to_list a
+
+let is_unconstrained = function Unconstrained -> true | Staircase _ -> false
+
+let fits t ~w ~h =
+  match t with
+  | Unconstrained -> true
+  | Staircase a ->
+    let eps = 1e-9 in
+    Array.exists (fun (pw, ph) -> pw <= w +. eps && ph <= h +. eps) a
+
+let min_height t ~w =
+  match t with
+  | Unconstrained -> Some 0.0
+  | Staircase a ->
+    let eps = 1e-9 in
+    Array.fold_left
+      (fun acc (pw, ph) ->
+        if pw <= w +. eps then
+          match acc with Some best -> Some (min best ph) | None -> Some ph
+        else acc)
+      None a
+
+let min_width t ~h =
+  match t with
+  | Unconstrained -> Some 0.0
+  | Staircase a ->
+    let eps = 1e-9 in
+    Array.fold_left
+      (fun acc (pw, ph) ->
+        if ph <= h +. eps then
+          match acc with Some best -> Some (min best pw) | None -> Some pw
+        else acc)
+      None a
+
+let min_area_point = function
+  | Unconstrained -> None
+  | Staircase a ->
+    let best = ref a.(0) in
+    Array.iter
+      (fun (w, h) ->
+        let bw, bh = !best in
+        if w *. h < bw *. bh then best := (w, h))
+      a;
+    Some !best
+
+let min_area t =
+  match min_area_point t with
+  | None -> 0.0
+  | Some (w, h) -> w *. h
+
+let compose_with f a b =
+  match (a, b) with
+  | Unconstrained, c | c, Unconstrained -> c
+  | Staircase pa, Staircase pb ->
+    let pts = ref [] in
+    Array.iter
+      (fun p1 -> Array.iter (fun p2 -> pts := f p1 p2 :: !pts) pb)
+      pa;
+    of_points !pts
+
+let compose_h = compose_with (fun (w1, h1) (w2, h2) -> (w1 +. w2, max h1 h2))
+
+let compose_v = compose_with (fun (w1, h1) (w2, h2) -> (max w1 w2, h1 +. h2))
+
+let compose_best a b =
+  match (compose_h a b, compose_v a b) with
+  | Unconstrained, _ | _, Unconstrained -> (* only if an input was unconstrained *)
+    compose_h a b
+  | Staircase pa, Staircase pb ->
+    of_points (Array.to_list pa @ Array.to_list pb)
+
+let prune ~max_points t =
+  assert (max_points >= 2);
+  match t with
+  | Unconstrained -> Unconstrained
+  | Staircase a when Array.length a <= max_points -> t
+  | Staircase a ->
+    let n = Array.length a in
+    (* Keep extremes; sample the interior evenly. *)
+    let picked = Array.make max_points a.(0) in
+    for i = 0 to max_points - 1 do
+      let idx = i * (n - 1) / (max_points - 1) in
+      picked.(i) <- a.(idx)
+    done;
+    of_points (Array.to_list picked)
+
+let size = function Unconstrained -> 0 | Staircase a -> Array.length a
+
+let pp ppf t =
+  match t with
+  | Unconstrained -> Format.pp_print_string ppf "<unconstrained>"
+  | Staircase a ->
+    let pp_pt ppf (w, h) = Format.fprintf ppf "(%.2f,%.2f)" w h in
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ") pp_pt)
+      (Array.to_list a)

@@ -1,0 +1,62 @@
+(** Shape curves Γ (paper §II-D, Fig. 4b).
+
+    A shape curve is a Pareto staircase of bounding boxes (w, h): the
+    point set contains the minimal boxes able to hold some placement of
+    the macros of a block; every box dominating a curve point also fits.
+    The special {!unconstrained} curve (a block with no macros) fits in
+    any box.
+
+    Points are kept sorted by increasing width / decreasing height, and
+    curves are pruned to a bounded number of points to keep compositions
+    cheap. *)
+
+type t
+
+val unconstrained : t
+(** No macro constraint: every box fits. *)
+
+val of_points : (float * float) list -> t
+(** Pareto-prunes the candidate list. Requires at least one point with
+    positive dimensions. *)
+
+val of_macro : w:float -> h:float -> ?rotate:bool -> unit -> t
+(** A hard macro's curve: its footprint, plus the 90-degree rotation when
+    [rotate] (default true) and the macro is not square. *)
+
+val points : t -> (float * float) list
+(** Pareto points, increasing width. Empty for {!unconstrained}. *)
+
+val is_unconstrained : t -> bool
+
+val fits : t -> w:float -> h:float -> bool
+(** Can the block's macros be placed in a [w] x [h] box? *)
+
+val min_height : t -> w:float -> float option
+(** Least height h such that [fits ~w ~h]; [None] when even infinite
+    height does not admit width [w]. [Some 0.] for {!unconstrained}. *)
+
+val min_width : t -> h:float -> float option
+
+val min_area_point : t -> (float * float) option
+(** Curve point with the smallest area; [None] for {!unconstrained}. *)
+
+val min_area : t -> float
+(** Area of {!min_area_point}; 0 for {!unconstrained}. *)
+
+val compose_h : t -> t -> t
+(** Horizontal juxtaposition (side by side): widths add, heights max. *)
+
+val compose_v : t -> t -> t
+(** Vertical stacking: heights add, widths max. *)
+
+val compose_best : t -> t -> t
+(** Pareto union of both compositions — the curve of the best slicing
+    arrangement of the two sub-blocks. *)
+
+val prune : max_points:int -> t -> t
+(** Thin the staircase to at most [max_points] points, keeping the
+    extremes and a spread of intermediate points. *)
+
+val size : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/slicing/layout.ml: Array Geom List Polish Shape Util

@@ -1,0 +1,1 @@
+lib/slicing/layout.mli: Geom Polish Shape

@@ -1,0 +1,44 @@
+(** Top-down area-budgeting layout of a slicing tree (paper §IV-E,
+    Fig. 8).
+
+    Unlike bottom-up shape-curve packing, the assigned dimensions are a
+    budget, not a constraint: the layout always consumes exactly the
+    rectangle it was given. At each internal node the rectangle is cut
+    (vertically for [V], horizontally for [H]) proportionally to the
+    subtree target areas; shape-curve and minimum-area requirements then
+    shift the cut, and any shifted or unsatisfiable area is reported as a
+    violation, graded by severity: target area [at] (mildest), minimum
+    area [am], macro area (most severe). *)
+
+type leaf = {
+  lid : int;  (** operand index in the Polish expression *)
+  curve : Shape.Curve.t;  (** macro shape curve; unconstrained if none *)
+  area_min : float;  (** am: macros + standard cells *)
+  area_target : float;  (** at: am plus absorbed glue area *)
+}
+
+type violations = {
+  at_shift : float;  (** area moved away from the target-proportional cut *)
+  am_deficit : float;  (** minimum area not satisfied *)
+  macro_deficit : float;  (** macro area that does not fit its rectangle *)
+}
+
+type placement = {
+  rects : (int * Geom.Rect.t) list;  (** leaf lid -> assigned rectangle *)
+  viol : violations;
+}
+
+val no_violations : violations
+
+val penalty : violations -> at_w:float -> am_w:float -> macro_w:float -> float
+(** Weighted violation sum, used as the paper's multiplicative penalty
+    term: [1. +. penalty ...] multiplies the wirelength cost. *)
+
+val evaluate : Polish.t -> leaves:leaf array -> budget:Geom.Rect.t -> placement
+(** Lay the slicing tree out inside [budget]. [leaves] must cover exactly
+    the operand indices of the expression. The returned rectangles
+    partition the budget exactly (up to floating-point rounding). *)
+
+val tree_curve : Polish.t -> leaves:leaf array -> Shape.Curve.t
+(** Bottom-up composition of the leaf curves along the tree — the shape
+    curve of the whole arrangement. *)

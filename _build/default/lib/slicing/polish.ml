@@ -1,0 +1,165 @@
+type op = H | V
+
+type elt =
+  | Operand of int
+  | Operator of op
+
+type t = elt array
+
+let flip = function H -> V | V -> H
+
+let is_operand = function Operand _ -> true | Operator _ -> false
+
+let is_normalized e =
+  let n = Array.length e in
+  if n = 0 then false
+  else begin
+    let ok = ref true in
+    let operands = ref 0 and operators = ref 0 in
+    for i = 0 to n - 1 do
+      (match e.(i) with
+      | Operand _ -> incr operands
+      | Operator o ->
+        incr operators;
+        (* no two adjacent equal operators *)
+        if i > 0 then (match e.(i - 1) with Operator o' when o' = o -> ok := false | _ -> ()));
+      if !operators >= !operands then ok := false
+    done;
+    !ok && !operands = !operators + 1
+  end
+
+let initial ~n =
+  assert (n >= 1);
+  if n = 1 then [| Operand 0 |]
+  else begin
+    let e = Array.make ((2 * n) - 1) (Operand 0) in
+    e.(0) <- Operand 0;
+    let op = ref V in
+    for i = 1 to n - 1 do
+      e.((2 * i) - 1) <- Operand i;
+      e.(2 * i) <- Operator !op;
+      op := flip !op
+    done;
+    e
+  end
+
+let initial_random rng ~n =
+  let e = initial ~n in
+  let operand_positions =
+    Array.of_list
+      (List.filter (fun i -> is_operand e.(i)) (List.init (Array.length e) (fun i -> i)))
+  in
+  (* Shuffle the operand values across operand positions. *)
+  let values = Array.map (fun i -> e.(i)) operand_positions in
+  Util.Rng.shuffle rng values;
+  Array.iteri (fun k pos -> e.(pos) <- values.(k)) operand_positions;
+  e
+
+let elements t = Array.copy t
+
+let operand_count t =
+  Array.fold_left (fun acc e -> if is_operand e then acc + 1 else acc) 0 t
+
+let length t = Array.length t
+
+let of_elements e =
+  if not (is_normalized e) then invalid_arg "Polish.of_elements: not normalized";
+  Array.copy e
+
+(* M1: swap two adjacent operands (adjacent in the subsequence of
+   operands, not necessarily in the array). *)
+let move_m1 rng t =
+  let n = operand_count t in
+  if n < 2 then None
+  else begin
+    let positions = Array.make n 0 in
+    let k = ref 0 in
+    Array.iteri
+      (fun i e ->
+        if is_operand e then begin
+          positions.(!k) <- i;
+          incr k
+        end)
+      t;
+    let i = Util.Rng.int rng (n - 1) in
+    let p = positions.(i) and q = positions.(i + 1) in
+    let e = Array.copy t in
+    let tmp = e.(p) in
+    e.(p) <- e.(q);
+    e.(q) <- tmp;
+    Some e
+  end
+
+(* M2: complement a maximal operator chain. *)
+let move_m2 rng t =
+  let len = Array.length t in
+  let chain_starts = ref [] in
+  for i = 0 to len - 1 do
+    match t.(i) with
+    | Operator _ when i = 0 || is_operand t.(i - 1) -> chain_starts := i :: !chain_starts
+    | Operator _ | Operand _ -> ()
+  done;
+  match !chain_starts with
+  | [] -> None
+  | starts ->
+    let starts = Array.of_list starts in
+    let s = Util.Rng.pick rng starts in
+    let e = Array.copy t in
+    let i = ref s in
+    while
+      !i < len && match e.(!i) with Operator _ -> true | Operand _ -> false
+    do
+      (match e.(!i) with
+      | Operator o -> e.(!i) <- Operator (flip o)
+      | Operand _ -> assert false);
+      incr i
+    done;
+    Some e
+
+(* M3: swap an adjacent operand-operator pair, keeping normalization.
+   Try random adjacent pairs a bounded number of times. *)
+let move_m3 rng t =
+  let len = Array.length t in
+  if len < 3 then None
+  else begin
+    let attempt () =
+      let i = Util.Rng.int rng (len - 1) in
+      let a = t.(i) and b = t.(i + 1) in
+      let swappable =
+        match (a, b) with
+        | Operand _, Operator _ | Operator _, Operand _ -> true
+        | Operand _, Operand _ | Operator _, Operator _ -> false
+      in
+      if not swappable then None
+      else begin
+        let e = Array.copy t in
+        e.(i) <- b;
+        e.(i + 1) <- a;
+        if is_normalized e then Some e else None
+      end
+    in
+    let rec try_n k = if k = 0 then None else match attempt () with Some e -> Some e | None -> try_n (k - 1) in
+    try_n 16
+  end
+
+let perturb rng t =
+  let moves = [| move_m1; move_m2; move_m3 |] in
+  let order = [| 0; 1; 2 |] in
+  Util.Rng.shuffle rng order;
+  let rec go i =
+    if i >= Array.length order then t
+    else
+      match moves.(order.(i)) rng t with
+      | Some e -> e
+      | None -> go (i + 1)
+  in
+  go 0
+
+let pp ppf t =
+  Array.iter
+    (fun e ->
+      match e with
+      | Operand i -> Format.fprintf ppf "%d " i
+      | Operator H -> Format.fprintf ppf "H "
+      | Operator V -> Format.fprintf ppf "V ")
+    t

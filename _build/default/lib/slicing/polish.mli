@@ -1,0 +1,51 @@
+(** Normalized Polish expressions for slicing floorplans (Wong–Liu, DAC
+    1986; the paper's layout representation, §IV-E).
+
+    A Polish expression is a postfix sequence of operands (block indices)
+    and the cut operators [V] (vertical cut line: children side by side)
+    and [H] (horizontal cut line: children stacked). Normalization means
+    the balloting property holds (every prefix has more operands than
+    operators) and no two adjacent operators are equal (each slicing tree
+    has a unique normalized expression).
+
+    The three perturbations are the paper's (and Wong–Liu's):
+    - M1: swap two adjacent operands;
+    - M2: complement a maximal chain of operators;
+    - M3: swap an adjacent operand–operator pair (retrying until the
+      result stays normalized). *)
+
+type op = H | V
+
+type elt =
+  | Operand of int
+  | Operator of op
+
+type t
+
+val initial : n:int -> t
+(** The chain [0 1 V 2 H 3 V ...] with alternating operators; requires
+    [n >= 1]. *)
+
+val initial_random : Util.Rng.t -> n:int -> t
+(** Random operand order on the same alternating chain skeleton. *)
+
+val elements : t -> elt array
+(** Defensive copy. *)
+
+val operand_count : t -> int
+
+val length : t -> int
+
+val is_normalized : elt array -> bool
+(** Balloting property + no equal adjacent operators + exactly one more
+    operand than operators. *)
+
+val of_elements : elt array -> t
+(** Validates normalization; raises [Invalid_argument] otherwise. *)
+
+val perturb : Util.Rng.t -> t -> t
+(** One of M1 / M2 / M3, chosen with equal probability. Always returns a
+    normalized expression (falls back to another move kind if the chosen
+    one has no legal application). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,63 @@
+module Rect = Geom.Rect
+module Point = Geom.Point
+
+type params = {
+  gate_delay : float;
+  wire_delay : float;
+  clock_slack_factor : float;
+}
+
+(* A 100 ps logic stage and 0.5 ps/um wire give realistic proportions at
+   the generator's micron scale. *)
+let default_params = { gate_delay = 100.0; wire_delay = 0.5; clock_slack_factor = 0.35 }
+
+type result = {
+  clock_period : float;
+  wns : float;
+  wns_pct : float;
+  tns : float;
+  worst_edge : (int * int) option;
+  failing_endpoints : int;
+}
+
+let analyze ?(params = default_params) ~gseq ~node_pos ~die () =
+  let half_perimeter = die.Rect.w +. die.Rect.h in
+  let clock_period =
+    params.gate_delay
+    +. (params.clock_slack_factor *. params.wire_delay *. half_perimeter)
+  in
+  (* Worst slack per endpoint (edge destination), so TNS counts each
+     failing endpoint once, like a timing report. *)
+  let endpoint_slack : (int, float * int) Hashtbl.t = Hashtbl.create 256 in
+  Array.iter
+    (fun (e : Seqgraph.edge) ->
+      let d = Point.manhattan (node_pos e.Seqgraph.src) (node_pos e.Seqgraph.dst) in
+      let stages = float_of_int (max 1 e.Seqgraph.latency) in
+      let per_cycle_delay =
+        params.gate_delay +. (params.wire_delay *. d /. stages)
+      in
+      let slack = clock_period -. per_cycle_delay in
+      match Hashtbl.find_opt endpoint_slack e.Seqgraph.dst with
+      | Some (s, _) when s <= slack -> ()
+      | Some _ | None -> Hashtbl.replace endpoint_slack e.Seqgraph.dst (slack, e.Seqgraph.src))
+    gseq.Seqgraph.edges;
+  let wns = ref infinity and tns = ref 0.0 and failing = ref 0 in
+  let worst = ref None in
+  Hashtbl.iter
+    (fun dst (slack, src) ->
+      if slack < !wns then begin
+        wns := slack;
+        worst := Some (src, dst)
+      end;
+      if slack < 0.0 then begin
+        tns := !tns +. slack;
+        incr failing
+      end)
+    endpoint_slack;
+  let wns = if !wns = infinity then 0.0 else !wns in
+  { clock_period;
+    wns;
+    wns_pct = (if clock_period > 0.0 then 100.0 *. min 0.0 wns /. clock_period else 0.0);
+    tns = !tns;
+    worst_edge = !worst;
+    failing_endpoints = !failing }

@@ -1,0 +1,40 @@
+(** Static timing substrate (the paper's WNS% / TNS columns).
+
+    Timing is analysed on the sequential graph Gseq: every edge is a
+    register-to-register (or port/macro) path whose delay is a fixed
+    logic component plus a linear wire component in the Manhattan
+    distance between the placed endpoints. Paths with latency L cross
+    L register stages, so the per-cycle delay of an edge is its total
+    delay divided by its latency.
+
+    The clock period is derived from the circuit alone (die size and
+    logic depth), so it is identical across the flows being compared —
+    only the wire term differs with macro placement quality. *)
+
+type params = {
+  gate_delay : float;  (** fixed per-edge logic delay (ps) *)
+  wire_delay : float;  (** ps per micron of Manhattan distance *)
+  clock_slack_factor : float;
+      (** clock period = gate_delay + factor * wire_delay * die half
+          perimeter *)
+}
+
+val default_params : params
+
+type result = {
+  clock_period : float;  (** ps *)
+  wns : float;  (** worst negative slack, ps; >= 0 when timing is met *)
+  wns_pct : float;  (** WNS as a percentage of the clock period, <= 0 *)
+  tns : float;  (** total negative slack over endpoints, ps (<= 0) *)
+  worst_edge : (int * int) option;  (** Gseq (src, dst) of the worst path *)
+  failing_endpoints : int;
+}
+
+val analyze :
+  ?params:params ->
+  gseq:Seqgraph.t ->
+  node_pos:(int -> Geom.Point.t) ->
+  die:Geom.Rect.t ->
+  unit ->
+  result
+(** [node_pos] gives the placed position of each Gseq node. *)

@@ -1,0 +1,44 @@
+type t = { parent : int array; rank : int array; count : int array }
+
+let create n =
+  { parent = Array.init n (fun i -> i); rank = Array.make n 0; count = Array.make n 1 }
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find t p in
+    t.parent.(x) <- root;
+    root
+  end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra <> rb then begin
+    let attach child root =
+      t.parent.(child) <- root;
+      t.count.(root) <- t.count.(root) + t.count.(child)
+    in
+    if t.rank.(ra) < t.rank.(rb) then attach ra rb
+    else if t.rank.(ra) > t.rank.(rb) then attach rb ra
+    else begin
+      attach rb ra;
+      t.rank.(ra) <- t.rank.(ra) + 1
+    end
+  end
+
+let same t a b = find t a = find t b
+
+let size t x = t.count.(find t x)
+
+let groups t =
+  let n = Array.length t.parent in
+  let tbl = Hashtbl.create 16 in
+  for i = n - 1 downto 0 do
+    let r = find t i in
+    let cur = try Hashtbl.find tbl r with Not_found -> [] in
+    Hashtbl.replace tbl r (i :: cur)
+  done;
+  let acc = ref [] in
+  Hashtbl.iter (fun _ members -> acc := members :: !acc) tbl;
+  Array.of_list !acc

@@ -1,0 +1,23 @@
+(** Union–find with path compression and union by rank.
+
+    Used for array clustering of sequential elements (paper §IV-D step 2)
+    and for connectivity clustering in the IndEDA baseline. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets with elements [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative. *)
+
+val union : t -> int -> int -> unit
+(** Merge the sets containing the two elements. *)
+
+val same : t -> int -> int -> bool
+
+val size : t -> int -> int
+(** Cardinality of the set containing the element. *)
+
+val groups : t -> int list array
+(** All non-empty groups, each as a list of members; indexed arbitrarily. *)

@@ -1,0 +1,37 @@
+(** Integer-binned histograms.
+
+    Used to record dataflow edge information: bins index path latency
+    (sequential element count) and heights accumulate bit counts
+    (paper §IV-D). *)
+
+type t
+
+val create : unit -> t
+(** Empty histogram. *)
+
+val add : t -> bin:int -> weight:float -> unit
+(** Accumulate [weight] into [bin]. Requires [bin >= 0]. *)
+
+val get : t -> int -> float
+(** Height of a bin (0 if never touched). *)
+
+val is_empty : t -> bool
+
+val total : t -> float
+(** Sum of all heights. *)
+
+val max_bin : t -> int
+(** Largest occupied bin index; [-1] when empty. *)
+
+val bins : t -> (int * float) list
+(** Occupied (bin, height) pairs, sorted by bin. *)
+
+val merge : t -> t -> t
+(** Bin-wise sum; arguments unchanged. *)
+
+val score : t -> k:int -> float
+(** [score h ~k] is the paper's dataflow score
+    [sum_i bits_i / latency_i^k] where bin 0 counts as latency 1
+    (combinational paths are the tightest coupling). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+let is_digit c = c >= '0' && c <= '9'
+
+let all_digits s = String.length s > 0 && String.for_all is_digit s
+
+let array_base s =
+  let n = String.length s in
+  if n = 0 then None
+  else if s.[n - 1] = ']' then
+    (* name[i] form *)
+    match String.rindex_opt s '[' with
+    | None -> None
+    | Some lb ->
+      let idx = String.sub s (lb + 1) (n - lb - 2) in
+      if all_digits idx && lb > 0 then Some (String.sub s 0 lb, int_of_string idx)
+      else None
+  else
+    (* name_i form *)
+    match String.rindex_opt s '_' with
+    | None -> None
+    | Some u ->
+      let idx = String.sub s (u + 1) (n - u - 1) in
+      if all_digits idx && u > 0 then Some (String.sub s 0 u, int_of_string idx)
+      else None
+
+let join a b = if a = "" then b else a ^ "/" ^ b
+
+let split_path s = String.split_on_char '/' s |> List.filter (fun x -> x <> "")
+
+let is_prefix ~prefix s =
+  let lp = String.length prefix in
+  String.length s >= lp && String.sub s 0 lp = prefix

@@ -1,0 +1,18 @@
+(** Name analysis for RTL array detection.
+
+    The paper clusters ports and flops into multi-bit arrays by component
+    name: [name[3]] and [name_3] both denote bit 3 of array [name]
+    (§IV-D step 2). *)
+
+val array_base : string -> (string * int) option
+(** [array_base s] is [Some (base, index)] when [s] looks like an indexed
+    array element ([base[i]] or [base_i] with a numeric suffix), [None]
+    otherwise. *)
+
+val join : string -> string -> string
+(** Hierarchical path concatenation with ['/'], skipping empty prefixes. *)
+
+val split_path : string -> string list
+(** Inverse of repeated {!join}. *)
+
+val is_prefix : prefix:string -> string -> bool

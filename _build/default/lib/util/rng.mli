@@ -1,0 +1,44 @@
+(** Deterministic pseudo-random number generation.
+
+    A small, fast SplitMix64 generator. Every randomized component of the
+    tool (circuit generation, simulated annealing, placement) takes an
+    explicit [t] so that all results are reproducible from a seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** Independent copy of the current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of [t]'s subsequent output. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in \[0, n). Requires [n > 0]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in \[0, x). *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val range : t -> int -> int -> int
+(** [range t lo hi] is uniform in \[lo, hi\] (inclusive). Requires
+    [lo <= hi]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val gaussian : t -> mean:float -> stddev:float -> float
+(** Box–Muller normal deviate. *)

@@ -1,0 +1,1 @@
+lib/viz/ascii.ml: Array Buffer Geom List String Util

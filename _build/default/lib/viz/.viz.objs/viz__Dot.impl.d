@@ -1,0 +1,1 @@
+lib/viz/dot.ml: Array Buffer Hier List Printf Seqgraph String

@@ -1,0 +1,1 @@
+lib/viz/dot.mli: Hier Seqgraph

@@ -1,0 +1,1 @@
+lib/viz/ppm.ml: Array Buffer Char Printf Util

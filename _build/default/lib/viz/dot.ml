@@ -1,0 +1,70 @@
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c -> match c with '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let hierarchy tree ?(max_depth = 4) () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph HT {\n  rankdir=TB;\n  node [fontsize=10];\n";
+  let rec emit id depth =
+    let n = Hier.Tree.node tree id in
+    let label =
+      Printf.sprintf "%s\\n%.0f um2, %d macros" (escape n.Hier.Tree.name)
+        n.Hier.Tree.area n.Hier.Tree.macro_count
+    in
+    let shape =
+      match n.Hier.Tree.kind with
+      | Hier.Tree.Macro_cell _ -> "box"
+      | Hier.Tree.Glue _ -> "ellipse"
+      | Hier.Tree.Scope _ -> "folder"
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=\"%s\", shape=%s];\n" id label shape);
+    if depth < max_depth then
+      List.iter
+        (fun c ->
+          Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" id c);
+          emit c (depth + 1))
+        (Hier.Tree.children tree id)
+    else if Hier.Tree.children tree id <> [] then begin
+      Buffer.add_string buf
+        (Printf.sprintf "  e%d [label=\"... %d more\", shape=plaintext];\n" id
+           (List.length (Hier.Tree.children tree id)));
+      Buffer.add_string buf (Printf.sprintf "  n%d -> e%d;\n" id id)
+    end
+  in
+  emit (Hier.Tree.root tree) 0;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let seqgraph (g : Seqgraph.t) ?(min_width = 1) () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph Gseq {\n  rankdir=LR;\n  node [fontsize=10];\n";
+  Array.iter
+    (fun (nd : Seqgraph.node) ->
+      let shape, color =
+        match nd.Seqgraph.kind with
+        | Seqgraph.Macro _ -> ("box", "lightblue")
+        | Seqgraph.Register _ -> ("ellipse", "white")
+        | Seqgraph.Port _ -> ("diamond", "lightyellow")
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  n%d [label=\"%s\\n%d bits\", shape=%s, style=filled, fillcolor=%s];\n"
+           nd.Seqgraph.id (escape nd.Seqgraph.name) nd.Seqgraph.bits shape color))
+    g.Seqgraph.nodes;
+  Array.iter
+    (fun (e : Seqgraph.edge) ->
+      if e.Seqgraph.width >= min_width then
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d -> n%d [label=\"%d/%d\"];\n" e.Seqgraph.src
+             e.Seqgraph.dst e.Seqgraph.width e.Seqgraph.latency))
+    g.Seqgraph.edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc

@@ -1,0 +1,15 @@
+(** Graphviz DOT export: the hierarchy tree and the sequential graph, for
+    offline inspection of a design's structure (the paper's interactive
+    tool replacement, alongside the SVG dataflow diagram). *)
+
+val hierarchy :
+  Hier.Tree.t -> ?max_depth:int -> unit -> string
+(** HT as a tree; macro leaves are boxes, glue leaves are ellipses.
+    Subtrees below [max_depth] (default 4) are elided with a summary
+    node. *)
+
+val seqgraph : Seqgraph.t -> ?min_width:int -> unit -> string
+(** Gseq with edge labels "width/latency"; edges narrower than
+    [min_width] (default 1) are dropped to keep the graph readable. *)
+
+val write_file : string -> string -> unit

@@ -1,0 +1,39 @@
+(* Blue -> green -> yellow -> red heat ramp, like the paper's density
+   maps. *)
+let heat v =
+  let v = Util.Stat.clamp ~lo:0.0 ~hi:1.0 v in
+  let lerp a b t = int_of_float (a +. ((b -. a) *. t)) in
+  if v < 0.33 then
+    let t = v /. 0.33 in
+    (lerp 30.0 40.0 t, lerp 60.0 200.0 t, lerp 180.0 120.0 t)
+  else if v < 0.66 then
+    let t = (v -. 0.33) /. 0.33 in
+    (lerp 40.0 230.0 t, lerp 200.0 220.0 t, lerp 120.0 50.0 t)
+  else
+    let t = (v -. 0.66) /. 0.34 in
+    (lerp 230.0 220.0 t, lerp 220.0 40.0 t, lerp 50.0 30.0 t)
+
+let of_density grid ?(pixels_per_bin = 8) () =
+  let nx = Array.length grid in
+  let ny = if nx = 0 then 0 else Array.length grid.(0) in
+  let w = nx * pixels_per_bin and h = ny * pixels_per_bin in
+  let vmax = Array.fold_left (fun acc col -> Array.fold_left max acc col) 1e-12 grid in
+  let buf = Buffer.create ((w * h * 3) + 32) in
+  Buffer.add_string buf (Printf.sprintf "P6\n%d %d\n255\n" w h);
+  for row = 0 to h - 1 do
+    (* row 0 at the top of the image = highest y bin *)
+    let iy = ny - 1 - (row / pixels_per_bin) in
+    for col = 0 to w - 1 do
+      let ix = col / pixels_per_bin in
+      let r, g, b = heat (grid.(ix).(iy) /. vmax) in
+      Buffer.add_char buf (Char.chr (Util.Stat.clamp_int ~lo:0 ~hi:255 r));
+      Buffer.add_char buf (Char.chr (Util.Stat.clamp_int ~lo:0 ~hi:255 g));
+      Buffer.add_char buf (Char.chr (Util.Stat.clamp_int ~lo:0 ~hi:255 b))
+    done
+  done;
+  Buffer.contents buf
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc

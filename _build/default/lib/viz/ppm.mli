@@ -1,0 +1,7 @@
+(** Binary PPM (P6) image output for density maps (paper Fig. 9a-c). *)
+
+val of_density : float array array -> ?pixels_per_bin:int -> unit -> string
+(** Greyscale-to-heat rendering; input is column-major with [iy = 0] at
+    the bottom, as produced by [Cellplace.density_map]. *)
+
+val write_file : string -> string -> unit

@@ -1,0 +1,127 @@
+module Rect = Geom.Rect
+module Point = Geom.Point
+
+type style = {
+  fill : string;
+  stroke : string;
+  opacity : float;
+}
+
+let macro_style = { fill = "#5b7aa9"; stroke = "#1f2f4a"; opacity = 0.95 }
+let block_style = { fill = "#8fb58f"; stroke = "#2f4a2f"; opacity = 0.55 }
+let glue_style = { fill = "#d9d2b8"; stroke = "#8a8468"; opacity = 0.45 }
+
+let palette =
+  [| "#5b7aa9"; "#a95b5b"; "#5ba98e"; "#a9885b"; "#8a5ba9"; "#5b9aa9"; "#a95b88";
+     "#7ba95b" |]
+
+let header ~w ~h =
+  Printf.sprintf
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" viewBox=\"0 0 %d %d\">\n"
+    w h w h
+
+let floorplan ~die ~rects ?(arrows = []) ?(size = 640) () =
+  let scale = float_of_int size /. die.Rect.w in
+  let hpx = int_of_float (die.Rect.h *. scale) in
+  let tx x = (x -. die.Rect.x) *. scale in
+  let ty y = float_of_int hpx -. ((y -. die.Rect.y) *. scale) in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (header ~w:size ~h:hpx);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<rect x=\"0\" y=\"0\" width=\"%d\" height=\"%d\" fill=\"#fafafa\" stroke=\"#333\"/>\n"
+       size hpx);
+  List.iter
+    (fun (label, (r : Rect.t), st) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" fill=\"%s\" \
+            stroke=\"%s\" fill-opacity=\"%.2f\"/>\n"
+           (tx r.Rect.x)
+           (ty (r.Rect.y +. r.Rect.h))
+           (r.Rect.w *. scale) (r.Rect.h *. scale) st.fill st.stroke st.opacity);
+      if label <> "" then
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<text x=\"%.1f\" y=\"%.1f\" font-size=\"10\" fill=\"#222\" \
+              text-anchor=\"middle\">%s</text>\n"
+             (tx (r.Rect.x +. (r.Rect.w /. 2.0)))
+             (ty (r.Rect.y +. (r.Rect.h /. 2.0)))
+             label))
+    rects;
+  List.iter
+    (fun ((a : Point.t), (b : Point.t), w) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"#c03030\" \
+            stroke-width=\"%.2f\" stroke-opacity=\"0.7\"/>\n"
+           (tx a.Point.x) (ty a.Point.y) (tx b.Point.x) (ty b.Point.y)
+           (Util.Stat.clamp ~lo:0.5 ~hi:8.0 w)))
+    arrows;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let dataflow_diagram ~die ~blocks ~affinity ?(size = 640) () =
+  let rects =
+    List.mapi
+      (fun i (name, r, macro_count) ->
+        let base = palette.(i mod Array.length palette) in
+        let st =
+          if macro_count > 0 then { fill = base; stroke = "#222"; opacity = 0.85 }
+          else { glue_style with stroke = "#555" }
+        in
+        let label = Printf.sprintf "%s (%d)" name macro_count in
+        (label, r, st))
+      blocks
+  in
+  let n = List.length blocks in
+  let centers = Array.of_list (List.map (fun (_, r, _) -> Rect.center r) blocks) in
+  let vmax =
+    let m = ref 1e-12 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if affinity.(i).(j) > !m then m := affinity.(i).(j)
+      done
+    done;
+    !m
+  in
+  let arrows = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = affinity.(i).(j) in
+      if a > 0.02 *. vmax then
+        arrows := (centers.(i), centers.(j), 8.0 *. a /. vmax) :: !arrows
+    done
+  done;
+  floorplan ~die ~rects ~arrows:!arrows ~size ()
+
+let density_heatmap grid ?(size = 512) () =
+  let nx = Array.length grid in
+  let ny = if nx = 0 then 0 else Array.length grid.(0) in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (header ~w:size ~h:size);
+  if nx > 0 && ny > 0 then begin
+    let vmax = Array.fold_left (fun acc col -> Array.fold_left max acc col) 1e-12 grid in
+    let cw = float_of_int size /. float_of_int nx in
+    let ch = float_of_int size /. float_of_int ny in
+    for i = 0 to nx - 1 do
+      for j = 0 to ny - 1 do
+        let v = grid.(i).(j) /. vmax in
+        let shade = int_of_float (255.0 *. (1.0 -. (0.92 *. v))) in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" \
+              fill=\"rgb(%d,%d,%d)\"/>\n"
+             (float_of_int i *. cw)
+             (float_of_int (ny - 1 - j) *. ch)
+             cw ch shade shade 255)
+      done
+    done
+  end;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc

@@ -1,0 +1,39 @@
+(** SVG output: floorplans, dataflow diagrams (paper Fig. 9d), density
+    heat maps. *)
+
+type style = {
+  fill : string;
+  stroke : string;
+  opacity : float;
+}
+
+val macro_style : style
+val block_style : style
+val glue_style : style
+
+val floorplan :
+  die:Geom.Rect.t ->
+  rects:(string * Geom.Rect.t * style) list ->
+  ?arrows:(Geom.Point.t * Geom.Point.t * float) list ->
+  ?size:int ->
+  unit ->
+  string
+(** SVG document with labelled rectangles and optional affinity arrows
+    (the third component is the line weight). Y axis is flipped so the
+    die's origin is bottom-left, as in the floorplan. *)
+
+val dataflow_diagram :
+  die:Geom.Rect.t ->
+  blocks:(string * Geom.Rect.t * int) list ->
+  affinity:float array array ->
+  ?size:int ->
+  unit ->
+  string
+(** The paper's interactive-tool view: one coloured box per Gdf block
+    (the int is the macro count; 0 means a std-cell block) and arrows
+    whose opacity scales with the pairwise affinity. *)
+
+val density_heatmap : float array array -> ?size:int -> unit -> string
+
+val write_file : string -> string -> unit
+(** [write_file path contents]. *)

@@ -1,0 +1,1 @@
+test/test_anneal.ml: Alcotest Anneal QCheck QCheck_alcotest Util

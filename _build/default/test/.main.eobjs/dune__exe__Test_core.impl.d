@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Circuitgen Geom Hashtbl Hidap Hier Lazy List Netlist Printf Seqgraph Shape Util

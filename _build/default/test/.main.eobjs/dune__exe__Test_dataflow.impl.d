@@ -1,0 +1,1 @@
+test/test_dataflow.ml: Alcotest Array Dataflow Hashtbl List Netlist Printf Seqgraph Util

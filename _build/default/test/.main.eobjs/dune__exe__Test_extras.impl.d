@@ -1,0 +1,1 @@
+test/test_extras.ml: Alcotest Array Astring Circuitgen Filename Format Geom Hidap Hier Lazy List Netlist Printf Seqgraph String Sys Viz

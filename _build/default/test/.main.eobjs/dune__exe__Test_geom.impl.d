@@ -1,0 +1,1 @@
+test/test_geom.ml: Alcotest Array Gen Geom List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_hier.ml: Alcotest Array Circuitgen Hier Lazy List Netlist QCheck QCheck_alcotest

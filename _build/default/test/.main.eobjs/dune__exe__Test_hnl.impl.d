@@ -1,0 +1,1 @@
+test/test_hnl.ml: Alcotest Array Circuitgen Filename Graphlib Hnl List Netlist Option Sys

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Baselines Cellplace Circuitgen Evalflow Float Geom Hidap Lazy List Netlist Seqgraph

@@ -1,0 +1,1 @@
+test/test_properties.ml: Anneal Circuitgen Geom Hidap Hier Hnl List Netlist QCheck QCheck_alcotest Seqgraph

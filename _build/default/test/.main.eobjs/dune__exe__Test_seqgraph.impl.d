@@ -1,0 +1,1 @@
+test/test_seqgraph.ml: Alcotest Array Circuitgen List Netlist Printf Seqgraph

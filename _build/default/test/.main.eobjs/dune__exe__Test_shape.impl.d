@@ -1,0 +1,1 @@
+test/test_shape.ml: Alcotest Gen List QCheck QCheck_alcotest Shape

@@ -1,0 +1,1 @@
+test/test_slicing.ml: Alcotest Array Geom List Printf QCheck QCheck_alcotest Shape Slicing Util

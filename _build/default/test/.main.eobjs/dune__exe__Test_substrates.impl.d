@@ -1,0 +1,1 @@
+test/test_substrates.ml: Alcotest Array Cellplace Circuitgen Congestion Geom Graphlib Hashtbl Hidap Lazy List Netlist Printf Seqgraph Sta

@@ -1,0 +1,1 @@
+test/test_toolchain.ml: Alcotest Array Astring Baselines Circuitgen Geom Hidap Lazy List Netlist Printf QCheck QCheck_alcotest Report Seqgraph String Util Viz

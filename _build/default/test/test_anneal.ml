@@ -1,0 +1,74 @@
+(* Tests for the simulated annealing engine. *)
+
+module Sa = Anneal.Sa
+
+let qtest ?(count = 30) name arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
+
+(* 1-D quadratic with gaussian moves: SA must get near the minimum. *)
+let quadratic_setup () =
+  let cost x = (x -. 3.0) *. (x -. 3.0) in
+  let neighbor rng x = x +. Util.Rng.gaussian rng ~mean:0.0 ~stddev:0.5 in
+  (cost, neighbor)
+
+let test_minimizes_quadratic () =
+  let cost, neighbor = quadratic_setup () in
+  let rng = Util.Rng.create 4 in
+  let r = Sa.minimize ~rng ~init:20.0 ~cost ~neighbor () in
+  Alcotest.(check bool) "near minimum" true (abs_float (r.Sa.best -. 3.0) < 0.5);
+  Alcotest.(check bool) "cost improved" true (r.Sa.best_cost < cost 20.0)
+
+let test_deterministic () =
+  let cost, neighbor = quadratic_setup () in
+  let run () = Sa.minimize ~rng:(Util.Rng.create 9) ~init:10.0 ~cost ~neighbor () in
+  let a = run () and b = run () in
+  Alcotest.(check (float 0.0)) "identical best" a.Sa.best b.Sa.best;
+  Alcotest.(check int) "identical move count" a.Sa.moves b.Sa.moves
+
+let test_respects_max_moves () =
+  let cost, neighbor = quadratic_setup () in
+  let params = { Sa.default_params with Sa.max_moves = 100 } in
+  let r = Sa.minimize ~rng:(Util.Rng.create 1) ~init:10.0 ~cost ~neighbor ~params () in
+  Alcotest.(check bool) "bounded moves" true (r.Sa.moves <= 100)
+
+let test_explicit_temperature () =
+  let cost, neighbor = quadratic_setup () in
+  let params = { Sa.default_params with Sa.initial_temp = Some 10.0; max_moves = 2000 } in
+  let r = Sa.minimize ~rng:(Util.Rng.create 2) ~init:10.0 ~cost ~neighbor ~params () in
+  Alcotest.(check bool) "still converges" true (abs_float (r.Sa.best -. 3.0) < 1.0)
+
+let test_stats_consistent () =
+  let cost, neighbor = quadratic_setup () in
+  let r = Sa.minimize ~rng:(Util.Rng.create 5) ~init:0.0 ~cost ~neighbor () in
+  Alcotest.(check bool) "accepted <= moves" true (r.Sa.accepted <= r.Sa.moves);
+  Alcotest.(check bool) "ran some plateaus" true (r.Sa.plateaus > 0)
+
+let best_never_worse_than_init =
+  qtest "best cost never exceeds the initial cost"
+    QCheck.(pair small_int (float_range (-50.0) 50.0))
+    (fun (seed, init) ->
+      let cost, neighbor = quadratic_setup () in
+      let params = Sa.quick_params in
+      let r = Sa.minimize ~rng:(Util.Rng.create seed) ~init ~cost ~neighbor ~params () in
+      r.Sa.best_cost <= cost init +. 1e-9)
+
+let discrete_state_space =
+  qtest "works on discrete states (int moves)"
+    QCheck.small_int
+    (fun seed ->
+      let cost x = float_of_int (abs (x - 7)) in
+      let neighbor rng x = x + Util.Rng.range rng (-2) 2 in
+      let r =
+        Sa.minimize ~rng:(Util.Rng.create seed) ~init:100 ~cost ~neighbor
+          ~params:Sa.quick_params ()
+      in
+      r.Sa.best_cost <= cost 100)
+
+let suite =
+  [ ( "anneal.sa",
+      [ Alcotest.test_case "minimizes quadratic" `Quick test_minimizes_quadratic;
+        Alcotest.test_case "deterministic" `Quick test_deterministic;
+        Alcotest.test_case "max moves" `Quick test_respects_max_moves;
+        Alcotest.test_case "explicit temperature" `Quick test_explicit_temperature;
+        Alcotest.test_case "stats consistent" `Quick test_stats_consistent;
+        best_never_worse_than_init; discrete_state_space ] ) ]

@@ -1,0 +1,196 @@
+(* Tests for the hierarchy tree and declustering (paper Algorithm 3). *)
+
+module D = Netlist.Design
+module Flat = Netlist.Flat
+module Tree = Hier.Tree
+module Dc = Hier.Decluster
+
+let qtest ?(count = 50) name arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
+
+(* top
+     u0 : block  (macro 6x4 + flop + comb)
+     u1 : block
+     glue : comb in top *)
+let block_mod =
+  D.module_def ~name:"block"
+    ~ports:[ D.port ~name:"i" ~dir:D.Input; D.port ~name:"o" ~dir:D.Output ]
+    ~cells:
+      [ D.cell ~name:"mem" ~kind:(D.make_macro ~w:6.0 ~h:4.0) ~ins:[ "i" ] ~outs:[ "q" ] ();
+        D.cell ~name:"r_0" ~kind:D.Flop ~ins:[ "q" ] ~outs:[ "p" ] ();
+        D.cell ~name:"c" ~kind:D.Comb ~ins:[ "p" ] ~outs:[ "o" ] () ]
+    ()
+
+let top_mod =
+  D.module_def ~name:"top"
+    ~ports:[ D.port ~name:"a" ~dir:D.Input; D.port ~name:"z" ~dir:D.Output ]
+    ~cells:[ D.cell ~name:"g" ~kind:D.Comb ~ins:[ "w" ] ~outs:[ "z" ] () ]
+    ~insts:
+      [ D.inst ~name:"u0" ~module_:"block" ~bindings:[ ("i", "a"); ("o", "w") ];
+        D.inst ~name:"u1" ~module_:"block" ~bindings:[ ("i", "w"); ("o", "x") ] ]
+    ()
+
+let tree = lazy (Tree.build (Flat.elaborate (D.design ~top:"top" ~modules:[ top_mod; block_mod ])))
+
+let fig1_tree = lazy (Tree.build (Flat.elaborate (Circuitgen.Suite.fig1_design ())))
+
+let test_tree_aggregates () =
+  let t = Lazy.force tree in
+  let root = Tree.root t in
+  (* total area: 2 blocks x (24 + 1 + 1) + 1 top comb = 53 *)
+  Alcotest.(check (float 1e-9)) "root area" 53.0 (Tree.area t root);
+  Alcotest.(check int) "root macros" 2 (Tree.macro_count t root);
+  Alcotest.(check int) "root depth 0" 0 (Tree.depth t root)
+
+let test_tree_structure () =
+  let t = Lazy.force tree in
+  let root = Tree.root t in
+  (* children: scope u0, scope u1, top glue leaf *)
+  let kids = Tree.children t root in
+  Alcotest.(check int) "root children" 3 (List.length kids);
+  let scopes, leaves =
+    List.partition
+      (fun id -> match (Tree.node t id).Tree.kind with Tree.Scope _ -> true | _ -> false)
+      kids
+  in
+  Alcotest.(check int) "two scope children" 2 (List.length scopes);
+  Alcotest.(check int) "one glue leaf" 1 (List.length leaves);
+  List.iter
+    (fun sid ->
+      Alcotest.(check int) "block subtree macro" 1 (Tree.macro_count t sid);
+      (* scope child: macro leaf + glue leaf *)
+      Alcotest.(check int) "scope children" 2 (List.length (Tree.children t sid)))
+    scopes
+
+let test_tree_macros_below () =
+  let t = Lazy.force tree in
+  let root = Tree.root t in
+  Alcotest.(check int) "macros below root" 2 (List.length (Tree.macros_below t root));
+  let cells = Tree.cells_below t root in
+  Alcotest.(check int) "cells below root" 7 (List.length cells)
+
+let test_ht_node_of_flat () =
+  let t = Lazy.force tree in
+  let flat = Tree.flat t in
+  Array.iter
+    (fun (n : Flat.node) ->
+      if not (Flat.is_port n) then begin
+        let ht = Tree.ht_node_of_flat t n.Flat.id in
+        (match ((Tree.node t ht).Tree.kind, Flat.is_macro n) with
+        | Tree.Macro_cell fid, true -> Alcotest.(check int) "macro leaf maps back" n.Flat.id fid
+        | Tree.Glue sid, false -> Alcotest.(check int) "glue leaf scope" n.Flat.scope sid
+        | _ -> Alcotest.fail "wrong HT leaf kind");
+        Alcotest.(check bool) "leaf under root" true
+          (Tree.is_ancestor t ~ancestor:(Tree.root t) ht)
+      end)
+    flat.Flat.nodes
+
+let test_ht_node_of_flat_port_raises () =
+  let t = Lazy.force tree in
+  let flat = Tree.flat t in
+  let port =
+    Array.to_list flat.Flat.nodes |> List.find (fun (n : Flat.node) -> Flat.is_port n)
+  in
+  match Tree.ht_node_of_flat t port.Flat.id with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for ports"
+
+let test_is_ancestor () =
+  let t = Lazy.force tree in
+  let root = Tree.root t in
+  Alcotest.(check bool) "reflexive" true (Tree.is_ancestor t ~ancestor:root root);
+  let kid = List.hd (Tree.children t root) in
+  Alcotest.(check bool) "parent of child" true (Tree.is_ancestor t ~ancestor:root kid);
+  Alcotest.(check bool) "child not ancestor of root" false
+    (Tree.is_ancestor t ~ancestor:kid root)
+
+let test_area_conservation_fig1 () =
+  let t = Lazy.force fig1_tree in
+  let flat = Tree.flat t in
+  Alcotest.(check (float 1e-6)) "root area = total cell area"
+    (Flat.total_cell_area flat)
+    (Tree.area t (Tree.root t));
+  Alcotest.(check int) "16 macros" 16 (Tree.macro_count t (Tree.root t))
+
+(* ---- declustering ------------------------------------------------- *)
+
+let test_decluster_fig1_top () =
+  let t = Lazy.force fig1_tree in
+  let dc = Dc.run t ~nh:(Tree.root t) ~open_frac:0.4 ~min_frac:0.01 in
+  (* the Fig 1 story: two 8-macro subsystems plus cells-only blocks *)
+  let macro_blocks =
+    List.filter (fun id -> Tree.macro_count t id > 0) dc.Dc.hcb
+  in
+  Alcotest.(check int) "two macro blocks" 2 (List.length macro_blocks);
+  List.iter
+    (fun id -> Alcotest.(check int) "8 macros each" 8 (Tree.macro_count t id))
+    macro_blocks;
+  Alcotest.(check bool) "valid hierarchy cut" true
+    (Dc.is_valid_cut t ~nh:(Tree.root t) (dc.Dc.hcb @ dc.Dc.hcg))
+
+let test_decluster_macro_nodes_in_hcb () =
+  let t = Lazy.force fig1_tree in
+  let dc = Dc.run t ~nh:(Tree.root t) ~open_frac:0.4 ~min_frac:0.01 in
+  List.iter
+    (fun id -> Alcotest.(check int) "glue has no macros" 0 (Tree.macro_count t id))
+    dc.Dc.hcg;
+  let covered =
+    List.fold_left (fun acc id -> acc + Tree.macro_count t id) 0 dc.Dc.hcb
+  in
+  Alcotest.(check int) "all macros covered" 16 covered
+
+let test_decluster_area_covered () =
+  let t = Lazy.force fig1_tree in
+  let dc = Dc.run t ~nh:(Tree.root t) ~open_frac:0.4 ~min_frac:0.01 in
+  let total =
+    List.fold_left (fun acc id -> acc +. Tree.area t id) 0.0 (dc.Dc.hcb @ dc.Dc.hcg)
+  in
+  Alcotest.(check (float 1e-6)) "cut covers the whole area"
+    (Tree.area t (Tree.root t)) total
+
+let test_decluster_leaf_node () =
+  let t = Lazy.force tree in
+  (* decluster a macro leaf: single block, itself *)
+  let flat = Tree.flat t in
+  let macro =
+    Array.to_list flat.Flat.nodes |> List.find (fun (n : Flat.node) -> Flat.is_macro n)
+  in
+  let leaf = Tree.ht_node_of_flat t macro.Flat.id in
+  let dc = Dc.run t ~nh:leaf ~open_frac:0.4 ~min_frac:0.01 in
+  Alcotest.(check (list int)) "leaf is its own block" [ leaf ] dc.Dc.hcb
+
+let test_decluster_open_frac_effect () =
+  let t = Lazy.force fig1_tree in
+  (* a tiny open_frac explores deeper and produces more blocks *)
+  let coarse = Dc.run t ~nh:(Tree.root t) ~open_frac:0.9 ~min_frac:0.001 in
+  let fine = Dc.run t ~nh:(Tree.root t) ~open_frac:0.005 ~min_frac:0.001 in
+  Alcotest.(check bool) "finer cut has at least as many nodes" true
+    (List.length (fine.Dc.hcb @ fine.Dc.hcg)
+     >= List.length (coarse.Dc.hcb @ coarse.Dc.hcg))
+
+let decluster_always_valid_cut =
+  qtest "declustering always yields a valid cut covering all macros"
+    QCheck.(pair (float_range 0.02 1.0) (float_range 0.001 1.0))
+    (fun (open_frac, min_frac_raw) ->
+      let min_frac = min min_frac_raw open_frac in
+      let t = Lazy.force fig1_tree in
+      let dc = Dc.run t ~nh:(Tree.root t) ~open_frac ~min_frac in
+      Dc.is_valid_cut t ~nh:(Tree.root t) (dc.Dc.hcb @ dc.Dc.hcg)
+      && List.fold_left (fun acc id -> acc + Tree.macro_count t id) 0 dc.Dc.hcb = 16)
+
+let suite =
+  [ ( "hier.tree",
+      [ Alcotest.test_case "aggregates" `Quick test_tree_aggregates;
+        Alcotest.test_case "structure" `Quick test_tree_structure;
+        Alcotest.test_case "macros/cells below" `Quick test_tree_macros_below;
+        Alcotest.test_case "ht_node_of_flat" `Quick test_ht_node_of_flat;
+        Alcotest.test_case "ports raise" `Quick test_ht_node_of_flat_port_raises;
+        Alcotest.test_case "is_ancestor" `Quick test_is_ancestor;
+        Alcotest.test_case "area conservation (fig1)" `Quick test_area_conservation_fig1 ] );
+    ( "hier.decluster",
+      [ Alcotest.test_case "fig1 top cut" `Quick test_decluster_fig1_top;
+        Alcotest.test_case "macros end in HCB" `Quick test_decluster_macro_nodes_in_hcb;
+        Alcotest.test_case "area covered" `Quick test_decluster_area_covered;
+        Alcotest.test_case "leaf node" `Quick test_decluster_leaf_node;
+        Alcotest.test_case "open_frac depth" `Quick test_decluster_open_frac_effect;
+        decluster_always_valid_cut ] ) ]

@@ -1,0 +1,195 @@
+(* Tests for Gseq construction: combinational elision, array clustering,
+   edge inference and threshold bridging (paper §IV-D steps 1-4). *)
+
+module D = Netlist.Design
+module Flat = Netlist.Flat
+
+let bits prefix w = List.init w (fun i -> Printf.sprintf "%s_%d" prefix i)
+
+(* reg array a (w bits) -> comb stage -> reg array b (w bits), all in one
+   module; plus a 1-bit loner register fed from a_0. *)
+let two_arrays w =
+  let cells =
+    List.concat
+      (List.init w (fun i ->
+           [ D.cell ~name:(Printf.sprintf "a_%d" i) ~kind:D.Flop
+               ~ins:[ Printf.sprintf "in_%d" i ] ~outs:[ Printf.sprintf "aq_%d" i ] ();
+             D.cell ~name:(Printf.sprintf "mix_%d" i) ~kind:D.Comb
+               ~ins:[ Printf.sprintf "aq_%d" i ] ~outs:[ Printf.sprintf "m_%d" i ] ();
+             D.cell ~name:(Printf.sprintf "b_%d" i) ~kind:D.Flop
+               ~ins:[ Printf.sprintf "m_%d" i ] ~outs:[ Printf.sprintf "bq_%d" i ] () ]))
+    @ [ D.cell ~name:"loner" ~kind:D.Flop ~ins:[ "aq_0" ] ~outs:[ "lq" ] () ]
+  in
+  let ports = List.map (fun n -> D.port ~name:n ~dir:D.Input) (bits "in" w) in
+  D.design ~top:"t" ~modules:[ D.module_def ~name:"t" ~ports ~cells () ]
+
+let find_node (g : Seqgraph.t) name =
+  match Array.to_list g.Seqgraph.nodes |> List.find_opt (fun n -> n.Seqgraph.name = name) with
+  | Some n -> n
+  | None -> Alcotest.failf "Gseq node %s not found" name
+
+let test_array_clustering () =
+  let g = Seqgraph.build (Flat.elaborate (two_arrays 8)) in
+  let a = find_node g "a" and b = find_node g "b" in
+  Alcotest.(check int) "a is 8 bits" 8 a.Seqgraph.bits;
+  Alcotest.(check int) "b is 8 bits" 8 b.Seqgraph.bits;
+  let loner = find_node g "loner" in
+  Alcotest.(check int) "loner 1 bit" 1 loner.Seqgraph.bits
+
+let test_port_clustering () =
+  let g = Seqgraph.build (Flat.elaborate (two_arrays 8)) in
+  let p = find_node g "in" in
+  Alcotest.(check bool) "port node" true (Seqgraph.is_port_node p);
+  Alcotest.(check int) "port width 8" 8 p.Seqgraph.bits
+
+let test_comb_elision_edge () =
+  let g = Seqgraph.build (Flat.elaborate (two_arrays 8)) in
+  let a = find_node g "a" and b = find_node g "b" in
+  match Seqgraph.find_edge g ~src:a.Seqgraph.id ~dst:b.Seqgraph.id with
+  | None -> Alcotest.fail "expected a -> b edge through comb"
+  | Some e ->
+    Alcotest.(check int) "full width" 8 e.Seqgraph.width;
+    Alcotest.(check int) "latency 1" 1 e.Seqgraph.latency
+
+let test_partial_width_edge () =
+  let g = Seqgraph.build (Flat.elaborate (two_arrays 8)) in
+  let a = find_node g "a" and loner = find_node g "loner" in
+  match Seqgraph.find_edge g ~src:a.Seqgraph.id ~dst:loner.Seqgraph.id with
+  | None -> Alcotest.fail "expected a -> loner edge"
+  | Some e -> Alcotest.(check int) "single-bit slice" 1 e.Seqgraph.width
+
+let test_no_self_edges () =
+  let g = Seqgraph.build (Flat.elaborate (two_arrays 4)) in
+  Array.iter
+    (fun (e : Seqgraph.edge) ->
+      Alcotest.(check bool) "no self edge" false (e.Seqgraph.src = e.Seqgraph.dst))
+    g.Seqgraph.edges
+
+let test_of_flat_mapping () =
+  let flat = Flat.elaborate (two_arrays 4) in
+  let g = Seqgraph.build flat in
+  Array.iter
+    (fun (n : Flat.node) ->
+      let gid = g.Seqgraph.of_flat.(n.Flat.id) in
+      match n.Flat.kind with
+      | Flat.Kcomb -> Alcotest.(check int) "comb unmapped" (-1) gid
+      | Flat.Kflop | Flat.Kmacro _ | Flat.Kport _ ->
+        Alcotest.(check bool) "sequential mapped" true (gid >= 0))
+    flat.Flat.nodes
+
+(* macro between register stages: regs(8) -> macro -> regs(8) *)
+let macro_between w =
+  let cells =
+    (D.cell ~name:"mem" ~kind:(D.make_macro ~w:20.0 ~h:10.0) ~ins:(bits "aq" w)
+       ~outs:(bits "mq" w) ())
+    :: List.concat
+         (List.init w (fun i ->
+              [ D.cell ~name:(Printf.sprintf "a_%d" i) ~kind:D.Flop
+                  ~ins:[ Printf.sprintf "in_%d" i ] ~outs:[ Printf.sprintf "aq_%d" i ] ();
+                D.cell ~name:(Printf.sprintf "b_%d" i) ~kind:D.Flop
+                  ~ins:[ Printf.sprintf "mq_%d" i ] ~outs:[ Printf.sprintf "bq_%d" i ] () ]))
+  in
+  let ports = List.map (fun n -> D.port ~name:n ~dir:D.Input) (bits "in" w) in
+  D.design ~top:"t" ~modules:[ D.module_def ~name:"t" ~ports ~cells () ]
+
+let test_macro_bits_from_connectivity () =
+  let g = Seqgraph.build (Flat.elaborate (macro_between 8)) in
+  let m = find_node g "mem" in
+  Alcotest.(check bool) "macro node" true (Seqgraph.is_macro_node m);
+  Alcotest.(check int) "macro width from connections" 8 m.Seqgraph.bits;
+  Alcotest.(check int) "macro listed" 1 (List.length (Seqgraph.macro_nodes g))
+
+let test_macro_edges () =
+  let g = Seqgraph.build (Flat.elaborate (macro_between 8)) in
+  let a = find_node g "a" and m = find_node g "mem" and b = find_node g "b" in
+  Alcotest.(check bool) "a -> mem" true
+    (Seqgraph.find_edge g ~src:a.Seqgraph.id ~dst:m.Seqgraph.id <> None);
+  Alcotest.(check bool) "mem -> b" true
+    (Seqgraph.find_edge g ~src:m.Seqgraph.id ~dst:b.Seqgraph.id <> None);
+  (* the macro is a sequential endpoint: no a -> b shortcut *)
+  Alcotest.(check bool) "no a -> b shortcut" true
+    (Seqgraph.find_edge g ~src:a.Seqgraph.id ~dst:b.Seqgraph.id = None)
+
+(* wide -> narrow -> wide register chain for threshold bridging *)
+let narrow_between () =
+  let w = 8 in
+  let cells =
+    List.concat
+      (List.init w (fun i ->
+           [ D.cell ~name:(Printf.sprintf "a_%d" i) ~kind:D.Flop
+               ~ins:[ Printf.sprintf "in_%d" i ] ~outs:[ Printf.sprintf "aq_%d" i ] () ]))
+    @ [ D.cell ~name:"nar" ~kind:D.Flop ~ins:[ "aq_0" ] ~outs:[ "nq" ] () ]
+    @ List.init w (fun i ->
+          D.cell ~name:(Printf.sprintf "b_%d" i) ~kind:D.Flop ~ins:[ "nq" ]
+            ~outs:[ Printf.sprintf "bq_%d" i ] ())
+  in
+  let ports = List.map (fun n -> D.port ~name:n ~dir:D.Input) (bits "in" w) in
+  D.design ~top:"t" ~modules:[ D.module_def ~name:"t" ~ports ~cells () ]
+
+let test_threshold_bridging () =
+  let flat = Flat.elaborate (narrow_between ()) in
+  (* without threshold: a -> nar -> b, latencies 1 *)
+  let g1 = Seqgraph.build ~bit_threshold:1 flat in
+  Alcotest.(check bool) "nar kept at threshold 1" true
+    (Array.exists (fun n -> n.Seqgraph.name = "nar") g1.Seqgraph.nodes);
+  (* with threshold 2 the 1-bit register is discarded and bridged *)
+  let g2 = Seqgraph.build ~bit_threshold:2 flat in
+  Alcotest.(check bool) "nar discarded" false
+    (Array.exists (fun n -> n.Seqgraph.name = "nar") g2.Seqgraph.nodes);
+  let a = find_node g2 "a" and b = find_node g2 "b" in
+  (match Seqgraph.find_edge g2 ~src:a.Seqgraph.id ~dst:b.Seqgraph.id with
+  | None -> Alcotest.fail "expected bridged a -> b edge"
+  | Some e ->
+    Alcotest.(check int) "bridged latency adds up" 2 e.Seqgraph.latency;
+    Alcotest.(check int) "bridged width is the bottleneck" 1 e.Seqgraph.width)
+
+let test_threshold_keeps_macros_and_ports () =
+  let flat = Flat.elaborate (macro_between 1) in
+  (* threshold larger than anything: 1-bit registers vanish but macro and
+     ports survive *)
+  let g = Seqgraph.build ~bit_threshold:100 flat in
+  Alcotest.(check int) "macro survives" 1 (List.length (Seqgraph.macro_nodes g));
+  Alcotest.(check bool) "ports survive" true
+    (Array.exists Seqgraph.is_port_node g.Seqgraph.nodes)
+
+let test_counts_on_generated () =
+  let flat = Flat.elaborate (Circuitgen.Suite.fig1_design ()) in
+  let g = Seqgraph.build flat in
+  Alcotest.(check int) "all 16 macros present" 16 (List.length (Seqgraph.macro_nodes g));
+  Alcotest.(check bool) "has register arrays" true
+    (Array.exists
+       (fun n -> match n.Seqgraph.kind with Seqgraph.Register (_ :: _ :: _) -> true | _ -> false)
+       g.Seqgraph.nodes);
+  (* every edge endpoint is a valid node id *)
+  Array.iter
+    (fun (e : Seqgraph.edge) ->
+      Alcotest.(check bool) "src valid" true (e.Seqgraph.src >= 0 && e.Seqgraph.src < Seqgraph.node_count g);
+      Alcotest.(check bool) "dst valid" true (e.Seqgraph.dst >= 0 && e.Seqgraph.dst < Seqgraph.node_count g))
+    g.Seqgraph.edges
+
+let test_edge_adjacency_consistency () =
+  let g = Seqgraph.build (Flat.elaborate (Circuitgen.Suite.fig2_system ())) in
+  for v = 0 to Seqgraph.node_count g - 1 do
+    List.iter
+      (fun (e : Seqgraph.edge) -> Alcotest.(check int) "out edge src" v e.Seqgraph.src)
+      (Seqgraph.succ_edges g v);
+    List.iter
+      (fun (e : Seqgraph.edge) -> Alcotest.(check int) "in edge dst" v e.Seqgraph.dst)
+      (Seqgraph.pred_edges g v)
+  done
+
+let suite =
+  [ ( "seqgraph",
+      [ Alcotest.test_case "array clustering" `Quick test_array_clustering;
+        Alcotest.test_case "port clustering" `Quick test_port_clustering;
+        Alcotest.test_case "comb elision edge" `Quick test_comb_elision_edge;
+        Alcotest.test_case "partial width edge" `Quick test_partial_width_edge;
+        Alcotest.test_case "no self edges" `Quick test_no_self_edges;
+        Alcotest.test_case "of_flat mapping" `Quick test_of_flat_mapping;
+        Alcotest.test_case "macro bits" `Quick test_macro_bits_from_connectivity;
+        Alcotest.test_case "macro edges" `Quick test_macro_edges;
+        Alcotest.test_case "threshold bridging" `Quick test_threshold_bridging;
+        Alcotest.test_case "threshold keeps macros/ports" `Quick
+          test_threshold_keeps_macros_and_ports;
+        Alcotest.test_case "generated design counts" `Quick test_counts_on_generated;
+        Alcotest.test_case "adjacency consistency" `Quick test_edge_adjacency_consistency ] ) ]

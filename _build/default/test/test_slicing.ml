@@ -1,0 +1,251 @@
+(* Tests for Polish expressions and the top-down area-budgeting layout
+   (paper §IV-E, Fig 8). *)
+
+module Polish = Slicing.Polish
+module Layout = Slicing.Layout
+module Rect = Geom.Rect
+module Curve = Shape.Curve
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let qtest ?(count = 100) name arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
+
+(* ---- Polish ------------------------------------------------------- *)
+
+let test_initial_normalized () =
+  for n = 1 to 12 do
+    let e = Polish.initial ~n in
+    Alcotest.(check bool) "normalized" true (Polish.is_normalized (Polish.elements e));
+    Alcotest.(check int) "operand count" n (Polish.operand_count e);
+    Alcotest.(check int) "length" ((2 * n) - 1) (Polish.length e)
+  done
+
+let test_initial_random_normalized () =
+  let rng = Util.Rng.create 3 in
+  for n = 1 to 12 do
+    let e = Polish.initial_random rng ~n in
+    Alcotest.(check bool) "normalized" true (Polish.is_normalized (Polish.elements e));
+    (* all operands present exactly once *)
+    let ops =
+      Array.to_list (Polish.elements e)
+      |> List.filter_map (function Polish.Operand i -> Some i | Polish.Operator _ -> None)
+      |> List.sort compare
+    in
+    Alcotest.(check (list int)) "operands 0..n-1" (List.init n (fun i -> i)) ops
+  done
+
+let test_of_elements_validation () =
+  (* operator first violates balloting *)
+  (match Polish.of_elements [| Polish.Operator Polish.V; Polish.Operand 0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection");
+  (* two equal adjacent operators (the skewed duplicate of a slicing
+     tree) must be rejected *)
+  (match
+     Polish.of_elements
+       [| Polish.Operand 0; Polish.Operand 1; Polish.Operand 2;
+          Polish.Operator Polish.V; Polish.Operator Polish.V |]
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection of VV chain");
+  (* same shape with alternating operators is fine *)
+  match
+    Polish.of_elements
+      [| Polish.Operand 0; Polish.Operand 1; Polish.Operand 2;
+         Polish.Operator Polish.V; Polish.Operator Polish.H |]
+  with
+  | exception Invalid_argument _ -> Alcotest.fail "alternating chain should be accepted"
+  | _ -> ()
+
+let test_is_normalized_rejects_skew () =
+  let bad =
+    [| Polish.Operand 0; Polish.Operand 1; Polish.Operator Polish.V;
+       Polish.Operand 2; Polish.Operator Polish.V |]
+  in
+  Alcotest.(check bool) "chain with equal adjacent ops rejected" false
+    (Polish.is_normalized
+       [| Polish.Operand 0; Polish.Operand 1; Polish.Operand 2;
+          Polish.Operator Polish.V; Polish.Operator Polish.V |]);
+  Alcotest.(check bool) "alternating accepted" true (Polish.is_normalized bad)
+
+let perturb_preserves_normalization =
+  qtest "perturb preserves normalization and operands"
+    QCheck.(pair small_int (int_range 2 15))
+    (fun (seed, n) ->
+      let rng = Util.Rng.create seed in
+      let e = ref (Polish.initial ~n) in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        e := Polish.perturb rng !e;
+        if not (Polish.is_normalized (Polish.elements !e)) then ok := false;
+        if Polish.operand_count !e <> n then ok := false
+      done;
+      !ok)
+
+let test_perturb_single_operand () =
+  let rng = Util.Rng.create 1 in
+  let e = Polish.initial ~n:1 in
+  let e' = Polish.perturb rng e in
+  Alcotest.(check int) "unchanged" 1 (Polish.operand_count e')
+
+(* ---- Layout ------------------------------------------------------- *)
+
+let soft_leaves ats =
+  Array.of_list
+    (List.mapi
+       (fun i at ->
+         { Layout.lid = i; curve = Curve.unconstrained; area_min = at; area_target = at })
+       ats)
+
+let budget = Rect.make ~x:0.0 ~y:0.0 ~w:3.0 ~h:3.0
+
+let test_fig8_regression () =
+  (* the paper's Fig 8: exact proportional rectangles *)
+  let leaves = soft_leaves [ 1.0; 2.0; 1.5; 2.0; 2.5 ] in
+  let expr =
+    Polish.of_elements
+      [| Polish.Operand 0; Polish.Operand 1; Polish.Operator Polish.V;
+         Polish.Operand 2; Polish.Operator Polish.H; Polish.Operand 3;
+         Polish.Operand 4; Polish.Operator Polish.V; Polish.Operator Polish.H |]
+  in
+  let p = Layout.evaluate expr ~leaves ~budget in
+  let rect lid = List.assoc lid p.Layout.rects in
+  List.iter
+    (fun (lid, at) -> check_float (Printf.sprintf "leaf %d takes its at" lid) at (Rect.area (rect lid)))
+    [ (0, 1.0); (1, 2.0); (2, 1.5); (3, 2.0); (4, 2.5) ];
+  check_float "no at shift" 0.0 p.Layout.viol.Layout.at_shift;
+  check_float "no am deficit" 0.0 p.Layout.viol.Layout.am_deficit;
+  check_float "no macro deficit" 0.0 p.Layout.viol.Layout.macro_deficit
+
+let test_two_leaf_cuts () =
+  let leaves = soft_leaves [ 1.0; 2.0 ] in
+  let v =
+    Polish.of_elements [| Polish.Operand 0; Polish.Operand 1; Polish.Operator Polish.V |]
+  in
+  let p = Layout.evaluate v ~leaves ~budget in
+  let r0 = List.assoc 0 p.Layout.rects and r1 = List.assoc 1 p.Layout.rects in
+  check_float "V cut: left third" 1.0 r0.Rect.w;
+  check_float "V cut: full height" 3.0 r0.Rect.h;
+  check_float "right starts after left" 1.0 r1.Rect.x;
+  let h =
+    Polish.of_elements [| Polish.Operand 0; Polish.Operand 1; Polish.Operator Polish.H |]
+  in
+  let p = Layout.evaluate h ~leaves ~budget in
+  let r0 = List.assoc 0 p.Layout.rects in
+  check_float "H cut: bottom third" 1.0 r0.Rect.h;
+  check_float "H cut: full width" 3.0 r0.Rect.w
+
+let random_expr rng n =
+  let e = ref (Polish.initial_random rng ~n) in
+  for _ = 1 to 20 do
+    e := Polish.perturb rng !e
+  done;
+  !e
+
+let layout_partitions_budget =
+  qtest "layout partitions the budget exactly with no overlap"
+    QCheck.(pair small_int (int_range 1 10))
+    (fun (seed, n) ->
+      let rng = Util.Rng.create seed in
+      let ats = List.init n (fun i -> 1.0 +. float_of_int ((seed + i) mod 5)) in
+      let leaves = soft_leaves ats in
+      let expr = random_expr rng n in
+      let p = Layout.evaluate expr ~leaves ~budget in
+      let rects = List.map snd p.Layout.rects in
+      let total = List.fold_left (fun acc r -> acc +. Rect.area r) 0.0 rects in
+      let no_overlap =
+        let rec check = function
+          | [] -> true
+          | r :: rest -> List.for_all (fun r' -> not (Rect.overlaps r r')) rest && check rest
+        in
+        check rects
+      in
+      let inside = List.for_all (fun r -> Rect.contains_rect ~outer:budget ~inner:r) rects in
+      abs_float (total -. Rect.area budget) < 1e-6 && no_overlap && inside)
+
+let test_macro_leaf_gets_space () =
+  (* one macro leaf needing 2x2 next to a soft leaf; budget is 3x3 so the
+     macro child must be widened beyond its proportional share *)
+  let leaves =
+    [| { Layout.lid = 0; curve = Curve.of_macro ~w:2.0 ~h:2.0 (); area_min = 4.0;
+         area_target = 4.0 };
+       { Layout.lid = 1; curve = Curve.unconstrained; area_min = 20.0; area_target = 20.0 } |]
+  in
+  let expr =
+    Polish.of_elements [| Polish.Operand 0; Polish.Operand 1; Polish.Operator Polish.V |]
+  in
+  let p = Layout.evaluate expr ~leaves ~budget in
+  let r0 = List.assoc 0 p.Layout.rects in
+  Alcotest.(check bool) "macro child wide enough" true (r0.Rect.w >= 2.0 -. 1e-9);
+  check_float "macro fits: no macro deficit" 0.0 p.Layout.viol.Layout.macro_deficit;
+  Alcotest.(check bool) "the shift is reported" true (p.Layout.viol.Layout.at_shift > 0.0)
+
+let test_infeasible_macro_reports_deficit () =
+  (* macro bigger than the entire budget *)
+  let leaves =
+    [| { Layout.lid = 0; curve = Curve.of_macro ~w:5.0 ~h:4.0 (); area_min = 20.0;
+         area_target = 20.0 } |]
+  in
+  let expr = Polish.of_elements [| Polish.Operand 0 |] in
+  let p = Layout.evaluate expr ~leaves ~budget in
+  Alcotest.(check bool) "macro deficit reported" true
+    (p.Layout.viol.Layout.macro_deficit > 0.0)
+
+let test_penalty_weights () =
+  let v = { Layout.at_shift = 1.0; am_deficit = 2.0; macro_deficit = 3.0 } in
+  check_float "weighted sum" (1.0 +. 4.0 +. 15.0)
+    (Layout.penalty v ~at_w:1.0 ~am_w:2.0 ~macro_w:5.0)
+
+let test_tree_curve () =
+  let leaves =
+    [| { Layout.lid = 0; curve = Curve.of_macro ~w:2.0 ~h:1.0 (); area_min = 2.0;
+         area_target = 2.0 };
+       { Layout.lid = 1; curve = Curve.of_macro ~w:2.0 ~h:1.0 (); area_min = 2.0;
+         area_target = 2.0 } |]
+  in
+  let v =
+    Polish.of_elements [| Polish.Operand 0; Polish.Operand 1; Polish.Operator Polish.V |]
+  in
+  let c = Layout.tree_curve v ~leaves in
+  (* side-by-side: e.g. 4x1, 2x2, ... min area 4 *)
+  check_float "composed min area" 4.0 (Curve.min_area c);
+  Alcotest.(check bool) "4x1 feasible" true (Curve.fits c ~w:4.0 ~h:1.0);
+  Alcotest.(check bool) "2x2 feasible" true (Curve.fits c ~w:2.0 ~h:2.0)
+
+let test_malformed_expression () =
+  let leaves = soft_leaves [ 1.0 ] in
+  match
+    Layout.evaluate
+      (Polish.of_elements [| Polish.Operand 5 |])
+      ~leaves ~budget
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected missing-leaf error"
+
+let layout_deterministic =
+  qtest "evaluation is deterministic" QCheck.small_int (fun seed ->
+      let rng = Util.Rng.create seed in
+      let leaves = soft_leaves [ 1.0; 2.0; 3.0; 1.0 ] in
+      let expr = random_expr rng 4 in
+      let p1 = Layout.evaluate expr ~leaves ~budget in
+      let p2 = Layout.evaluate expr ~leaves ~budget in
+      p1.Layout.rects = p2.Layout.rects)
+
+let suite =
+  [ ( "slicing.polish",
+      [ Alcotest.test_case "initial normalized" `Quick test_initial_normalized;
+        Alcotest.test_case "random initial" `Quick test_initial_random_normalized;
+        Alcotest.test_case "of_elements validation" `Quick test_of_elements_validation;
+        Alcotest.test_case "normalization check" `Quick test_is_normalized_rejects_skew;
+        Alcotest.test_case "single operand perturb" `Quick test_perturb_single_operand;
+        perturb_preserves_normalization ] );
+    ( "slicing.layout",
+      [ Alcotest.test_case "fig8 regression" `Quick test_fig8_regression;
+        Alcotest.test_case "two-leaf cuts" `Quick test_two_leaf_cuts;
+        Alcotest.test_case "macro leaf gets space" `Quick test_macro_leaf_gets_space;
+        Alcotest.test_case "infeasible macro" `Quick test_infeasible_macro_reports_deficit;
+        Alcotest.test_case "penalty weights" `Quick test_penalty_weights;
+        Alcotest.test_case "tree curve" `Quick test_tree_curve;
+        Alcotest.test_case "malformed expression" `Quick test_malformed_expression;
+        layout_partitions_budget; layout_deterministic ] ) ]
