@@ -13,6 +13,9 @@ module T = Report.Table
 
 let artifacts_dir = "bench_artifacts"
 
+let ensure_artifacts_dir () =
+  try Unix.mkdir artifacts_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
 let printf = Format.printf
 
 let fast_mode = Sys.getenv_opt "HIDAP_BENCH_FAST" <> None
@@ -444,7 +447,7 @@ let fig8 () =
 
 let fig9 results =
   printf "%s@." (T.section "Fig 9: density maps of c3' under the three flows");
-  (try Unix.mkdir artifacts_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  ensure_artifacts_dir ();
   match
     List.find_opt
       (fun ((c : Circuitgen.Suite.circuit), _, _) -> c.Circuitgen.Suite.cname = "c3")
@@ -572,6 +575,78 @@ let ablations () =
          [ "by connectivity chain"; T.fmt_f 0 (indeda Baselines.Indeda.By_connectivity) ] ])
 
 (* ------------------------------------------------------------------ *)
+(* Observability: per-circuit stage timings + SA convergence curves    *)
+(* ------------------------------------------------------------------ *)
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let observability () =
+  printf "%s@."
+    (T.section "Observability: stage timings and SA acceptance curves");
+  ensure_artifacts_dir ();
+  List.iter
+    (fun (c : Circuitgen.Suite.circuit) ->
+      let cname = c.Circuitgen.Suite.cname in
+      let flat = Flat.elaborate (Circuitgen.Gen.generate c.Circuitgen.Suite.params) in
+      Obs.Metrics.reset Obs.Metrics.global;
+      Obs.Metrics.set_enabled true;
+      Obs.Trace.start ();
+      let spans =
+        Fun.protect
+          ~finally:(fun () -> Obs.Metrics.set_enabled false)
+          (fun () ->
+            let (_ : Hidap.result) = Hidap.place flat in
+            Obs.Trace.finish ())
+      in
+      let trace_path =
+        Filename.concat artifacts_dir (Printf.sprintf "trace_%s.json" cname)
+      in
+      Obs.Trace.write_chrome_file trace_path spans;
+      let metrics_path =
+        Filename.concat artifacts_dir (Printf.sprintf "metrics_%s.json" cname)
+      in
+      Obs.Jsonx.write_file metrics_path (Obs.Metrics.to_json Obs.Metrics.global);
+      let curve_names =
+        List.filter
+          (has_prefix ~prefix:"sa.curve.level")
+          (Obs.Metrics.names Obs.Metrics.global)
+      in
+      let curve_path =
+        Filename.concat artifacts_dir (Printf.sprintf "sa_curves_%s.csv" cname)
+      in
+      let oc = open_out curve_path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc "level,moves,acceptance_rate\n";
+          List.iter
+            (fun name ->
+              let level = String.sub name 14 (String.length name - 14) in
+              List.iter
+                (fun (x, y) ->
+                  output_string oc (Printf.sprintf "%s,%.0f,%.4f\n" level x y))
+                (Obs.Metrics.series_points Obs.Metrics.global name))
+            curve_names);
+      printf "%s: stage tree@." cname;
+      printf "%s@." (Obs.Trace.summary spans);
+      List.iter
+        (fun name ->
+          let samples = Obs.Metrics.hist_samples Obs.Metrics.global name in
+          if samples <> [] then
+            printf "  %s: %d plateaus, mean %.3f, p50 %.3f@." name
+              (List.length samples)
+              (Util.Stat.mean samples)
+              (Obs.Metrics.percentile samples ~p:50.0))
+        (List.filter
+           (has_prefix ~prefix:"sa.acceptance.level")
+           (Obs.Metrics.names Obs.Metrics.global));
+      printf "  wrote %s, %s, %s@." trace_path metrics_path curve_path;
+      Obs.Metrics.reset Obs.Metrics.global)
+    (circuits ())
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing microbenches                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -665,5 +740,6 @@ let () =
   fig8 ();
   fig9 results;
   ablations ();
+  observability ();
   bechamel_benches ();
   printf "@.total bench time: %.1fs@." (Unix.gettimeofday () -. t0)

@@ -54,6 +54,53 @@ let config_of ~seed ~lambda =
   | Some l -> Hidap.Config.with_lambda config l
   | None -> config
 
+(* ---- observability ------------------------------------------------ *)
+
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"OUT.json"
+         ~doc:"Write a Chrome-trace JSON of the run (open in chrome://tracing or \
+               https://ui.perfetto.dev).")
+
+let metrics_arg =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"OUT.json"
+         ~doc:"Write flow metrics (counters, gauges, histograms, series) as JSON.")
+
+let profile_arg =
+  Arg.(value & flag & info [ "profile" ]
+         ~doc:"Print the stage-tree timing summary to stderr.")
+
+(* Run [f] with the observability layer active when any output was
+   requested; otherwise run it with the default no-op sink. *)
+let with_obs ~trace ~metrics ~profile f =
+  let active = trace <> None || metrics <> None || profile in
+  if not active then f ()
+  else begin
+    Obs.Trace.start ();
+    Obs.Metrics.set_enabled true;
+    let finish () =
+      let spans = Obs.Trace.finish () in
+      Obs.Metrics.set_enabled false;
+      (* A bad output path must not crash away the completed run. *)
+      let write what path f =
+        try
+          f path;
+          Format.eprintf "wrote %s %s@." what path
+        with Sys_error msg -> Format.eprintf "hidap: cannot write %s: %s@." what msg
+      in
+      (match trace with
+      | Some path -> write "trace" path (fun p -> Obs.Trace.write_chrome_file p spans)
+      | None -> ());
+      (match metrics with
+      | Some path ->
+        write "metrics" path (fun p ->
+            Obs.Jsonx.write_file p (Obs.Metrics.to_json Obs.Metrics.global))
+      | None -> ());
+      if profile then prerr_string (Obs.Trace.summary spans);
+      Obs.Metrics.reset Obs.Metrics.global
+    in
+    Fun.protect ~finally:finish f
+  end
+
 (* ---- stats -------------------------------------------------------- *)
 
 let stats_cmd =
@@ -95,7 +142,8 @@ let stats_cmd =
 (* ---- place -------------------------------------------------------- *)
 
 let place_cmd =
-  let run file circuit seed lambda svg ascii save =
+  let run file circuit seed lambda svg ascii save trace metrics profile =
+    with_obs ~trace ~metrics ~profile @@ fun () ->
     let _, design = design_of ~file ~circuit in
     let flat = Netlist.Flat.elaborate design in
     let config = config_of ~seed ~lambda in
@@ -151,12 +199,13 @@ let place_cmd =
   in
   Cmd.v (Cmd.info "place" ~doc:"Run the HiDaP macro placement flow")
     Term.(const run $ file_arg $ circuit_arg $ seed_arg $ lambda_arg $ svg_arg $ ascii_arg
-          $ save_arg)
+          $ save_arg $ trace_arg $ metrics_arg $ profile_arg)
 
 (* ---- eval --------------------------------------------------------- *)
 
 let eval_cmd =
-  let run file circuit seed =
+  let run file circuit seed trace metrics profile =
+    with_obs ~trace ~metrics ~profile @@ fun () ->
     let name, design = design_of ~file ~circuit in
     let config = { Hidap.Config.default with Hidap.Config.seed } in
     let res = Evalflow.run_all ~config ~name design in
@@ -178,10 +227,24 @@ let eval_cmd =
     print_string
       (Report.Table.render
          ~header:[ "flow"; "WL(m)"; "WLnorm"; "GRC%"; "WNS%"; "TNS"; "rt(s)" ]
-         rows)
+         rows);
+    (* λ sweep of the HiDaP run, losing candidates included. *)
+    List.iter
+      (fun (r : Evalflow.run) ->
+        match r.Evalflow.sweep_trace with
+        | [] -> ()
+        | sweep ->
+          Format.printf "%s lambda sweep:%s@."
+            (Evalflow.flow_name r.Evalflow.kind)
+            (String.concat ""
+               (List.map
+                  (fun (l, o) -> Printf.sprintf "  %.1f->%.0f" l o)
+                  sweep)))
+      res.Evalflow.runs
   in
   Cmd.v (Cmd.info "eval" ~doc:"Compare the IndEDA / HiDaP / handFP flows")
-    Term.(const run $ file_arg $ circuit_arg $ seed_arg)
+    Term.(const run $ file_arg $ circuit_arg $ seed_arg $ trace_arg $ metrics_arg
+          $ profile_arg)
 
 (* ---- gen ---------------------------------------------------------- *)
 

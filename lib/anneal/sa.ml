@@ -26,6 +26,20 @@ type 'a result = {
   plateaus : int;
 }
 
+type plateau = {
+  index : int;
+  temperature : float;
+  current_cost : float;
+  plateau_best_cost : float;
+  plateau_moves : int;
+  plateau_accepted : int;
+  total_moves : int;
+}
+
+let acceptance_rate p =
+  if p.plateau_moves = 0 then 0.0
+  else float_of_int p.plateau_accepted /. float_of_int p.plateau_moves
+
 (* Sample random moves to estimate the mean uphill cost delta, then pick
    T0 so that exp(-mean_uphill / T0) = target acceptance. *)
 let calibrate ~rng ~cost ~neighbor ~target state c0 =
@@ -48,7 +62,7 @@ let calibrate ~rng ~cost ~neighbor ~target state c0 =
     let t = -.mean_up /. log target in
     max 1e-9 t
 
-let minimize ~rng ~init ~cost ~neighbor ?(params = default_params) () =
+let minimize ~rng ~init ~cost ~neighbor ?(params = default_params) ?observer () =
   let c0 = cost init in
   let t0 =
     match params.initial_temp with
@@ -64,6 +78,7 @@ let minimize ~rng ~init ~cost ~neighbor ?(params = default_params) () =
   let stop_temp = params.min_temp *. t0 in
   while !temp > stop_temp && !moves < params.max_moves do
     let plateau_accepts = ref 0 in
+    let plateau_start = !moves in
     for _ = 1 to params.moves_per_plateau do
       if !moves < params.max_moves then begin
         incr moves;
@@ -87,6 +102,19 @@ let minimize ~rng ~init ~cost ~neighbor ?(params = default_params) () =
       end
     done;
     incr plateaus;
+    (* The observer runs outside the RNG path: enabling telemetry can
+       never change the annealing trajectory. *)
+    (match observer with
+    | None -> ()
+    | Some f ->
+      f
+        { index = !plateaus - 1;
+          temperature = !temp;
+          current_cost = !cur_cost;
+          plateau_best_cost = !best_cost;
+          plateau_moves = !moves - plateau_start;
+          plateau_accepted = !plateau_accepts;
+          total_moves = !moves });
     temp := !temp *. params.cooling
   done;
   { best = !best; best_cost = !best_cost; moves = !moves; accepted = !accepted;

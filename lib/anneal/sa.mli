@@ -33,13 +33,30 @@ type 'a result = {
   plateaus : int;
 }
 
+type plateau = {
+  index : int;  (** 0-based plateau number *)
+  temperature : float;  (** temperature the plateau ran at *)
+  current_cost : float;  (** incumbent cost at plateau end *)
+  plateau_best_cost : float;  (** best-so-far cost at plateau end *)
+  plateau_moves : int;  (** proposals evaluated in this plateau *)
+  plateau_accepted : int;  (** proposals accepted in this plateau *)
+  total_moves : int;  (** proposals evaluated so far overall *)
+}
+(** Convergence snapshot handed to the [?observer] after each plateau. *)
+
+val acceptance_rate : plateau -> float
+(** [plateau_accepted / plateau_moves] (0 for an empty plateau). *)
+
 val minimize :
   rng:Util.Rng.t ->
   init:'a ->
   cost:('a -> float) ->
   neighbor:(Util.Rng.t -> 'a -> 'a) ->
   ?params:params ->
+  ?observer:(plateau -> unit) ->
   unit ->
   'a result
 (** Runs the schedule and returns the best solution seen. Deterministic
-    given the rng state. *)
+    given the rng state; [observer] (called once per plateau, after its
+    moves) is outside the RNG path, so attaching one cannot change the
+    result. *)

@@ -225,8 +225,10 @@ let push_out_of_macros ~pos ~movable ~macro_rects ~die =
       end)
     (Array.copy pos)
 
-let run ?(params = default_params) ~flat ~macros ~port_pos ~die () =
+let run_body ~params ~flat ~macros ~port_pos ~die =
   let n = Array.length flat.Flat.nodes in
+  Obs.Span.attr_int "cells" n;
+  Obs.Span.attr_int "iterations" params.iterations;
   let pos = Array.make n (Rect.center die) in
   let movable = Array.make n false in
   let macro_rect = Hashtbl.create 64 in
@@ -263,6 +265,11 @@ let run ?(params = default_params) ~flat ~macros ~port_pos ~die () =
     push_out_of_macros ~pos ~movable ~macro_rects ~die
   done;
   { positions = pos; die; movable }
+
+let run ?(params = default_params) ~flat ~macros ~port_pos ~die () =
+  Obs.Span.with_ ~name:"cellplace.run" (fun () ->
+      Obs.Metrics.counter "cellplace.runs" 1;
+      run_body ~params ~flat ~macros ~port_pos ~die)
 
 let density_map t ~flat ~macros ~bins =
   let s = bins in

@@ -42,8 +42,9 @@ let node_position ~tree ~gseq ~ports ~macro_rect ~ht_rects ~die gid =
     up (Tree.ht_node_of_flat tree fid)
   | Seqgraph.Register [] -> Rect.center die
 
-let run ~tree ~gseq ~ports ~macro_rects ~ht_rects ~die ~config =
+let run_body ~tree ~gseq ~ports ~macro_rects ~ht_rects ~die ~config =
   ignore config;
+  Obs.Span.attr_int "macros" (List.length macro_rects);
   let rect_of = Hashtbl.create (List.length macro_rects) in
   List.iter (fun (fid, r) -> Hashtbl.replace rect_of fid r) macro_rects;
   let macro_rect fid = Hashtbl.find_opt rect_of fid in
@@ -86,4 +87,9 @@ let run ~tree ~gseq ~ports ~macro_rects ~ht_rects ~die ~config =
           (fid, best))
       macro_rects
   in
+  Obs.Metrics.gauge "flipping.gain" !gain;
   { orientations; gain = !gain }
+
+let run ~tree ~gseq ~ports ~macro_rects ~ht_rects ~die ~config =
+  Obs.Span.with_ ~name:"flipping.run" (fun () ->
+      run_body ~tree ~gseq ~ports ~macro_rects ~ht_rects ~die ~config)

@@ -145,7 +145,30 @@ let fix_position ctx ~fid ~rect ~attract =
   ctx.out_macros <- (fid, r) :: ctx.out_macros;
   Hashtbl.replace ctx.macro_pos fid (Rect.center r)
 
+(* Per-plateau SA telemetry for one floorplan instance: acceptance-rate
+   histogram and ordered convergence curve, both keyed by recursion
+   depth. Only built when metrics are enabled, so the default path adds
+   a single boolean test. *)
+let sa_observer ~depth =
+  if not (Obs.Metrics.enabled ()) then None
+  else begin
+    let hist_name = Printf.sprintf "sa.acceptance.level%d" depth in
+    let curve_name = Printf.sprintf "sa.curve.level%d" depth in
+    Some
+      (fun (p : Anneal.Sa.plateau) ->
+        let rate = Anneal.Sa.acceptance_rate p in
+        Obs.Metrics.sample ~bin_width:0.05 hist_name rate;
+        Obs.Metrics.series curve_name ~x:(float_of_int p.Anneal.Sa.total_moves) ~y:rate;
+        Obs.Metrics.sample "sa.plateau_temperature" p.Anneal.Sa.temperature)
+  end
+
 let rec instance ctx ~nh ~budget ~depth =
+  Obs.Span.with_ ~name:"floorplan.level" (fun () -> instance_body ctx ~nh ~budget ~depth)
+
+and instance_body ctx ~nh ~budget ~depth =
+  Obs.Span.attr_int "depth" depth;
+  Obs.Span.attr_int "ht_id" nh;
+  Obs.Span.attr_float "lambda" ctx.config.Config.lambda;
   let config = ctx.config in
   let dc =
     Hier.Decluster.run ctx.tree ~nh ~open_frac:config.Config.open_frac
@@ -177,9 +200,15 @@ let rec instance ctx ~nh ~budget ~depth =
     in
     let fixed_pos = Array.map (fun gid -> fixed_position ctx gid) fixed in
     let layout =
-      Layout_gen.run ~rng:ctx.rng ~config ~blocks ~affinity ~fixed_pos ~budget
+      Layout_gen.run ?observer:(sa_observer ~depth) ~rng:ctx.rng ~config ~blocks
+        ~affinity ~fixed_pos ~budget ()
     in
     ctx.sa_moves <- ctx.sa_moves + layout.Layout_gen.sa_moves;
+    Obs.Span.attr_int "blocks" n_blocks;
+    Obs.Span.attr_int "sa_moves" layout.Layout_gen.sa_moves;
+    Obs.Metrics.counter "floorplan.instances" 1;
+    Obs.Metrics.counter "floorplan.sa_moves" layout.Layout_gen.sa_moves;
+    Obs.Metrics.sample "floorplan.block_count" (float_of_int n_blocks);
     (* Record rectangles; update provisional macro positions. *)
     let positions =
       Array.append (Array.map Rect.center layout.Layout_gen.rects) fixed_pos
@@ -217,7 +246,7 @@ let rec instance ctx ~nh ~budget ~depth =
         end)
       blocks
 
-let run ~tree ~gseq ~sgamma ~ports ~config ~rng ~die =
+let run_body ~tree ~gseq ~sgamma ~ports ~config ~rng ~die =
   let ctx =
     { tree; gseq; sgamma; ports; config; rng; die;
       macro_pos = Hashtbl.create 64;
@@ -232,8 +261,13 @@ let run ~tree ~gseq ~sgamma ~ports ~config ~rng ~die =
     (fun (n : Flat.node) -> Hashtbl.replace ctx.macro_pos n.Flat.id (Rect.center die))
     (Flat.macros (Tree.flat tree));
   instance ctx ~nh:(Tree.root tree) ~budget:die ~depth:0;
+  Obs.Span.attr_int "sa_moves" ctx.sa_moves;
   { macro_rects = List.rev ctx.out_macros;
     levels = List.rev ctx.out_levels;
     top = ctx.out_top;
     ht_rects = ctx.ht_rects;
     sa_moves_total = ctx.sa_moves }
+
+let run ~tree ~gseq ~sgamma ~ports ~config ~rng ~die =
+  Obs.Span.with_ ~name:"floorplan.run" (fun () ->
+      run_body ~tree ~gseq ~sgamma ~ports ~config ~rng ~die)

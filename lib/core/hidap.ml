@@ -37,13 +37,18 @@ let die_for flat ~config =
   let w = aspect *. h in
   Rect.make ~x:0.0 ~y:0.0 ~w ~h
 
-let place ?(config = Config.default) ?die flat =
+let place_body ~config ~die flat =
   let die = match die with Some d -> d | None -> die_for flat ~config in
+  Obs.Span.attr_int "seed" config.Config.seed;
+  Obs.Span.attr_float "lambda" config.Config.lambda;
   let rng = Util.Rng.create config.Config.seed in
-  let tree = Hier.Tree.build flat in
-  let gseq = Seqgraph.build ~bit_threshold:config.Config.bit_threshold flat in
+  let tree = Obs.Span.with_ ~name:"hier.tree_build" (fun () -> Hier.Tree.build flat) in
+  let gseq =
+    Obs.Span.with_ ~name:"seqgraph.build" (fun () ->
+        Seqgraph.build ~bit_threshold:config.Config.bit_threshold flat)
+  in
   let sgamma = Shape_curves.generate tree ~config ~rng:(Util.Rng.split rng) in
-  let ports = Port_plan.make gseq ~die in
+  let ports = Obs.Span.with_ ~name:"port_plan.make" (fun () -> Port_plan.make gseq ~die) in
   let fp =
     Floorplan.run ~tree ~gseq ~sgamma ~ports ~config ~rng:(Util.Rng.split rng) ~die
   in
@@ -66,6 +71,10 @@ let place ?(config = Config.default) ?die flat =
         { fid; rect; orient })
       fp.Floorplan.macro_rects
   in
+  Obs.Metrics.counter "hidap.places" 1;
+  Obs.Metrics.counter "hidap.sa_moves" fp.Floorplan.sa_moves_total;
+  Obs.Metrics.gauge "hidap.macros_placed" (float_of_int (List.length placements));
+  Obs.Metrics.gauge "hidap.die_area" (Rect.area die);
   { die;
     placements;
     levels = fp.Floorplan.levels;
@@ -78,21 +87,41 @@ let place ?(config = Config.default) ?die flat =
     sa_moves = fp.Floorplan.sa_moves_total;
     flip_gain = flip.Flipping.gain }
 
+let place ?(config = Config.default) ?die flat =
+  Obs.Span.with_ ~name:"hidap.place" (fun () -> place_body ~config ~die flat)
+
+type sweep = {
+  best : result;
+  best_objective : float;
+  sweep_trace : (float * float) list;
+}
+
 let place_sweep ?(config = Config.default) ?die ~objective flat =
-  let lambdas =
-    match config.Config.lambda_sweep with [] -> [ config.Config.lambda ] | l -> l
-  in
-  let runs =
-    List.map
-      (fun lambda ->
-        let r = place ~config:{ config with Config.lambda } ?die flat in
-        (r, objective r))
-      lambdas
-  in
-  match runs with
-  | [] -> assert false
-  | first :: rest ->
-    List.fold_left (fun (br, bo) (r, o) -> if o < bo then (r, o) else (br, bo)) first rest
+  Obs.Span.with_ ~name:"hidap.place_sweep" (fun () ->
+      let lambdas =
+        match config.Config.lambda_sweep with [] -> [ config.Config.lambda ] | l -> l
+      in
+      let runs =
+        List.map
+          (fun lambda ->
+            let r = place ~config:{ config with Config.lambda } ?die flat in
+            (r, objective r))
+          lambdas
+      in
+      let sweep_trace = List.map (fun (r, o) -> (r.lambda, o)) runs in
+      List.iter
+        (fun (lambda, o) -> Obs.Metrics.series "hidap.sweep" ~x:lambda ~y:o)
+        sweep_trace;
+      match runs with
+      | [] -> assert false
+      | first :: rest ->
+        let best, best_objective =
+          List.fold_left
+            (fun (br, bo) (r, o) -> if o < bo then (r, o) else (br, bo))
+            first rest
+        in
+        Obs.Span.attr_float "best_lambda" best.lambda;
+        { best; best_objective; sweep_trace })
 
 let overlap_area result =
   let rects = List.map (fun p -> p.rect) result.placements in

@@ -42,16 +42,27 @@ val die_for : Netlist.Flat.t -> config:Config.t -> Geom.Rect.t
 (** Die sized from total cell area, utilization and aspect ratio. *)
 
 val place : ?config:Config.t -> ?die:Geom.Rect.t -> Netlist.Flat.t -> result
-(** Single run with [config.lambda]. *)
+(** Single run with [config.lambda]. The flow is instrumented with
+    [Obs] spans and metrics; with no trace sink installed the
+    instrumentation is inert and the placement is identical. *)
+
+type sweep = {
+  best : result;  (** run with the smallest objective *)
+  best_objective : float;
+  sweep_trace : (float * float) list;
+      (** every (λ, objective) evaluated, in sweep order — losing runs
+          included so callers can report the whole sweep *)
+}
 
 val place_sweep :
   ?config:Config.t ->
   ?die:Geom.Rect.t ->
   objective:(result -> float) ->
   Netlist.Flat.t ->
-  result * float
-(** Runs once per λ in [config.lambda_sweep] and returns the result with
-    the smallest objective together with its value. *)
+  sweep
+(** Runs once per λ in [config.lambda_sweep] and keeps the result
+    ranked best by [objective], recording every λ's objective in
+    [sweep_trace]. *)
 
 val overlap_area : result -> float
 (** Total pairwise overlap between placed macros — 0 for a legal

@@ -51,7 +51,7 @@ let evaluate_expr ~leaves ~budget ~pairs ~fixed_pos ~config ~n_blocks expr =
   let cost = base *. (1.0 +. pen) in
   (rects, cost, !wl, viol)
 
-let run ~rng ~config ~blocks ~affinity ~fixed_pos ~budget =
+let run ?observer ~rng ~config ~blocks ~affinity ~fixed_pos ~budget () =
   let n_blocks = Array.length blocks in
   assert (n_blocks >= 1);
   let leaves = Array.map Block.to_leaf blocks in
@@ -121,7 +121,7 @@ let run ~rng ~config ~blocks ~affinity ~fixed_pos ~budget =
     let anneal init =
       Anneal.Sa.minimize ~rng ~init ~cost
         ~neighbor:(fun rng e -> Slicing.Polish.perturb rng e)
-        ~params:config.Config.layout_sa ()
+        ~params:config.Config.layout_sa ?observer ()
     in
     let sa1 = anneal greedy_init in
     let sa2 = anneal (Slicing.Polish.initial_random rng ~n:n_blocks) in

@@ -18,13 +18,17 @@ type result = {
 }
 
 val run :
+  ?observer:(Anneal.Sa.plateau -> unit) ->
   rng:Util.Rng.t ->
   config:Config.t ->
   blocks:Block.t array ->
   affinity:float array array ->
   fixed_pos:Geom.Point.t array ->
   budget:Geom.Rect.t ->
+  unit ->
   result
 (** [affinity] is indexed over blocks then fixed endpoints
     ([Array.length blocks + Array.length fixed_pos] square).
-    A single block is placed directly with no search. *)
+    A single block is placed directly with no search. [observer]
+    receives per-plateau convergence snapshots from both annealing
+    starts (greedy chain first, then random). *)

@@ -29,6 +29,8 @@ let combine_children ~config ~rng child_curves child_areas =
         ~neighbor:(fun rng e -> Slicing.Polish.perturb rng e)
         ~params:config.Config.curve_sa ()
     in
+    Obs.Metrics.counter "shape_curves.combines" 1;
+    Obs.Metrics.counter "shape_curves.sa_moves" result.Anneal.Sa.moves;
     let best = Slicing.Layout.tree_curve result.Anneal.Sa.best ~leaves in
     (* Also keep the initial arrangement's shapes for diversity. *)
     let fallback = Slicing.Layout.tree_curve init ~leaves in
@@ -39,8 +41,9 @@ let combine_children ~config ~rng child_curves child_areas =
     in
     Curve.prune ~max_points:config.Config.max_curve_points merged
 
-let generate tree ~config ~rng =
+let generate_body tree ~config ~rng =
   let n = Tree.node_count tree in
+  Obs.Span.attr_int "ht_nodes" n;
   let curves = Array.make n Curve.unconstrained in
   let macro_areas = Array.make n 0.0 in
   let flat = Tree.flat tree in
@@ -72,6 +75,9 @@ let generate tree ~config ~rng =
       macro_areas.(id) <- Array.fold_left ( +. ) 0.0 child_areas
   done;
   { curves; macro_areas }
+
+let generate tree ~config ~rng =
+  Obs.Span.with_ ~name:"shape_curves.generate" (fun () -> generate_body tree ~config ~rng)
 
 let curve t id = t.curves.(id)
 

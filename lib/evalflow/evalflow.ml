@@ -21,6 +21,7 @@ type run = {
   macros : Cellplace.macro_place list;
   placement : Cellplace.t;
   lambda_used : float option;
+  sweep_trace : (float * float) list;
 }
 
 (* Total HPWL with macro pins resolved through the flipping pin model. *)
@@ -72,7 +73,7 @@ let gseq_positions ~flat ~gseq ~ports ~(cp : Cellplace.t) ~die =
     gseq.Seqgraph.nodes;
   pos
 
-let measure ~flat ~gseq ~ports ~die ~macros =
+let measure_body ~flat ~gseq ~ports ~die ~macros =
   let cp =
     Cellplace.run ~flat ~macros
       ~port_pos:(fun fid -> Hidap.Port_plan.flat_pos ports fid)
@@ -93,15 +94,19 @@ let measure ~flat ~gseq ~ports ~die ~macros =
       runtime_s = 0.0 },
     cp )
 
+let measure ~flat ~gseq ~ports ~die ~macros =
+  Obs.Span.with_ ~name:"evalflow.measure" (fun () ->
+      measure_body ~flat ~gseq ~ports ~die ~macros)
+
 let to_cp_macros placements =
   List.map
     (fun (p : Hidap.macro_placement) ->
       { Cellplace.fid = p.Hidap.fid; rect = p.Hidap.rect; orient = p.Hidap.orient })
     placements
 
-let run_flow kind ?(config = Hidap.Config.default) ~flat ~gseq ~ports ~die () =
+let run_flow_body kind ~config ~flat ~gseq ~ports ~die =
   let t0 = Unix.gettimeofday () in
-  let macros, lambda_used =
+  let macros, lambda_used, sweep_trace =
     match kind with
     | IndEDA ->
       let pl = Baselines.Indeda.place ~flat ~gseq ~die () in
@@ -110,7 +115,8 @@ let run_flow kind ?(config = Hidap.Config.default) ~flat ~gseq ~ports ~die () =
             { Cellplace.fid = p.Baselines.Indeda.fid; rect = p.Baselines.Indeda.rect;
               orient = p.Baselines.Indeda.orient })
           pl,
-        None )
+        None,
+        [] )
     | HandFP ->
       (* The expert-oracle protocol: engineers iterate for weeks against
          the real metric. Modelled as a multi-start search judged by the
@@ -131,8 +137,8 @@ let run_flow kind ?(config = Hidap.Config.default) ~flat ~gseq ~ports ~die () =
       in
       let reseeded offset =
         let config = { config with Hidap.Config.seed = config.Hidap.Config.seed + offset } in
-        let best, wl = Hidap.place_sweep ~config ~die ~objective flat in
-        (to_cp_macros best.Hidap.placements, wl)
+        let sw = Hidap.place_sweep ~config ~die ~objective flat in
+        (to_cp_macros sw.Hidap.best.Hidap.placements, sw.Hidap.best_objective)
       in
       let candidates =
         (let m, _ = measure ~flat ~gseq ~ports ~die ~macros:flat_sa in
@@ -144,22 +150,36 @@ let run_flow kind ?(config = Hidap.Config.default) ~flat ~gseq ~ports ~die () =
           (fun (bm, bw) (m, w) -> if w < bw then (m, w) else (bm, bw))
           (List.hd candidates) (List.tl candidates)
       in
-      (fst best, None)
+      (fst best, None, [])
     | HiDaP ->
       let objective r =
         let m, _ = measure ~flat ~gseq ~ports ~die ~macros:(to_cp_macros r.Hidap.placements) in
         m.wl_um
       in
-      let best, _ = Hidap.place_sweep ~config ~die ~objective flat in
-      (to_cp_macros best.Hidap.placements, Some best.Hidap.lambda)
+      let sw = Hidap.place_sweep ~config ~die ~objective flat in
+      ( to_cp_macros sw.Hidap.best.Hidap.placements,
+        Some sw.Hidap.best.Hidap.lambda,
+        sw.Hidap.sweep_trace )
   in
   let runtime_s = Unix.gettimeofday () -. t0 in
   let metrics, cp = measure ~flat ~gseq ~ports ~die ~macros in
+  Obs.Metrics.gauge
+    (Printf.sprintf "evalflow.%s.wl_um" (flow_name kind))
+    metrics.wl_um;
+  Obs.Metrics.gauge
+    (Printf.sprintf "evalflow.%s.runtime_s" (flow_name kind))
+    runtime_s;
   { kind;
     metrics = { metrics with runtime_s };
     macros;
     placement = cp;
-    lambda_used }
+    lambda_used;
+    sweep_trace }
+
+let run_flow kind ?(config = Hidap.Config.default) ~flat ~gseq ~ports ~die () =
+  Obs.Span.with_ ~name:"evalflow.flow" (fun () ->
+      Obs.Span.attr_str "flow" (flow_name kind);
+      run_flow_body kind ~config ~flat ~gseq ~ports ~die)
 
 type circuit_result = {
   circuit : string;

@@ -32,6 +32,9 @@ type run = {
   macros : Cellplace.macro_place list;
   placement : Cellplace.t;
   lambda_used : float option;  (** HiDaP only *)
+  sweep_trace : (float * float) list;
+      (** HiDaP only: every (λ, objective) of the sweep, losing runs
+          included ([] for the other flows) *)
 }
 
 val measure :

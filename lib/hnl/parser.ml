@@ -173,20 +173,28 @@ let design st =
   D.design ~top ~modules
 
 let parse_string src =
-  match
-    let toks = Lexer.tokenize src in
-    design { toks }
-  with
-  | d -> Ok d
-  | exception Parse_error e -> Error e
-  | exception Lexer.Lex_error { Lexer.line; message } -> Error { line; message }
+  Obs.Span.with_ ~name:"hnl.parse" (fun () ->
+      Obs.Span.attr_int "bytes" (String.length src);
+      Obs.Metrics.counter "hnl.bytes_parsed" (String.length src);
+      match
+        let toks = Lexer.tokenize src in
+        design { toks }
+      with
+      | d -> Ok d
+      | exception Parse_error e -> Error e
+      | exception Lexer.Lex_error { Lexer.line; message } -> Error { line; message })
 
 let parse_file path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let src = really_input_string ic len in
-  close_in ic;
-  parse_string src
+  Obs.Span.with_ ~name:"hnl.parse_file" (fun () ->
+      Obs.Span.attr_str "path" path;
+      Obs.Metrics.counter "hnl.files_parsed" 1;
+      let ic = open_in path in
+      let src =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      parse_string src)
 
 let parse_exn src =
   match parse_string src with

@@ -69,7 +69,7 @@ let add_scope b ~spath ~smodule ~sparent =
   b.bscopes <- s :: b.bscopes;
   s
 
-let elaborate (d : Design.t) =
+let elaborate_body (d : Design.t) =
   (match Design.validate d with
   | Ok () -> ()
   | Error e -> invalid_arg (Format.asprintf "Flat.elaborate: %a" Design.pp_error e));
@@ -169,6 +169,17 @@ let elaborate (d : Design.t) =
       Array.iter (fun u -> Array.iter (fun v -> Graphlib.Digraph.add_edge gnet u v) ss) ds)
     net_pins;
   { design_name = d.Design.top; nodes; scopes; gnet; net_count = b.nnets; net_pins }
+
+let elaborate (d : Design.t) =
+  Obs.Span.with_ ~name:"netlist.elaborate" (fun () ->
+      let t = elaborate_body d in
+      Obs.Span.attr_str "design" t.design_name;
+      Obs.Span.attr_int "nodes" (Array.length t.nodes);
+      Obs.Span.attr_int "nets" t.net_count;
+      Obs.Metrics.counter "netlist.elaborations" 1;
+      Obs.Metrics.gauge "netlist.nodes" (float_of_int (Array.length t.nodes));
+      Obs.Metrics.gauge "netlist.nets" (float_of_int t.net_count);
+      t)
 
 let is_macro n = match n.kind with Kmacro _ -> true | Kflop | Kcomb | Kport _ -> false
 let is_flop n = match n.kind with Kflop -> true | Kmacro _ | Kcomb | Kport _ -> false

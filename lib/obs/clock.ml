@@ -1,0 +1,19 @@
+let wall () = Unix.gettimeofday ()
+
+let source = ref wall
+
+(* Highest timestamp handed out so far; clamping makes the reported
+   clock monotone even when the source jumps backwards. *)
+let last = ref neg_infinity
+
+let set_source f =
+  source := f;
+  last := neg_infinity
+
+let use_wall () = set_source wall
+
+let now_us () =
+  let t = !source () *. 1e6 in
+  let t = if t > !last then t else !last in
+  last := t;
+  t

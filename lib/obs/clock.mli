@@ -1,0 +1,16 @@
+(** Monotonic timestamp source for spans.
+
+    Timestamps are microseconds since an arbitrary origin and are
+    guaranteed non-decreasing even if the underlying source steps
+    backwards (wall-clock adjustments). The source is injectable so
+    tests can drive a deterministic virtual clock. *)
+
+val now_us : unit -> float
+(** Current monotonic timestamp in microseconds. *)
+
+val set_source : (unit -> float) -> unit
+(** Replace the raw time source (a function returning seconds). Resets
+    the monotonic clamp. *)
+
+val use_wall : unit -> unit
+(** Restore the default wall-clock source. *)

@@ -1,0 +1,24 @@
+(** Minimal JSON document model and serializer.
+
+    Just enough JSON to export traces and metrics without an external
+    dependency: construction, rendering (compact or indented) and file
+    output. Non-finite floats are rendered as [null] so the output is
+    always standard JSON. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?compact:bool -> t -> string
+(** Render; [compact] (default false) suppresses newlines/indentation. *)
+
+val write_file : string -> t -> unit
+(** Write the rendered document (with a trailing newline). *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] otherwise. *)

@@ -1,0 +1,172 @@
+type hist = {
+  mutable samples : float list;  (* reverse observation order *)
+  mutable count : int;
+  bin_width : float;
+  bins : Util.Histogram.t;
+}
+
+type value =
+  | Counter of int ref
+  | Gauge of float ref
+  | Hist of hist
+  | Series of (float * float) list ref  (* reversed *)
+
+type t = { tbl : (string, value) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 32 }
+
+let global = create ()
+
+let enabled_flag = ref false
+
+let enabled () = !enabled_flag
+
+let set_enabled b = enabled_flag := b
+
+let reset t = Hashtbl.reset t.tbl
+
+(* ---- operations --------------------------------------------------- *)
+
+let incr_counter t name n =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Counter r) -> r := !r + n
+  | Some _ | None -> Hashtbl.replace t.tbl name (Counter (ref n))
+
+let set_gauge t name v =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Gauge r) -> r := v
+  | Some _ | None -> Hashtbl.replace t.tbl name (Gauge (ref v))
+
+let bin_of ~bin_width x =
+  let b = int_of_float (floor (x /. bin_width)) in
+  if b < 0 then 0 else b
+
+let observe ?(bin_width = 1.0) t name x =
+  let h =
+    match Hashtbl.find_opt t.tbl name with
+    | Some (Hist h) -> h
+    | Some _ | None ->
+      let h = { samples = []; count = 0; bin_width; bins = Util.Histogram.create () } in
+      Hashtbl.replace t.tbl name (Hist h);
+      h
+  in
+  h.samples <- x :: h.samples;
+  h.count <- h.count + 1;
+  Util.Histogram.add h.bins ~bin:(bin_of ~bin_width:h.bin_width x) ~weight:1.0
+
+let push_series t name x y =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Series r) -> r := (x, y) :: !r
+  | Some _ | None -> Hashtbl.replace t.tbl name (Series (ref [ (x, y) ]))
+
+(* ---- gated shorthands --------------------------------------------- *)
+
+let counter name n = if !enabled_flag then incr_counter global name n
+
+let gauge name v = if !enabled_flag then set_gauge global name v
+
+let sample ?bin_width name x = if !enabled_flag then observe ?bin_width global name x
+
+let series name ~x ~y = if !enabled_flag then push_series global name x y
+
+(* ---- queries ------------------------------------------------------ *)
+
+let names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [] |> List.sort compare
+
+let counter_value t name =
+  match Hashtbl.find_opt t.tbl name with Some (Counter r) -> Some !r | _ -> None
+
+let gauge_value t name =
+  match Hashtbl.find_opt t.tbl name with Some (Gauge r) -> Some !r | _ -> None
+
+let hist_samples t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Hist h) -> List.rev h.samples
+  | _ -> []
+
+let hist_bins t name =
+  match Hashtbl.find_opt t.tbl name with Some (Hist h) -> Some h.bins | _ -> None
+
+let series_points t name =
+  match Hashtbl.find_opt t.tbl name with Some (Series r) -> List.rev !r | _ -> []
+
+(* ---- merge -------------------------------------------------------- *)
+
+let merge a b =
+  let out = create () in
+  let copy_into name v =
+    match v with
+    | Counter r -> incr_counter out name !r
+    | Gauge r -> set_gauge out name !r
+    | Hist h ->
+      List.iter (fun x -> observe ~bin_width:h.bin_width out name x) (List.rev h.samples)
+    | Series r -> List.iter (fun (x, y) -> push_series out name x y) (List.rev !r)
+  in
+  Hashtbl.iter copy_into a.tbl;
+  Hashtbl.iter copy_into b.tbl;
+  out
+
+(* ---- percentiles / export ----------------------------------------- *)
+
+let percentile xs ~p =
+  match List.sort compare xs with
+  | [] -> invalid_arg "Metrics.percentile: empty sample list"
+  | sorted ->
+    let a = Array.of_list sorted in
+    let n = Array.length a in
+    let p = Util.Stat.clamp ~lo:0.0 ~hi:100.0 p in
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (n - 1) (lo + 1) in
+    a.(lo) +. ((rank -. float_of_int lo) *. (a.(hi) -. a.(lo)))
+
+let hist_json h =
+  let samples = List.rev h.samples in
+  let stats =
+    match samples with
+    | [] -> []
+    | _ ->
+      [ ("mean", Jsonx.Float (Util.Stat.mean samples));
+        ("min", Jsonx.Float (Util.Stat.minimum samples));
+        ("max", Jsonx.Float (Util.Stat.maximum samples));
+        ("p50", Jsonx.Float (percentile samples ~p:50.0));
+        ("p90", Jsonx.Float (percentile samples ~p:90.0));
+        ("p99", Jsonx.Float (percentile samples ~p:99.0)) ]
+  in
+  Jsonx.Obj
+    (( ("count", Jsonx.Int h.count) :: stats )
+    @ [ ("bin_width", Jsonx.Float h.bin_width);
+        ( "bins",
+          Jsonx.List
+            (List.map
+               (fun (b, w) -> Jsonx.List [ Jsonx.Int b; Jsonx.Float w ])
+               (Util.Histogram.bins h.bins)) ) ])
+
+let to_json t =
+  let section pick to_j =
+    List.filter_map
+      (fun name ->
+        match Hashtbl.find_opt t.tbl name with
+        | Some v -> Option.map (fun x -> (name, to_j x)) (pick v)
+        | None -> None)
+      (names t)
+  in
+  Jsonx.Obj
+    [ ( "counters",
+        Jsonx.Obj
+          (section (function Counter r -> Some !r | _ -> None) (fun n -> Jsonx.Int n)) );
+      ( "gauges",
+        Jsonx.Obj
+          (section (function Gauge r -> Some !r | _ -> None) (fun v -> Jsonx.Float v)) );
+      ( "histograms",
+        Jsonx.Obj (section (function Hist h -> Some h | _ -> None) hist_json) );
+      ( "series",
+        Jsonx.Obj
+          (section
+             (function Series r -> Some (List.rev !r) | _ -> None)
+             (fun pts ->
+               Jsonx.List
+                 (List.map
+                    (fun (x, y) -> Jsonx.List [ Jsonx.Float x; Jsonx.Float y ])
+                    pts))) ) ]

@@ -1,0 +1,75 @@
+(** Metrics registry: named counters, gauges, float histograms and
+    (x, y) series.
+
+    Histograms keep both the raw samples (for exact percentiles via
+    {!percentile} and summary statistics via [Util.Stat]) and a binned
+    [Util.Histogram.t] view (bin = [floor (x / bin_width)]) that is
+    cheap to merge and export. Series are append-only ordered point
+    lists, used for convergence curves where sample order matters.
+
+    A [global] registry backs the gated shorthands ([counter], [gauge],
+    [sample], [series]); these are no-ops until [set_enabled true], so
+    instrumentation sprinkled through the libraries costs one boolean
+    check when observability is off. Explicit registries ignore the
+    flag. *)
+
+type t
+
+val create : unit -> t
+
+val global : t
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+
+val reset : t -> unit
+(** Drop every metric from the registry. *)
+
+(* ---- operations on an explicit registry --------------------------- *)
+
+val incr_counter : t -> string -> int -> unit
+
+val set_gauge : t -> string -> float -> unit
+
+val observe : ?bin_width:float -> t -> string -> float -> unit
+(** Record a histogram sample. [bin_width] (default 1.0) is fixed by
+    the first observation of a name. *)
+
+val push_series : t -> string -> float -> float -> unit
+(** Append an (x, y) point to a named series. *)
+
+(* ---- gated shorthands on the global registry ---------------------- *)
+
+val counter : string -> int -> unit
+val gauge : string -> float -> unit
+val sample : ?bin_width:float -> string -> float -> unit
+val series : string -> x:float -> y:float -> unit
+
+(* ---- queries / export --------------------------------------------- *)
+
+val names : t -> string list
+(** Sorted names of every registered metric. *)
+
+val counter_value : t -> string -> int option
+val gauge_value : t -> string -> float option
+
+val hist_samples : t -> string -> float list
+(** Raw samples in observation order ([] when absent). *)
+
+val hist_bins : t -> string -> Util.Histogram.t option
+val series_points : t -> string -> (float * float) list
+
+val merge : t -> t -> t
+(** Fresh registry combining both: counters add, gauges take the right
+    value, histograms pool samples and merge bins, series concatenate
+    (left points first). On a kind clash the right side wins. *)
+
+val percentile : float list -> p:float -> float
+(** Linear-interpolated percentile, [p] in [0, 100]. Raises
+    [Invalid_argument] on an empty list. *)
+
+val to_json : t -> Jsonx.t
+(** [{"counters": {...}, "gauges": {...}, "histograms": {...},
+    "series": {...}}] with per-histogram count/mean/min/max/p50/p90/p99
+    and the binned view. *)

@@ -1,0 +1,72 @@
+type t = {
+  name : string;
+  mutable attrs : (string * string) list;  (* reverse insertion order *)
+  start_us : float;
+  mutable dur_us : float;
+  mutable children : t list;  (* reverse execution order *)
+}
+
+type recorder = {
+  mutable roots : t list;  (* reverse execution order *)
+  mutable stack : t list;  (* innermost first *)
+}
+
+let active : recorder option ref = ref None
+
+let enabled () = !active <> None
+
+let start_recording () = active := Some { roots = []; stack = [] }
+
+(* Recording accumulates lists in reverse; normalize once at the end. *)
+let rec normalize sp =
+  sp.attrs <- List.rev sp.attrs;
+  sp.children <- List.rev sp.children;
+  List.iter normalize sp.children
+
+let finish_recording () =
+  match !active with
+  | None -> []
+  | Some r ->
+    active := None;
+    let now = Clock.now_us () in
+    List.iter (fun sp -> sp.dur_us <- now -. sp.start_us) r.stack;
+    let roots = List.rev r.roots in
+    List.iter normalize roots;
+    roots
+
+let with_ ?(attrs = []) ~name f =
+  match !active with
+  | None -> f ()
+  | Some r ->
+    let sp =
+      { name; attrs = List.rev attrs; start_us = Clock.now_us (); dur_us = 0.0;
+        children = [] }
+    in
+    (match r.stack with
+    | parent :: _ -> parent.children <- sp :: parent.children
+    | [] -> r.roots <- sp :: r.roots);
+    r.stack <- sp :: r.stack;
+    Fun.protect
+      ~finally:(fun () ->
+        sp.dur_us <- Clock.now_us () -. sp.start_us;
+        match r.stack with
+        | top :: rest when top == sp -> r.stack <- rest
+        | _ -> ())
+      f
+
+let add_attr k v =
+  match !active with
+  | Some { stack = sp :: _; _ } -> sp.attrs <- (k, v) :: sp.attrs
+  | Some { stack = []; _ } | None -> ()
+
+let attr_int k v =
+  match !active with
+  | Some { stack = _ :: _; _ } -> add_attr k (string_of_int v)
+  | Some { stack = []; _ } | None -> ()
+
+let attr_float k v =
+  match !active with
+  | Some { stack = _ :: _; _ } -> add_attr k (Printf.sprintf "%g" v)
+  | Some { stack = []; _ } | None -> ()
+
+let attr_str k v = add_attr k v

@@ -1,0 +1,43 @@
+(** Tracing spans with nesting.
+
+    A span covers the execution of [with_ ~name f]: it records a
+    monotonic start timestamp, the duration, string attributes and the
+    spans opened inside it. Recording is off by default ([with_] then
+    just runs [f] — one pattern match of overhead), and is turned on by
+    installing the global recorder with [start_recording].
+
+    Spans never touch any RNG: enabling tracing cannot change the
+    behaviour of the instrumented code. *)
+
+type t = {
+  name : string;
+  mutable attrs : (string * string) list;
+  start_us : float;  (** monotonic microseconds, see {!Clock} *)
+  mutable dur_us : float;
+  mutable children : t list;
+}
+
+val enabled : unit -> bool
+(** Whether a recorder is installed. *)
+
+val start_recording : unit -> unit
+(** Install a fresh recorder (discarding any active one). *)
+
+val finish_recording : unit -> t list
+(** Uninstall the recorder and return the completed root spans in
+    execution order (children likewise ordered). Spans still open are
+    closed at the current time. *)
+
+val with_ : ?attrs:(string * string) list -> name:string -> (unit -> 'a) -> 'a
+(** Run [f] under a new span (child of the innermost open span). The
+    span is closed even if [f] raises. When recording is off this is
+    just [f ()]. *)
+
+val add_attr : string -> string -> unit
+(** Attach an attribute to the innermost open span; no-op when
+    recording is off. Use the typed variants below in hot paths — they
+    only build the string representation when a recorder is active. *)
+
+val attr_int : string -> int -> unit
+val attr_float : string -> float -> unit
+val attr_str : string -> string -> unit

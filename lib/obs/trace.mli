@@ -1,0 +1,24 @@
+(** Trace lifecycle and exporters.
+
+    [start]/[finish] wrap {!Span.start_recording} and
+    {!Span.finish_recording}. A finished trace exports either as a
+    Chrome-trace JSON array of complete events (openable in
+    chrome://tracing or https://ui.perfetto.dev) or as an indented
+    stage tree for terminals. *)
+
+type t = Span.t list
+
+val start : unit -> unit
+
+val finish : unit -> t
+
+val to_chrome_json : t -> Jsonx.t
+(** JSON array of ["ph": "X"] complete events, one per span, with
+    [name]/[ph]/[ts]/[dur]/[pid]/[tid] fields and attributes under
+    [args]. Events appear in start order (parents before children). *)
+
+val write_chrome_file : string -> t -> unit
+
+val summary : t -> string
+(** Human-readable tree: per-span duration, share of the parent's
+    duration, and attributes. *)

@@ -151,7 +151,7 @@ let test_layout_gen_single_block () =
   in
   let r =
     Hidap.Layout_gen.run ~rng:(Util.Rng.create 1) ~config:Hidap.Config.default ~blocks
-      ~affinity:(Array.make_matrix 1 1 0.0) ~fixed_pos:[||] ~budget
+      ~affinity:(Array.make_matrix 1 1 0.0) ~fixed_pos:[||] ~budget ()
   in
   Alcotest.(check bool) "single block takes the budget" true
     (Rect.equal r.Hidap.Layout_gen.rects.(0) budget)
@@ -170,7 +170,7 @@ let test_layout_gen_affinity_pulls_together () =
   aff.(3).(0) <- 1.0;
   let r =
     Hidap.Layout_gen.run ~rng:(Util.Rng.create 3) ~config:Hidap.Config.default ~blocks
-      ~affinity:aff ~fixed_pos:[||] ~budget
+      ~affinity:aff ~fixed_pos:[||] ~budget ()
   in
   let c i = Rect.center r.Hidap.Layout_gen.rects.(i) in
   let d03 = Point.manhattan (c 0) (c 3) in
@@ -263,10 +263,21 @@ let test_place_sweep () =
       (fun acc (p : Hidap.macro_placement) -> acc +. Rect.area p.Hidap.rect)
       0.0 r.Hidap.placements
   in
-  let best, obj = Hidap.place_sweep ~objective flat in
+  let sw = Hidap.place_sweep ~objective flat in
+  let best = sw.Hidap.best in
   Alcotest.(check bool) "lambda from sweep" true
     (List.mem best.Hidap.lambda Hidap.Config.default.Hidap.Config.lambda_sweep);
-  check_float "objective consistent" (objective best) obj
+  check_float "objective consistent" (objective best) sw.Hidap.best_objective;
+  (* every λ of the sweep is recorded, losing runs included *)
+  Alcotest.(check (list (float 0.0)))
+    "sweep trace covers the whole sweep"
+    Hidap.Config.default.Hidap.Config.lambda_sweep
+    (List.map fst sw.Hidap.sweep_trace);
+  List.iter
+    (fun (_, o) ->
+      Alcotest.(check bool) "best objective is minimal" true
+        (sw.Hidap.best_objective <= o))
+    sw.Hidap.sweep_trace
 
 (* ---- flipping ------------------------------------------------------- *)
 

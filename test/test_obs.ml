@@ -1,0 +1,267 @@
+(* Tests for the observability library: spans, Chrome-trace export,
+   metrics registry, SA plateau observer, and the guarantee that turning
+   telemetry on does not perturb placement results. *)
+
+module Span = Obs.Span
+module Trace = Obs.Trace
+module Metrics = Obs.Metrics
+module Jsonx = Obs.Jsonx
+module Sa = Anneal.Sa
+
+(* Run [f] under a virtual clock that advances 1 s per reading, with the
+   recorder active; restores the wall clock and stops recording after. *)
+let with_fake_trace f =
+  let t = ref 0.0 in
+  Obs.Clock.set_source (fun () ->
+      let v = !t in
+      t := v +. 1.0;
+      v);
+  Trace.start ();
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Trace.finish ());
+      Obs.Clock.use_wall ())
+    (fun () ->
+      let r = f () in
+      let spans = Trace.finish () in
+      (r, spans))
+
+let test_span_nesting () =
+  let (), spans =
+    with_fake_trace (fun () ->
+        Span.with_ ~name:"root" (fun () ->
+            Span.with_ ~name:"a" (fun () -> Span.attr_int "k" 7);
+            Span.with_ ~name:"b" (fun () -> ())))
+  in
+  match spans with
+  | [ root ] ->
+    Alcotest.(check string) "root name" "root" root.Span.name;
+    Alcotest.(check (list string)) "children in execution order" [ "a"; "b" ]
+      (List.map (fun (c : Span.t) -> c.Span.name) root.Span.children);
+    (* clock readings: root opens at 0s, a at 1s..2s, b at 3s..4s, root
+       closes at 5s; each with_ takes two readings. *)
+    Alcotest.(check (float 1e-6)) "root start" 0.0 root.Span.start_us;
+    Alcotest.(check (float 1e-6)) "root duration" 5e6 root.Span.dur_us;
+    (match root.Span.children with
+    | [ a; b ] ->
+      Alcotest.(check (float 1e-6)) "a start" 1e6 a.Span.start_us;
+      Alcotest.(check (float 1e-6)) "a duration" 1e6 a.Span.dur_us;
+      Alcotest.(check (float 1e-6)) "b start" 3e6 b.Span.start_us;
+      Alcotest.(check (list (pair string string))) "attr recorded"
+        [ ("k", "7") ] a.Span.attrs
+    | _ -> Alcotest.fail "expected two children")
+  | _ -> Alcotest.fail "expected one root span"
+
+let test_span_disabled_is_transparent () =
+  Alcotest.(check bool) "recording off" false (Span.enabled ());
+  let r = Span.with_ ~name:"ignored" (fun () -> 42) in
+  Span.attr_int "nobody" 1;
+  Alcotest.(check int) "value passed through" 42 r
+
+let test_span_survives_exception () =
+  let (), spans =
+    with_fake_trace (fun () ->
+        try Span.with_ ~name:"boom" (fun () -> failwith "x")
+        with Failure _ -> ())
+  in
+  match spans with
+  | [ sp ] ->
+    Alcotest.(check string) "span closed" "boom" sp.Span.name;
+    Alcotest.(check bool) "has duration" true (sp.Span.dur_us > 0.0)
+  | _ -> Alcotest.fail "expected one root span"
+
+let test_chrome_json () =
+  let (), spans =
+    with_fake_trace (fun () ->
+        Span.with_ ~name:"outer" (fun () ->
+            Span.with_ ~name:"inner" (fun () -> Span.attr_str "file" "c1")))
+  in
+  match Trace.to_chrome_json spans with
+  | Jsonx.List events ->
+    Alcotest.(check int) "one event per span" 2 (List.length events);
+    List.iter
+      (fun ev ->
+        List.iter
+          (fun field ->
+            Alcotest.(check bool)
+              (Printf.sprintf "event has %s" field)
+              true
+              (Jsonx.member field ev <> None))
+          [ "name"; "ph"; "ts"; "dur"; "pid"; "tid" ];
+        Alcotest.(check bool) "complete event" true
+          (Jsonx.member "ph" ev = Some (Jsonx.String "X")))
+      events;
+    (* parents come first and timestamps are rebased to the first span *)
+    (match events with
+    | [ outer; inner ] ->
+      Alcotest.(check bool) "outer first" true
+        (Jsonx.member "name" outer = Some (Jsonx.String "outer"));
+      Alcotest.(check bool) "outer ts rebased to 0" true
+        (Jsonx.member "ts" outer = Some (Jsonx.Float 0.0));
+      Alcotest.(check bool) "inner has args" true
+        (Jsonx.member "args" inner <> None)
+    | _ -> Alcotest.fail "expected two events")
+  | _ -> Alcotest.fail "expected a JSON array"
+
+let test_jsonx_rendering () =
+  let doc =
+    Jsonx.Obj
+      [ ("a", Jsonx.Int 1);
+        ("b", Jsonx.List [ Jsonx.Null; Jsonx.Bool true; Jsonx.String "x\"y\n" ]);
+        ("c", Jsonx.Float 0.25);
+        ("nan", Jsonx.Float Float.nan) ]
+  in
+  Alcotest.(check string) "compact rendering"
+    {|{"a":1,"b":[null,true,"x\"y\n"],"c":0.25,"nan":null}|}
+    (Jsonx.to_string ~compact:true doc)
+
+let test_percentiles () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Metrics.percentile xs ~p:0.0);
+  Alcotest.(check (float 1e-9)) "p50" 50.5 (Metrics.percentile xs ~p:50.0);
+  Alcotest.(check (float 1e-9)) "p90" 90.1 (Metrics.percentile xs ~p:90.0);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (Metrics.percentile xs ~p:100.0);
+  Alcotest.(check (float 1e-9)) "singleton" 7.0 (Metrics.percentile [ 7.0 ] ~p:90.0)
+
+let test_registry_basics () =
+  let r = Metrics.create () in
+  Metrics.incr_counter r "runs" 2;
+  Metrics.incr_counter r "runs" 3;
+  Metrics.set_gauge r "wl" 10.0;
+  Metrics.set_gauge r "wl" 11.5;
+  Metrics.observe ~bin_width:0.5 r "rate" 0.6;
+  Metrics.observe r "rate" 1.4;
+  Metrics.push_series r "curve" 1.0 0.9;
+  Metrics.push_series r "curve" 2.0 0.8;
+  Alcotest.(check (option int)) "counter accumulates" (Some 5)
+    (Metrics.counter_value r "runs");
+  Alcotest.(check (option (float 0.0))) "gauge keeps last" (Some 11.5)
+    (Metrics.gauge_value r "wl");
+  Alcotest.(check (list (float 1e-9))) "samples in order" [ 0.6; 1.4 ]
+    (Metrics.hist_samples r "rate");
+  Alcotest.(check (list (pair (float 0.0) (float 0.0)))) "series in order"
+    [ (1.0, 0.9); (2.0, 0.8) ]
+    (Metrics.series_points r "curve");
+  Alcotest.(check (list string)) "names sorted" [ "curve"; "rate"; "runs"; "wl" ]
+    (Metrics.names r)
+
+let test_registry_merge () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.incr_counter a "n" 1;
+  Metrics.incr_counter b "n" 10;
+  Metrics.incr_counter a "only_a" 4;
+  Metrics.set_gauge a "g" 1.0;
+  Metrics.set_gauge b "g" 2.0;
+  Metrics.observe a "h" 1.0;
+  Metrics.observe b "h" 3.0;
+  Metrics.push_series a "s" 0.0 1.0;
+  Metrics.push_series b "s" 1.0 2.0;
+  let m = Metrics.merge a b in
+  Alcotest.(check (option int)) "counters add" (Some 11) (Metrics.counter_value m "n");
+  Alcotest.(check (option int)) "left-only kept" (Some 4)
+    (Metrics.counter_value m "only_a");
+  Alcotest.(check (option (float 0.0))) "gauge right wins" (Some 2.0)
+    (Metrics.gauge_value m "g");
+  Alcotest.(check (list (float 1e-9))) "histograms pool" [ 1.0; 3.0 ]
+    (Metrics.hist_samples m "h");
+  Alcotest.(check (list (pair (float 0.0) (float 0.0)))) "series concatenate"
+    [ (0.0, 1.0); (1.0, 2.0) ]
+    (Metrics.series_points m "s");
+  (* merge leaves its inputs untouched *)
+  Alcotest.(check (option int)) "left input intact" (Some 1)
+    (Metrics.counter_value a "n")
+
+let test_global_gating () =
+  Metrics.reset Metrics.global;
+  Metrics.set_enabled false;
+  Metrics.counter "gated" 1;
+  Alcotest.(check (option int)) "disabled shorthand drops" None
+    (Metrics.counter_value Metrics.global "gated");
+  Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset Metrics.global)
+    (fun () ->
+      Metrics.counter "gated" 1;
+      Alcotest.(check (option int)) "enabled shorthand records" (Some 1)
+        (Metrics.counter_value Metrics.global "gated"))
+
+(* The SA observer sees every plateau and cannot change the outcome. *)
+let test_sa_observer () =
+  let cost x = (x -. 3.0) *. (x -. 3.0) in
+  let neighbor rng x = x +. Util.Rng.gaussian rng ~mean:0.0 ~stddev:0.5 in
+  let run ?observer () =
+    Sa.minimize ~rng:(Util.Rng.create 11) ~init:10.0 ~cost ~neighbor ?observer ()
+  in
+  let plateaus = ref [] in
+  let observed = run ~observer:(fun p -> plateaus := p :: !plateaus) () in
+  let plain = run () in
+  Alcotest.(check (float 0.0)) "observer does not change the best" plain.Sa.best
+    observed.Sa.best;
+  Alcotest.(check int) "observer does not change the move count" plain.Sa.moves
+    observed.Sa.moves;
+  let ps = List.rev !plateaus in
+  Alcotest.(check int) "one callback per plateau" observed.Sa.plateaus
+    (List.length ps);
+  Alcotest.(check (list int)) "plateau indices in order"
+    (List.init (List.length ps) (fun i -> i))
+    (List.map (fun p -> p.Sa.index) ps);
+  List.iter
+    (fun p ->
+      let r = Sa.acceptance_rate p in
+      Alcotest.(check bool) "acceptance rate in [0,1]" true (r >= 0.0 && r <= 1.0))
+    ps;
+  (match ps with
+  | p0 :: (_ :: _ as rest) ->
+    let last = List.nth rest (List.length rest - 1) in
+    Alcotest.(check bool) "temperature cools" true
+      (last.Sa.temperature < p0.Sa.temperature);
+    Alcotest.(check int) "total moves accounted" observed.Sa.moves
+      last.Sa.total_moves
+  | _ -> Alcotest.fail "expected several plateaus")
+
+(* Enabling the full telemetry stack must not change placements. *)
+let test_place_determinism_under_tracing () =
+  let flat = Netlist.Flat.elaborate (Circuitgen.Suite.fig1_design ()) in
+  let plain = Hidap.place flat in
+  Metrics.reset Metrics.global;
+  Metrics.set_enabled true;
+  Trace.start ();
+  let traced, spans, n_metrics =
+    Fun.protect
+      ~finally:(fun () ->
+        ignore (Trace.finish ());
+        Metrics.set_enabled false;
+        Metrics.reset Metrics.global)
+      (fun () ->
+        let r = Hidap.place flat in
+        let spans = Trace.finish () in
+        (r, spans, List.length (Metrics.names Metrics.global)))
+  in
+  Alcotest.(check bool) "identical placements" true
+    (plain.Hidap.placements = traced.Hidap.placements);
+  Alcotest.(check (float 0.0)) "identical lambda" plain.Hidap.lambda
+    traced.Hidap.lambda;
+  Alcotest.(check bool) "trace captured the flow" true
+    (match spans with
+    | [ root ] -> root.Span.name = "hidap.place" && root.Span.children <> []
+    | _ -> false);
+  Alcotest.(check bool) "at least 8 named metrics" true (n_metrics >= 8)
+
+let suite =
+  [ ( "obs",
+      [ Alcotest.test_case "span nesting and timing" `Quick test_span_nesting;
+        Alcotest.test_case "disabled spans are transparent" `Quick
+          test_span_disabled_is_transparent;
+        Alcotest.test_case "span closed on exception" `Quick
+          test_span_survives_exception;
+        Alcotest.test_case "chrome trace export" `Quick test_chrome_json;
+        Alcotest.test_case "jsonx rendering" `Quick test_jsonx_rendering;
+        Alcotest.test_case "percentile math" `Quick test_percentiles;
+        Alcotest.test_case "registry basics" `Quick test_registry_basics;
+        Alcotest.test_case "registry merge" `Quick test_registry_merge;
+        Alcotest.test_case "global registry gating" `Quick test_global_gating;
+        Alcotest.test_case "sa plateau observer" `Quick test_sa_observer;
+        Alcotest.test_case "tracing preserves determinism" `Slow
+          test_place_determinism_under_tracing ] ) ]
