@@ -69,14 +69,36 @@ let flow_of_paper (p : Report.Paper_data.circuit_rows) = function
 
 let tables_2_3 () =
   printf "%s@." (T.section "Table III: per-circuit metrics for the three flows");
+  ensure_artifacts_dir ();
   let results =
     List.map
       (fun (c : Circuitgen.Suite.circuit) ->
         let design = Circuitgen.Gen.generate c.Circuitgen.Suite.params in
         let flat = Flat.elaborate design in
-        let res = Evalflow.run_all ~name:c.Circuitgen.Suite.cname design in
-        printf "  [done] %s (%d cells, %d macros)@." res.Evalflow.circuit
-          res.Evalflow.cells res.Evalflow.macro_count;
+        (* Run instrumented so the QoR ledger gets stage times, the SA
+           curve and GC gauges; telemetry cannot change the placement
+           (see test_obs determinism case). *)
+        Obs.Metrics.reset Obs.Metrics.global;
+        Obs.Metrics.set_enabled true;
+        Obs.Trace.start ();
+        let res =
+          Fun.protect
+            ~finally:(fun () -> Obs.Metrics.set_enabled false)
+            (fun () -> Evalflow.run_all ~name:c.Circuitgen.Suite.cname design)
+        in
+        let spans = Obs.Trace.finish () in
+        let records =
+          Qor.Record.of_eval ~circuit:c.Circuitgen.Suite.cname ~flat
+            ~config:Hidap.Config.default ~spans ~registry:Obs.Metrics.global res
+        in
+        Obs.Metrics.reset Obs.Metrics.global;
+        let ledger_path =
+          Filename.concat artifacts_dir
+            (Printf.sprintf "qor_%s.json" c.Circuitgen.Suite.cname)
+        in
+        Qor.Record.write_ledger ledger_path records;
+        printf "  [done] %s (%d cells, %d macros) -> %s@." res.Evalflow.circuit
+          res.Evalflow.cells res.Evalflow.macro_count ledger_path;
         (c, flat, res))
       (circuits ())
   in
@@ -725,6 +747,62 @@ let bechamel_benches () =
   printf "%s@." (T.render ~header:[ "bench"; "ns/run" ] rows)
 
 (* ------------------------------------------------------------------ *)
+(* Suite-level QoR summary: one JSON per bench run at the repo root so *)
+(* the perf trajectory accumulates across commits (BENCH_<date>.json). *)
+(* ------------------------------------------------------------------ *)
+
+let suite_summary results ~elapsed_s =
+  let module J = Obs.Jsonx in
+  let tm = Unix.localtime (Unix.time ()) in
+  let date =
+    Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+      tm.Unix.tm_mday
+  in
+  let geo kind =
+    Util.Stat.geometric_mean
+      (List.map (fun (_, _, res) -> Evalflow.normalized_wl res kind) results)
+  in
+  let per_circuit =
+    List.map
+      (fun ((c : Circuitgen.Suite.circuit), _, res) ->
+        ( c.Circuitgen.Suite.cname,
+          J.Obj
+            [ ("cells", J.Int res.Evalflow.cells);
+              ("macros", J.Int res.Evalflow.macro_count);
+              ( "flows",
+                J.Obj
+                  (List.map
+                     (fun (r : Evalflow.run) ->
+                       let m = r.Evalflow.metrics in
+                       ( Evalflow.flow_name r.Evalflow.kind,
+                         J.Obj
+                           [ ("wl_m", J.Float m.Evalflow.wl_m);
+                             ( "wl_norm",
+                               J.Float (Evalflow.normalized_wl res r.Evalflow.kind) );
+                             ("grc_pct", J.Float m.Evalflow.grc_pct);
+                             ("wns_pct", J.Float m.Evalflow.wns_pct);
+                             ("tns", J.Float m.Evalflow.tns);
+                             ("runtime_s", J.Float m.Evalflow.runtime_s) ] ))
+                     res.Evalflow.runs) ) ] ))
+      results
+  in
+  let doc =
+    J.Obj
+      [ ("schema", J.String "hidap-bench-summary");
+        ("version", J.Int 1);
+        ("date", J.String date);
+        ("fast_mode", J.Bool fast_mode);
+        ("total_bench_s", J.Float elapsed_s);
+        ( "wl_geo_norm",
+          J.Obj
+            (List.map
+               (fun kind -> (Evalflow.flow_name kind, J.Float (geo kind)))
+               [ Evalflow.IndEDA; Evalflow.HiDaP; Evalflow.HandFP ]) );
+        ("circuits", J.Obj per_circuit) ]
+  in
+  let path = Printf.sprintf "BENCH_%s.json" date in
+  J.write_file path doc;
+  printf "wrote %s (suite QoR summary, %d circuits)@." path (List.length results)
 
 let () =
   let t0 = Unix.gettimeofday () in
@@ -742,4 +820,6 @@ let () =
   ablations ();
   observability ();
   bechamel_benches ();
-  printf "@.total bench time: %.1fs@." (Unix.gettimeofday () -. t0)
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  suite_summary results ~elapsed_s;
+  printf "@.total bench time: %.1fs@." elapsed_s

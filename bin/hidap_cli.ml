@@ -4,7 +4,10 @@
      stats  FILE.hnl           netlist statistics and abstraction sizes
      place  FILE.hnl           run the HiDaP flow, print macro placements
      eval   (FILE.hnl | -c N)  compare IndEDA / HiDaP / handFP
-     gen    -c NAME -o FILE    emit a synthetic suite circuit as HNL *)
+     gen    -c NAME -o FILE    emit a synthetic suite circuit as HNL
+     view   FILE.hnl           evaluate and render a saved placement
+     report LEDGER|DIR         self-contained HTML report from QoR ledgers
+     bench                     run suite circuits, gate against baselines *)
 
 open Cmdliner
 
@@ -69,10 +72,38 @@ let profile_arg =
   Arg.(value & flag & info [ "profile" ]
          ~doc:"Print the stage-tree timing summary to stderr.")
 
+let qor_arg =
+  Arg.(value & opt (some string) None & info [ "qor" ] ~docv:"OUT.json"
+         ~doc:"Write a QoR ledger record of the run (render with 'hidap report').")
+
+(* Telemetry output paths are opened before the run starts: a typo in
+   --trace/--metrics/--qor fails fast instead of silently discarding
+   the telemetry of a completed (possibly long) run. *)
+let open_output ~what path =
+  match open_out path with
+  | oc -> (path, oc)
+  | exception Sys_error msg ->
+    Format.eprintf "hidap: cannot open %s output: %s@." what msg;
+    exit 1
+
+let write_output what out json =
+  match out with
+  | None -> ()
+  | Some (path, oc) ->
+    output_string oc (Obs.Jsonx.to_string json);
+    output_char oc '\n';
+    close_out oc;
+    Format.eprintf "wrote %s %s@." what path
+
 (* Run [f] with the observability layer active when any output was
-   requested; otherwise run it with the default no-op sink. *)
-let with_obs ~trace ~metrics ~profile f =
-  let active = trace <> None || metrics <> None || profile in
+   requested; otherwise run it with the default no-op sink. [after] is
+   called once the trace is finished and the metric sinks are written,
+   with the spans and the still-populated global registry — the QoR
+   ledger hook. *)
+let with_obs ~trace ~metrics ~profile ?(force = false) ?(after = fun _ _ -> ()) f =
+  let trace_out = Option.map (open_output ~what:"trace") trace in
+  let metrics_out = Option.map (open_output ~what:"metrics") metrics in
+  let active = force || Option.is_some trace_out || Option.is_some metrics_out || profile in
   if not active then f ()
   else begin
     Obs.Trace.start ();
@@ -80,22 +111,10 @@ let with_obs ~trace ~metrics ~profile f =
     let finish () =
       let spans = Obs.Trace.finish () in
       Obs.Metrics.set_enabled false;
-      (* A bad output path must not crash away the completed run. *)
-      let write what path f =
-        try
-          f path;
-          Format.eprintf "wrote %s %s@." what path
-        with Sys_error msg -> Format.eprintf "hidap: cannot write %s: %s@." what msg
-      in
-      (match trace with
-      | Some path -> write "trace" path (fun p -> Obs.Trace.write_chrome_file p spans)
-      | None -> ());
-      (match metrics with
-      | Some path ->
-        write "metrics" path (fun p ->
-            Obs.Jsonx.write_file p (Obs.Metrics.to_json Obs.Metrics.global))
-      | None -> ());
+      write_output "trace" trace_out (Obs.Trace.to_chrome_json spans);
+      write_output "metrics" metrics_out (Obs.Metrics.to_json Obs.Metrics.global);
       if profile then prerr_string (Obs.Trace.summary spans);
+      after spans Obs.Metrics.global;
       Obs.Metrics.reset Obs.Metrics.global
     in
     Fun.protect ~finally:finish f
@@ -142,13 +161,24 @@ let stats_cmd =
 (* ---- place -------------------------------------------------------- *)
 
 let place_cmd =
-  let run file circuit seed lambda svg ascii save trace metrics profile =
-    with_obs ~trace ~metrics ~profile @@ fun () ->
-    let _, design = design_of ~file ~circuit in
+  let run file circuit seed lambda svg ascii save trace metrics profile qor =
+    let qor_out = Option.map (open_output ~what:"qor") qor in
+    let captured = ref None in
+    let after spans registry =
+      match (!captured, qor_out) with
+      | Some (name, flat, config, r), Some _ ->
+        let record = Qor.Record.of_place ~circuit:name ~flat ~config ~spans ~registry r in
+        write_output "qor" qor_out (Qor.Record.to_json record)
+      | _ -> ()
+    in
+    with_obs ~trace ~metrics ~profile ~force:(Option.is_some qor_out) ~after
+    @@ fun () ->
+    let name, design = design_of ~file ~circuit in
     let flat = Netlist.Flat.elaborate design in
     let config = config_of ~seed ~lambda in
     let t0 = Unix.gettimeofday () in
     let r = Hidap.place ~config flat in
+    captured := Some (name, flat, config, r);
     Format.printf "placed %d macros in %.2fs (lambda %.2f, overlap %.2f)@."
       (List.length r.Hidap.placements)
       (Unix.gettimeofday () -. t0)
@@ -199,16 +229,27 @@ let place_cmd =
   in
   Cmd.v (Cmd.info "place" ~doc:"Run the HiDaP macro placement flow")
     Term.(const run $ file_arg $ circuit_arg $ seed_arg $ lambda_arg $ svg_arg $ ascii_arg
-          $ save_arg $ trace_arg $ metrics_arg $ profile_arg)
+          $ save_arg $ trace_arg $ metrics_arg $ profile_arg $ qor_arg)
 
 (* ---- eval --------------------------------------------------------- *)
 
 let eval_cmd =
-  let run file circuit seed trace metrics profile =
-    with_obs ~trace ~metrics ~profile @@ fun () ->
+  let run file circuit seed trace metrics profile qor =
+    let qor_out = Option.map (open_output ~what:"qor") qor in
+    let captured = ref None in
+    let after spans registry =
+      match (!captured, qor_out) with
+      | Some (name, flat, config, res), Some _ ->
+        let records = Qor.Record.of_eval ~circuit:name ~flat ~config ~spans ~registry res in
+        write_output "qor" qor_out (Qor.Record.ledger_json records)
+      | _ -> ()
+    in
+    with_obs ~trace ~metrics ~profile ~force:(Option.is_some qor_out) ~after
+    @@ fun () ->
     let name, design = design_of ~file ~circuit in
     let config = { Hidap.Config.default with Hidap.Config.seed } in
     let res = Evalflow.run_all ~config ~name design in
+    captured := Some (name, Netlist.Flat.elaborate design, config, res);
     Format.printf "circuit %s: %d cells, %d macros@." res.Evalflow.circuit
       res.Evalflow.cells res.Evalflow.macro_count;
     let rows =
@@ -244,7 +285,7 @@ let eval_cmd =
   in
   Cmd.v (Cmd.info "eval" ~doc:"Compare the IndEDA / HiDaP / handFP flows")
     Term.(const run $ file_arg $ circuit_arg $ seed_arg $ trace_arg $ metrics_arg
-          $ profile_arg)
+          $ profile_arg $ qor_arg)
 
 (* ---- gen ---------------------------------------------------------- *)
 
@@ -308,9 +349,179 @@ let view_cmd =
   Cmd.v (Cmd.info "view" ~doc:"Evaluate and render a saved placement")
     Term.(const run $ file_arg $ circuit_arg $ placement_arg)
 
+(* ---- report ------------------------------------------------------- *)
+
+let default_baselines = Filename.concat "bench" "baselines.json"
+
+let baselines_arg =
+  Arg.(value & opt (some string) None & info [ "baselines" ] ~docv:"FILE.json"
+         ~doc:(Printf.sprintf
+                 "Baselines file for the QoR delta tables / regression gate \
+                  (default %s when it exists)." default_baselines))
+
+let load_baselines ~required path =
+  let path, explicit =
+    match path with Some p -> (p, true) | None -> (default_baselines, false)
+  in
+  if (not explicit) && not (Sys.file_exists path) then begin
+    if required then begin
+      Format.eprintf
+        "hidap: no baselines at %s; run 'hidap bench --update-baselines' first@." path;
+      exit 1
+    end;
+    None
+  end
+  else
+    match Qor.Baseline.load path with
+    | Ok b -> Some b
+    | Error msg ->
+      Format.eprintf "hidap: %s@." msg;
+      exit 1
+
+let report_one ?baseline ~input ~output () =
+  match Qor.Record.load_ledger input with
+  | Error msg ->
+    Format.eprintf "hidap: %s@." msg;
+    exit 1
+  | Ok records ->
+    let title = Printf.sprintf "HiDaP run report — %s" (Filename.basename input) in
+    Qor.Html.write_file output (Qor.Html.render ?baseline ~title records);
+    Format.printf "wrote %s (%d record%s)@." output (List.length records)
+      (if List.length records = 1 then "" else "s")
+
+let report_cmd =
+  let run input output baselines =
+    let baseline = load_baselines ~required:false baselines in
+    if Sys.is_directory input then begin
+      let entries =
+        Sys.readdir input |> Array.to_list |> List.sort compare
+        |> List.filter (fun f -> Filename.check_suffix f ".json")
+        |> List.filter_map (fun f ->
+               let path = Filename.concat input f in
+               match Qor.Record.load_ledger path with
+               | Ok (_ :: _) -> Some path
+               | Ok [] | Error _ -> None)
+      in
+      if entries = [] then begin
+        Format.eprintf "hidap: no QoR ledgers found under %s@." input;
+        exit 1
+      end;
+      List.iter
+        (fun path ->
+          report_one ?baseline ~input:path
+            ~output:(Filename.remove_extension path ^ ".html")
+            ())
+        entries
+    end
+    else
+      let output =
+        match output with
+        | Some o -> o
+        | None -> Filename.remove_extension input ^ ".html"
+      in
+      report_one ?baseline ~input ~output ()
+  in
+  let input_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"LEDGER|DIR"
+           ~doc:"A QoR ledger JSON file, or a directory of them.")
+  in
+  let output_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT.html"
+           ~doc:"Output file (default: ledger path with .html extension).")
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Render QoR ledgers as self-contained HTML run reports")
+    Term.(const run $ input_arg $ output_arg $ baselines_arg)
+
+(* ---- bench -------------------------------------------------------- *)
+
+let bench_cmd =
+  let run circuits baselines update qor report_out =
+    let qor_out = Option.map (open_output ~what:"qor") qor in
+    let names = String.split_on_char ',' circuits |> List.filter (fun s -> s <> "") in
+    let records =
+      List.concat_map
+        (fun name ->
+          match Circuitgen.Suite.find name with
+          | None ->
+            Format.eprintf "unknown suite circuit %s (c1..c8)@." name;
+            exit 1
+          | Some c ->
+            let design = Circuitgen.Gen.generate c.Circuitgen.Suite.params in
+            let flat = Netlist.Flat.elaborate design in
+            let config = Hidap.Config.default in
+            Obs.Metrics.reset Obs.Metrics.global;
+            Obs.Metrics.set_enabled true;
+            Obs.Trace.start ();
+            let res =
+              Fun.protect
+                ~finally:(fun () -> Obs.Metrics.set_enabled false)
+                (fun () -> Evalflow.run_all ~config ~name design)
+            in
+            let spans = Obs.Trace.finish () in
+            let records =
+              Qor.Record.of_eval ~circuit:name ~flat ~config ~spans
+                ~registry:Obs.Metrics.global res
+            in
+            Obs.Metrics.reset Obs.Metrics.global;
+            Format.printf "bench %s: %d cells, %d macros, %d flows@." name
+              res.Evalflow.cells res.Evalflow.macro_count (List.length records);
+            records)
+        names
+    in
+    write_output "qor" qor_out (Qor.Record.ledger_json records);
+    let baselines_path = Option.value ~default:default_baselines baselines in
+    if update then begin
+      Qor.Baseline.write baselines_path (Qor.Baseline.of_records records);
+      Format.printf "wrote baselines %s (%d entries)@." baselines_path
+        (List.length records);
+      match report_out with
+      | Some path ->
+        Qor.Html.write_file path (Qor.Html.render ~title:"hidap bench" records);
+        Format.printf "wrote report %s@." path
+      | None -> ()
+    end
+    else
+      match load_baselines ~required:true (Some baselines_path) with
+      | None -> assert false
+      | Some b ->
+        let comparisons = Qor.Baseline.compare_all b records in
+        print_string (Qor.Baseline.render comparisons);
+        (match report_out with
+        | Some path ->
+          Qor.Html.write_file path
+            (Qor.Html.render ~baseline:b ~title:"hidap bench" records);
+          Format.printf "wrote report %s@." path
+        | None -> ());
+        if Qor.Baseline.overall comparisons = Qor.Baseline.Regressed then begin
+          flush stdout;
+          Format.eprintf "hidap bench: QoR regression beyond tolerance@.";
+          exit 1
+        end
+  in
+  let circuits_arg =
+    Arg.(value & opt string "c1" & info [ "circuits" ] ~docv:"c1,c2"
+           ~doc:"Comma-separated suite circuits to run (default c1).")
+  in
+  let update_arg =
+    Arg.(value & flag & info [ "update-baselines" ]
+           ~doc:"Regenerate the baselines file from this run instead of gating.")
+  in
+  let report_arg =
+    Arg.(value & opt (some string) None & info [ "report" ] ~docv:"OUT.html"
+           ~doc:"Also write a self-contained HTML report of the run.")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Run suite circuits through all flows and gate QoR against baselines")
+    Term.(const run $ circuits_arg $ baselines_arg $ update_arg $ qor_arg $ report_arg)
+
 let () =
   let info =
     Cmd.info "hidap" ~version:"1.0.0"
       ~doc:"RTL-aware dataflow-driven macro placement (DATE 2019 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ stats_cmd; place_cmd; eval_cmd; gen_cmd; view_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ stats_cmd; place_cmd; eval_cmd; gen_cmd; view_cmd; report_cmd; bench_cmd ]))

@@ -75,6 +75,7 @@ let place_body ~config ~die flat =
   Obs.Metrics.counter "hidap.sa_moves" fp.Floorplan.sa_moves_total;
   Obs.Metrics.gauge "hidap.macros_placed" (float_of_int (List.length placements));
   Obs.Metrics.gauge "hidap.die_area" (Rect.area die);
+  if Obs.Metrics.enabled () then Obs.Gcstats.gauges (Obs.Gcstats.snapshot ());
   { die;
     placements;
     levels = fp.Floorplan.levels;

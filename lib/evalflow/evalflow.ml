@@ -169,6 +169,10 @@ let run_flow_body kind ~config ~flat ~gseq ~ports ~die =
   Obs.Metrics.gauge
     (Printf.sprintf "evalflow.%s.runtime_s" (flow_name kind))
     runtime_s;
+  if Obs.Metrics.enabled () then
+    Obs.Gcstats.record
+      ~prefix:(Printf.sprintf "gc.%s" (flow_name kind))
+      Obs.Metrics.global (Obs.Gcstats.snapshot ());
   { kind;
     metrics = { metrics with runtime_s };
     macros;
@@ -213,3 +217,24 @@ let normalized_wl result kind =
 
 let density_map run ~flat ~bins =
   Cellplace.density_map run.placement ~flat ~macros:run.macros ~bins
+
+let macro_displacement a b =
+  let centers ms =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun (m : Cellplace.macro_place) ->
+        Hashtbl.replace tbl m.Cellplace.fid (Rect.center m.Cellplace.rect))
+      ms;
+    tbl
+  in
+  let ca = centers a.macros and cb = centers b.macros in
+  let total = ref 0.0 and n = ref 0 in
+  Hashtbl.iter
+    (fun fid pa ->
+      match Hashtbl.find_opt cb fid with
+      | Some pb ->
+        total := !total +. Point.euclidean pa pb;
+        incr n
+      | None -> ())
+    ca;
+  if !n = 0 then 0.0 else !total /. float_of_int !n

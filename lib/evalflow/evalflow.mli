@@ -72,3 +72,9 @@ val normalized_wl : circuit_result -> flow_kind -> float
 (** WL relative to the handFP run of the same circuit. *)
 
 val density_map : run -> flat:Netlist.Flat.t -> bins:int -> float array array
+
+val macro_displacement : run -> run -> float
+(** Mean distance between the two runs' centres of the same macro
+    (macros present in only one run are skipped; 0 when none match).
+    Used by the QoR ledger to report how far a flow's placement sits
+    from the baseline flows'. *)

@@ -22,3 +22,25 @@ val write_file : string -> t -> unit
 
 val member : string -> t -> t option
 (** Field lookup in an [Obj]; [None] otherwise. *)
+
+val parse : string -> (t, string) result
+(** Parse a JSON document. Integer-syntax numbers become [Int] (falling
+    back to [Float] beyond the native int range), all other numbers
+    [Float]. String escapes are decoded; [\uXXXX] sequences (including
+    surrogate pairs) are re-encoded as UTF-8 bytes, so
+    [parse (to_string t)] round-trips byte-for-byte for every string
+    the serializer emits. Errors carry the byte offset. *)
+
+val parse_file : string -> (t, string) result
+(** [parse] on a file's contents; I/O failures become [Error]. *)
+
+(* Shallow typed accessors, for destructuring parsed documents. *)
+
+val to_string_opt : t -> string option
+
+val to_int_opt : t -> int option
+
+val to_float_opt : t -> float option
+(** Accepts both [Float] and [Int] (JSON does not distinguish). *)
+
+val to_list_opt : t -> t list option

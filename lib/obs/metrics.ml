@@ -109,9 +109,15 @@ let merge a b =
 
 (* ---- percentiles / export ----------------------------------------- *)
 
-let percentile xs ~p =
+(* Boundary convention (documented in the .mli): the empty list has no
+   percentiles; a single sample is every percentile of its
+   distribution. The general case interpolates linearly between order
+   statistics, so the single-sample rule is the n = 1 instance of the
+   formula rather than a special case bolted on. *)
+let percentile_opt xs ~p =
   match List.sort compare xs with
-  | [] -> invalid_arg "Metrics.percentile: empty sample list"
+  | [] -> None
+  | [ x ] -> Some x
   | sorted ->
     let a = Array.of_list sorted in
     let n = Array.length a in
@@ -119,7 +125,17 @@ let percentile xs ~p =
     let rank = p /. 100.0 *. float_of_int (n - 1) in
     let lo = int_of_float (floor rank) in
     let hi = min (n - 1) (lo + 1) in
-    a.(lo) +. ((rank -. float_of_int lo) *. (a.(hi) -. a.(lo)))
+    Some (a.(lo) +. ((rank -. float_of_int lo) *. (a.(hi) -. a.(lo))))
+
+let percentile xs ~p =
+  match percentile_opt xs ~p with
+  | Some v -> v
+  | None -> invalid_arg "Metrics.percentile: empty sample list"
+
+let hist_percentile t name ~p =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Hist h) -> percentile_opt h.samples ~p
+  | _ -> None
 
 let hist_json h =
   let samples = List.rev h.samples in

@@ -65,9 +65,21 @@ val merge : t -> t -> t
     value, histograms pool samples and merge bins, series concatenate
     (left points first). On a kind clash the right side wins. *)
 
+val percentile_opt : float list -> p:float -> float option
+(** Linear-interpolated percentile, [p] clamped to [0, 100].
+
+    Boundary convention: the empty list has no percentiles ([None]); a
+    single sample [x] is every percentile of its distribution
+    ([Some x] for any [p] — the n = 1 instance of the interpolation
+    formula, not a special case). *)
+
 val percentile : float list -> p:float -> float
-(** Linear-interpolated percentile, [p] in [0, 100]. Raises
-    [Invalid_argument] on an empty list. *)
+(** [percentile_opt] that raises [Invalid_argument] on an empty list;
+    same single-sample convention. *)
+
+val hist_percentile : t -> string -> p:float -> float option
+(** Percentile of a named histogram's raw samples; [None] when the
+    name is absent, not a histogram, or the histogram is empty. *)
 
 val to_json : t -> Jsonx.t
 (** [{"counters": {...}, "gauges": {...}, "histograms": {...},

@@ -31,6 +31,24 @@ let to_chrome_json spans =
 
 let write_chrome_file path spans = Jsonx.write_file path (to_chrome_json spans)
 
+let stage_totals spans =
+  let tbl = Hashtbl.create 32 in
+  let order = ref [] in
+  let rec visit (sp : Span.t) =
+    (match Hashtbl.find_opt tbl sp.Span.name with
+    | Some (total, calls) -> Hashtbl.replace tbl sp.Span.name (total +. sp.Span.dur_us, calls + 1)
+    | None ->
+      Hashtbl.replace tbl sp.Span.name (sp.Span.dur_us, 1);
+      order := sp.Span.name :: !order);
+    List.iter visit sp.Span.children
+  in
+  List.iter visit spans;
+  List.rev_map
+    (fun name ->
+      let total, calls = Hashtbl.find tbl name in
+      (name, total, calls))
+    !order
+
 let fmt_dur us =
   if us >= 1e6 then Printf.sprintf "%.2fs" (us /. 1e6)
   else if us >= 1e3 then Printf.sprintf "%.1fms" (us /. 1e3)

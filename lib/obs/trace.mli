@@ -19,6 +19,12 @@ val to_chrome_json : t -> Jsonx.t
 
 val write_chrome_file : string -> t -> unit
 
+val stage_totals : t -> (string * float * int) list
+(** Wall-clock roll-up by span name over the whole tree:
+    [(name, total_us, calls)], in first-appearance order. Nested spans
+    of the same name each contribute, so a recursive stage's total can
+    exceed its outermost duration. *)
+
 val summary : t -> string
 (** Human-readable tree: per-span duration, share of the parent's
     duration, and attributes. *)

@@ -1,0 +1,264 @@
+module Rect = Geom.Rect
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let css =
+  {|body { font-family: -apple-system, "Segoe UI", Roboto, sans-serif; margin: 2em auto;
+        max-width: 72em; color: #1a1a2e; background: #fdfdfc; }
+h1 { font-size: 1.5em; border-bottom: 2px solid #5b7aa9; padding-bottom: 0.3em; }
+h2 { font-size: 1.2em; margin-top: 2em; }
+h3 { font-size: 1em; color: #444; }
+.meta { color: #666; font-size: 0.9em; }
+.tiles { display: flex; flex-wrap: wrap; gap: 0.8em; margin: 1em 0; }
+.tile { border: 1px solid #d8d8e0; border-radius: 6px; padding: 0.6em 1em; min-width: 8em;
+        background: #fff; }
+.tile .v { font-size: 1.3em; font-weight: 600; }
+.tile .k { font-size: 0.75em; color: #777; text-transform: uppercase; }
+table { border-collapse: collapse; margin: 0.8em 0; font-size: 0.9em; }
+th, td { border: 1px solid #d8d8e0; padding: 0.3em 0.7em; text-align: right; }
+th { background: #eef1f6; }
+td.name, th.name { text-align: left; }
+.improved { color: #1d7a36; font-weight: 600; }
+.regressed { color: #b3261e; font-weight: 600; }
+.unchanged { color: #666; }
+.bar { height: 0.9em; background: #5b7aa9; display: inline-block; }
+.barrow td { border: none; padding: 0.15em 0.7em; }
+.levels { display: flex; flex-wrap: wrap; gap: 1em; }
+.levels figure { margin: 0; }
+.levels figcaption { font-size: 0.8em; color: #666; text-align: center; }
+.spark { vertical-align: middle; }
+footer { margin-top: 3em; color: #999; font-size: 0.8em; }|}
+
+let fmt_f digits v = Printf.sprintf "%.*f" digits v
+
+let tile buf ~label ~value =
+  Buffer.add_string buf
+    (Printf.sprintf "<div class=\"tile\"><div class=\"v\">%s</div><div class=\"k\">%s</div></div>\n"
+       (escape value) (escape label))
+
+let sparkline ?(w = 220) ?(h = 48) pts =
+  match pts with
+  | [] | [ _ ] -> "<span class=\"meta\">(no convergence series)</span>"
+  | pts ->
+    let xs = List.map fst pts and ys = List.map snd pts in
+    let xmin = List.fold_left min infinity xs and xmax = List.fold_left max neg_infinity xs in
+    let ymin = List.fold_left min infinity ys and ymax = List.fold_left max neg_infinity ys in
+    let xr = if xmax -. xmin > 0.0 then xmax -. xmin else 1.0 in
+    let yr = if ymax -. ymin > 0.0 then ymax -. ymin else 1.0 in
+    let fw = float_of_int (w - 4) and fh = float_of_int (h - 4) in
+    let coords =
+      List.map
+        (fun (x, y) ->
+          Printf.sprintf "%.1f,%.1f"
+            (2.0 +. ((x -. xmin) /. xr *. fw))
+            (2.0 +. ((ymax -. y) /. yr *. fh)))
+        pts
+    in
+    Printf.sprintf
+      "<svg class=\"spark\" width=\"%d\" height=\"%d\" viewBox=\"0 0 %d %d\">\
+       <rect width=\"%d\" height=\"%d\" fill=\"#f4f6fa\"/>\
+       <polyline points=\"%s\" fill=\"none\" stroke=\"#5b7aa9\" stroke-width=\"1.5\"/></svg>"
+      w h w h w h
+      (String.concat " " coords)
+
+let stage_bars buf stages =
+  match stages with
+  | [] -> Buffer.add_string buf "<p class=\"meta\">(run was not traced)</p>\n"
+  | stages ->
+    let sorted =
+      List.sort
+        (fun (a : Record.stage) b -> compare b.Record.total_us a.Record.total_us)
+        stages
+    in
+    let vmax =
+      match sorted with s :: _ -> Float.max s.Record.total_us 1e-9 | [] -> 1.0
+    in
+    Buffer.add_string buf "<table>\n";
+    List.iteri
+      (fun i (s : Record.stage) ->
+        if i < 16 then
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<tr class=\"barrow\"><td class=\"name\">%s</td><td>%s ms</td>\
+                <td>&times;%d</td><td class=\"name\" style=\"width:22em\">\
+                <span class=\"bar\" style=\"width:%.1f%%\"></span></td></tr>\n"
+               (escape s.Record.stage_name)
+               (fmt_f 1 (s.Record.total_us /. 1e3))
+               s.Record.calls
+               (100.0 *. s.Record.total_us /. vmax)))
+      sorted;
+    Buffer.add_string buf "</table>\n"
+
+let short_name path =
+  match String.rindex_opt path '/' with
+  | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+  | None -> path
+
+let floorplans buf (r : Record.t) =
+  let levels =
+    List.map
+      (fun (l : Record.level) ->
+        { Hidap.Floorplan.depth = l.Record.depth;
+          ht_id = l.Record.ht_id;
+          rect = l.Record.level_rect;
+          macro_count = l.Record.level_macros })
+      r.Record.levels
+  in
+  let macros =
+    List.map
+      (fun (m : Record.macro) -> (short_name m.Record.macro_name, m.Record.macro_rect))
+      r.Record.macros
+  in
+  let snapshots =
+    if levels = [] && macros = [] then []
+    else if levels = [] then
+      (* eval-path record: only the final macro placement is known *)
+      Viz.Svg.floorplan_levels ~die:r.Record.die ~levels:[] ~macros ()
+    else Viz.Svg.floorplan_levels ~die:r.Record.die ~levels ~macros ()
+  in
+  match snapshots with
+  | [] -> Buffer.add_string buf "<p class=\"meta\">(no geometry recorded)</p>\n"
+  | snapshots ->
+    Buffer.add_string buf "<div class=\"levels\">\n";
+    let last = List.length snapshots - 1 in
+    List.iteri
+      (fun i (depth, svg) ->
+        let caption =
+          if i = last && r.Record.macros <> [] then "final macro placement"
+          else Printf.sprintf "recursion level %d" depth
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "<figure>%s<figcaption>%s</figcaption></figure>\n" svg caption))
+      snapshots;
+    Buffer.add_string buf "</div>\n"
+
+let verdict_cell (v : Baseline.verdict) =
+  let name = Baseline.verdict_name v in
+  Printf.sprintf "<td class=\"%s\">%s</td>" name name
+
+let delta_table buf (c : Baseline.comparison) =
+  if c.Baseline.missing_baseline then
+    Buffer.add_string buf
+      "<p class=\"meta\">no committed baseline for this circuit/flow</p>\n"
+  else begin
+    Buffer.add_string buf
+      "<table><tr><th class=\"name\">metric</th><th>baseline</th><th>current</th>\
+       <th>&Delta; rel</th><th>tolerance</th><th>verdict</th></tr>\n";
+    List.iter
+      (fun (d : Baseline.metric_delta) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<tr><td class=\"name\">%s</td><td>%s</td><td>%s</td><td>%+.2f%%</td>\
+              <td>%.1f%%</td>%s</tr>\n"
+             (escape d.Baseline.metric)
+             (fmt_f 4 d.Baseline.baseline)
+             (fmt_f 4 d.Baseline.current)
+             (100.0 *. d.Baseline.rel_delta)
+             (100.0 *. d.Baseline.tolerance)
+             (verdict_cell d.Baseline.metric_verdict)))
+      c.Baseline.deltas;
+    Buffer.add_string buf "</table>\n"
+  end
+
+let gc_table buf = function
+  | None -> ()
+  | Some (g : Obs.Gcstats.snapshot) ->
+    Buffer.add_string buf "<h3>Runtime (OCaml GC)</h3>\n<table>\n";
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<tr><th class=\"name\">allocated words</th><th>minor collections</th>\
+          <th>major collections</th><th>heap words</th></tr>\n\
+          <tr><td>%.3e</td><td>%d</td><td>%d</td><td>%d</td></tr>\n"
+         (Obs.Gcstats.allocated_words g)
+         g.Obs.Gcstats.minor_collections g.Obs.Gcstats.major_collections
+         g.Obs.Gcstats.heap_words);
+    Buffer.add_string buf "</table>\n"
+
+let record_section buf ?baseline (r : Record.t) =
+  Buffer.add_string buf
+    (Printf.sprintf "<h2>%s &middot; %s</h2>\n" (escape r.Record.circuit)
+       (escape r.Record.flow));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<p class=\"meta\">seed %d &middot; lambda %s &middot; %d cells &middot; %d \
+        macros &middot; schema v%d</p>\n"
+       r.Record.seed
+       (match r.Record.lambda with Some l -> fmt_f 2 l | None -> "-")
+       r.Record.cells r.Record.macro_count r.Record.rec_version);
+  Buffer.add_string buf "<div class=\"tiles\">\n";
+  let q = r.Record.qm in
+  tile buf ~label:"WL (m)" ~value:(fmt_f 3 (q.Record.wl_um *. 1e-6));
+  tile buf ~label:"GRC overflow %" ~value:(fmt_f 2 q.Record.grc_pct);
+  tile buf ~label:"WNS %" ~value:(fmt_f 1 q.Record.wns_pct);
+  tile buf ~label:"TNS (ps)" ~value:(fmt_f 0 q.Record.tns);
+  tile buf ~label:"runtime (s)" ~value:(fmt_f 2 q.Record.runtime_s);
+  if q.Record.dataflow_cost > 0.0 then
+    tile buf ~label:"dataflow cost" ~value:(fmt_f 0 q.Record.dataflow_cost);
+  Buffer.add_string buf "</div>\n";
+  (match baseline with
+  | Some b ->
+    Buffer.add_string buf "<h3>QoR vs committed baseline</h3>\n";
+    delta_table buf (Baseline.compare_record b r)
+  | None -> ());
+  if r.Record.displacement <> [] then begin
+    Buffer.add_string buf
+      "<h3>Macro displacement vs other flows</h3>\n<table><tr>";
+    List.iter
+      (fun (flow, _) ->
+        Buffer.add_string buf (Printf.sprintf "<th>vs %s</th>" (escape flow)))
+      r.Record.displacement;
+    Buffer.add_string buf "</tr><tr>";
+    List.iter
+      (fun (_, d) -> Buffer.add_string buf (Printf.sprintf "<td>%s um</td>" (fmt_f 1 d)))
+      r.Record.displacement;
+    Buffer.add_string buf "</tr></table>\n"
+  end;
+  Buffer.add_string buf "<h3>Floorplan</h3>\n";
+  floorplans buf r;
+  Buffer.add_string buf
+    (Printf.sprintf "<h3>SA convergence</h3>\n<p>%s <span class=\"meta\">%d moves, \
+                     acceptance rate per plateau</span></p>\n"
+       (sparkline r.Record.sa_curve) r.Record.sa_moves);
+  Buffer.add_string buf "<h3>Stage wall-clock</h3>\n";
+  stage_bars buf r.Record.stages;
+  gc_table buf r.Record.gc
+
+let render ?baseline ~title records =
+  let buf = Buffer.create 16384 in
+  Buffer.add_string buf "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"/>\n";
+  Buffer.add_string buf (Printf.sprintf "<title>%s</title>\n" (escape title));
+  Buffer.add_string buf (Printf.sprintf "<style>%s</style>\n</head>\n<body>\n" css);
+  Buffer.add_string buf (Printf.sprintf "<h1>%s</h1>\n" (escape title));
+  (match baseline, records with
+  | Some b, _ :: _ ->
+    let comparisons = Baseline.compare_all b records in
+    Buffer.add_string buf
+      (Printf.sprintf "<p>Overall verdict: <span class=\"%s\">%s</span></p>\n"
+         (Baseline.verdict_name (Baseline.overall comparisons))
+         (String.uppercase_ascii
+            (Baseline.verdict_name (Baseline.overall comparisons))))
+  | _ -> ());
+  List.iter (fun r -> record_section buf ?baseline r) records;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<footer>hidap QoR report &middot; schema %s v%d &middot; self-contained (no \
+        external assets)</footer>\n"
+       Record.schema Record.version);
+  Buffer.add_string buf "</body></html>\n";
+  Buffer.contents buf
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc

@@ -1,0 +1,13 @@
+(** Self-contained HTML run reports.
+
+    [render] turns ledger records into a single HTML document with no
+    external assets: metric tiles, the QoR-vs-baseline delta table
+    (when a baselines document is supplied), per-recursion-level
+    floorplan SVG snapshots re-rendered from the record's geometry, an
+    SA convergence sparkline, stage wall-clock bars and GC statistics.
+    One report per ledger; everything is inlined so the file can be
+    archived or attached to CI artifacts as-is. *)
+
+val render : ?baseline:Baseline.t -> title:string -> Record.t list -> string
+
+val write_file : string -> string -> unit

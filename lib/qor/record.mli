@@ -1,0 +1,110 @@
+(** Schema-versioned QoR run records (the run ledger).
+
+    One record captures everything needed to compare and inspect a
+    macro-placement run after the fact: identity (circuit, flow, seed,
+    λ), quality metrics (HPWL, GRC%% overflow, WNS/TNS, dataflow cost),
+    macro displacement against the other flows, per-stage wall-clock
+    rolled up from {!Obs.Trace}, runtime [Gc] statistics, and the
+    geometry (die, placed macros, per-depth block rectangles) needed to
+    re-render floorplan snapshots without the original netlist.
+
+    Versioning / compatibility rules: [version] bumps only on breaking
+    changes; added fields are backward-compatible and readers must
+    ignore unknown fields. [of_json] accepts any record whose version
+    is <= the library's, refuses newer ones. *)
+
+val schema : string
+(** ["hidap-qor"], the [schema] tag of every record. *)
+
+val version : int
+(** Current schema version (1). *)
+
+type stage = {
+  stage_name : string;
+  total_us : float;
+  calls : int;
+}
+
+type macro = {
+  macro_name : string;
+  macro_rect : Geom.Rect.t;
+  orient : Geom.Orientation.t;
+}
+
+type level = {
+  depth : int;
+  ht_id : int;
+  level_rect : Geom.Rect.t;
+  level_macros : int;
+}
+
+type qmetrics = {
+  wl_um : float;
+  grc_pct : float;
+  wns_pct : float;  (** <= 0, percentage of the clock period *)
+  tns : float;  (** ps, <= 0 *)
+  runtime_s : float;
+  dataflow_cost : float;
+      (** affinity-weighted distance between top-level Gdf blocks; 0
+          when no top snapshot was available (eval-path records) *)
+}
+
+type t = {
+  rec_version : int;
+  circuit : string;
+  flow : string;
+  seed : int;
+  lambda : float option;
+  cells : int;
+  macro_count : int;
+  qm : qmetrics;
+  displacement : (string * float) list;
+      (** mean macro displacement vs each other flow of the same run *)
+  sa_moves : int;
+  sa_curve : (float * float) list;
+      (** top-level SA convergence: (total_moves, acceptance_rate) *)
+  stages : stage list;
+  gc : Obs.Gcstats.snapshot option;
+  die : Geom.Rect.t;
+  macros : macro list;
+  levels : level list;
+}
+
+val of_place :
+  circuit:string ->
+  flat:Netlist.Flat.t ->
+  config:Hidap.Config.t ->
+  ?spans:Obs.Trace.t ->
+  ?registry:Obs.Metrics.t ->
+  Hidap.result ->
+  t
+(** Record a [Hidap.place] run. Quality metrics are measured with the
+    shared evaluation pipeline ({!Evalflow.measure}); stage times, the
+    SA curve and [Gc] gauges are pulled from [spans] / [registry] when
+    the run was instrumented. *)
+
+val of_eval :
+  circuit:string ->
+  flat:Netlist.Flat.t ->
+  config:Hidap.Config.t ->
+  ?spans:Obs.Trace.t ->
+  ?registry:Obs.Metrics.t ->
+  Evalflow.circuit_result ->
+  t list
+(** One record per flow of an {!Evalflow.run_all} result, each carrying
+    its macro displacement against the other flows. Trace/metrics
+    attachments go to the HiDaP record. *)
+
+val to_json : t -> Obs.Jsonx.t
+
+val of_json : Obs.Jsonx.t -> (t, string) result
+
+val ledger_json : t list -> Obs.Jsonx.t
+(** Records wrapped as a ["hidap-qor-ledger"] document. *)
+
+val write_ledger : string -> t list -> unit
+
+val records_of_json : Obs.Jsonx.t -> (t list, string) result
+(** Accepts either a ledger document or a bare record. *)
+
+val load_ledger : string -> (t list, string) result

@@ -95,6 +95,35 @@ let dataflow_diagram ~die ~blocks ~affinity ?(size = 640) () =
   done;
   floorplan ~die ~rects ~arrows:!arrows ~size ()
 
+let floorplan_levels ~die ~levels ?(macros = []) ?(size = 320) () =
+  let max_depth =
+    List.fold_left
+      (fun acc (l : Hidap.Floorplan.level_info) -> max acc l.Hidap.Floorplan.depth)
+      (-1) levels
+  in
+  let snapshot depth =
+    let rects =
+      List.filter_map
+        (fun (l : Hidap.Floorplan.level_info) ->
+          if l.Hidap.Floorplan.depth = depth then
+            Some
+              ( (if l.Hidap.Floorplan.macro_count > 0 then
+                   string_of_int l.Hidap.Floorplan.macro_count
+                 else "c"),
+                l.Hidap.Floorplan.rect,
+                if l.Hidap.Floorplan.macro_count > 0 then block_style else glue_style )
+          else None)
+        levels
+    in
+    (depth, floorplan ~die ~rects ~size ())
+  in
+  let per_level = List.init (max_depth + 1) snapshot in
+  match macros with
+  | [] -> per_level
+  | _ ->
+    let rects = List.map (fun (label, r) -> (label, r, macro_style)) macros in
+    per_level @ [ (max_depth + 1, floorplan ~die ~rects ~size ()) ]
+
 let density_heatmap grid ?(size = 512) () =
   let nx = Array.length grid in
   let ny = if nx = 0 then 0 else Array.length grid.(0) in

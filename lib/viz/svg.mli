@@ -33,6 +33,19 @@ val dataflow_diagram :
     (the int is the macro count; 0 means a std-cell block) and arrows
     whose opacity scales with the pairwise affinity. *)
 
+val floorplan_levels :
+  die:Geom.Rect.t ->
+  levels:Hidap.Floorplan.level_info list ->
+  ?macros:(string * Geom.Rect.t) list ->
+  ?size:int ->
+  unit ->
+  (int * string) list
+(** One floorplan SVG per recursion depth of a multi-level run
+    ([(depth, svg)], depth 0 first): the block rectangles of that depth,
+    labelled with their macro count ("c" for cell-only blocks). When
+    [macros] is given, a final snapshot of the placed macros is appended
+    at depth [max_depth + 1]. *)
+
 val density_heatmap : float array array -> ?size:int -> unit -> string
 
 val write_file : string -> string -> unit
