@@ -669,6 +669,58 @@ let observability () =
     (circuits ())
 
 (* ------------------------------------------------------------------ *)
+(* Parallel annealing: floorplan-stage speedup and determinism (c5)    *)
+(* ------------------------------------------------------------------ *)
+
+let parallel_speedup () =
+  printf "%s@." (T.section "Parallel annealing: floorplan speedup + determinism (c5)");
+  let c = match Circuitgen.Suite.find "c5" with Some c -> c | None -> assert false in
+  let flat = Flat.elaborate (Circuitgen.Gen.generate c.Circuitgen.Suite.params) in
+  let measure jobs =
+    let config = { Hidap.Config.default with Hidap.Config.jobs } in
+    Obs.Trace.start ();
+    let t0 = Unix.gettimeofday () in
+    let r = Hidap.place ~config flat in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let spans = Obs.Trace.finish () in
+    let rec sum acc (s : Obs.Span.t) =
+      let acc =
+        if s.Obs.Span.name = "floorplan.run" then acc +. s.Obs.Span.dur_us else acc
+      in
+      List.fold_left sum acc s.Obs.Span.children
+    in
+    let floorplan_s = List.fold_left sum 0.0 spans /. 1e6 in
+    (r, wall_s, floorplan_s)
+  in
+  let jobs_par = max 2 (Parexec.default_jobs ()) in
+  let r1, wall1, fp1 = measure 1 in
+  let rn, walln, fpn = measure jobs_par in
+  let identical =
+    List.length r1.Hidap.placements = List.length rn.Hidap.placements
+    && List.for_all2
+         (fun (a : Hidap.macro_placement) (b : Hidap.macro_placement) ->
+           a.Hidap.fid = b.Hidap.fid
+           && a.Hidap.orient = b.Hidap.orient
+           && a.Hidap.rect = b.Hidap.rect)
+         r1.Hidap.placements rn.Hidap.placements
+  in
+  printf "%s@."
+    (T.render
+       ~header:[ "jobs"; "wall(s)"; "floorplan(s)" ]
+       [ [ "1"; T.fmt_f 2 wall1; T.fmt_f 2 fp1 ];
+         [ string_of_int jobs_par; T.fmt_f 2 walln; T.fmt_f 2 fpn ] ]);
+  let cores = Domain.recommended_domain_count () in
+  printf "floorplan-stage speedup: %.2fx (target >= 1.5x with 2+ domains)@."
+    (fp1 /. max 1e-9 fpn);
+  if cores < jobs_par then
+    printf
+      "note: machine recommends %d domain(s) for %d jobs — oversubscribed, \
+       speedup target does not apply@."
+      cores jobs_par;
+  printf "placements bit-identical across job counts: %b@." identical;
+  if not identical then failwith "parallel determinism violated on c5"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing microbenches                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -819,6 +871,7 @@ let () =
   fig9 results;
   ablations ();
   observability ();
+  parallel_speedup ();
   bechamel_benches ();
   let elapsed_s = Unix.gettimeofday () -. t0 in
   suite_summary results ~elapsed_s;

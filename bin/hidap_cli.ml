@@ -51,8 +51,18 @@ let svg_arg =
   Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"OUT.svg"
          ~doc:"Write the floorplan as SVG.")
 
-let config_of ~seed ~lambda =
-  let config = { Hidap.Config.default with Hidap.Config.seed } in
+let jobs_arg =
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Worker domains for the annealing starts and the lambda sweep \
+               (0 = one per recommended core). The placement is bit-identical \
+               for every value.")
+
+let resolve_jobs jobs = if jobs <= 0 then Parexec.default_jobs () else jobs
+
+let config_of ~seed ~lambda ~jobs =
+  let config =
+    { Hidap.Config.default with Hidap.Config.seed; jobs = resolve_jobs jobs }
+  in
   match lambda with
   | Some l -> Hidap.Config.with_lambda config l
   | None -> config
@@ -161,7 +171,7 @@ let stats_cmd =
 (* ---- place -------------------------------------------------------- *)
 
 let place_cmd =
-  let run file circuit seed lambda svg ascii save trace metrics profile qor =
+  let run file circuit seed lambda jobs svg ascii save trace metrics profile qor =
     let qor_out = Option.map (open_output ~what:"qor") qor in
     let captured = ref None in
     let after spans registry =
@@ -175,7 +185,7 @@ let place_cmd =
     @@ fun () ->
     let name, design = design_of ~file ~circuit in
     let flat = Netlist.Flat.elaborate design in
-    let config = config_of ~seed ~lambda in
+    let config = config_of ~seed ~lambda ~jobs in
     let t0 = Unix.gettimeofday () in
     let r = Hidap.place ~config flat in
     captured := Some (name, flat, config, r);
@@ -228,13 +238,13 @@ let place_cmd =
            ~doc:"Save the placement to a file (reload with 'view').")
   in
   Cmd.v (Cmd.info "place" ~doc:"Run the HiDaP macro placement flow")
-    Term.(const run $ file_arg $ circuit_arg $ seed_arg $ lambda_arg $ svg_arg $ ascii_arg
-          $ save_arg $ trace_arg $ metrics_arg $ profile_arg $ qor_arg)
+    Term.(const run $ file_arg $ circuit_arg $ seed_arg $ lambda_arg $ jobs_arg $ svg_arg
+          $ ascii_arg $ save_arg $ trace_arg $ metrics_arg $ profile_arg $ qor_arg)
 
 (* ---- eval --------------------------------------------------------- *)
 
 let eval_cmd =
-  let run file circuit seed trace metrics profile qor =
+  let run file circuit seed jobs trace metrics profile qor =
     let qor_out = Option.map (open_output ~what:"qor") qor in
     let captured = ref None in
     let after spans registry =
@@ -247,7 +257,9 @@ let eval_cmd =
     with_obs ~trace ~metrics ~profile ~force:(Option.is_some qor_out) ~after
     @@ fun () ->
     let name, design = design_of ~file ~circuit in
-    let config = { Hidap.Config.default with Hidap.Config.seed } in
+    let config =
+      { Hidap.Config.default with Hidap.Config.seed; jobs = resolve_jobs jobs }
+    in
     let res = Evalflow.run_all ~config ~name design in
     captured := Some (name, Netlist.Flat.elaborate design, config, res);
     Format.printf "circuit %s: %d cells, %d macros@." res.Evalflow.circuit
@@ -284,8 +296,8 @@ let eval_cmd =
       res.Evalflow.runs
   in
   Cmd.v (Cmd.info "eval" ~doc:"Compare the IndEDA / HiDaP / handFP flows")
-    Term.(const run $ file_arg $ circuit_arg $ seed_arg $ trace_arg $ metrics_arg
-          $ profile_arg $ qor_arg)
+    Term.(const run $ file_arg $ circuit_arg $ seed_arg $ jobs_arg $ trace_arg
+          $ metrics_arg $ profile_arg $ qor_arg)
 
 (* ---- gen ---------------------------------------------------------- *)
 
@@ -436,7 +448,7 @@ let report_cmd =
 (* ---- bench -------------------------------------------------------- *)
 
 let bench_cmd =
-  let run circuits baselines update qor report_out =
+  let run circuits baselines update jobs qor report_out =
     let qor_out = Option.map (open_output ~what:"qor") qor in
     let names = String.split_on_char ',' circuits |> List.filter (fun s -> s <> "") in
     let records =
@@ -449,7 +461,9 @@ let bench_cmd =
           | Some c ->
             let design = Circuitgen.Gen.generate c.Circuitgen.Suite.params in
             let flat = Netlist.Flat.elaborate design in
-            let config = Hidap.Config.default in
+            let config =
+              { Hidap.Config.default with Hidap.Config.jobs = resolve_jobs jobs }
+            in
             Obs.Metrics.reset Obs.Metrics.global;
             Obs.Metrics.set_enabled true;
             Obs.Trace.start ();
@@ -514,7 +528,8 @@ let bench_cmd =
   Cmd.v
     (Cmd.info "bench"
        ~doc:"Run suite circuits through all flows and gate QoR against baselines")
-    Term.(const run $ circuits_arg $ baselines_arg $ update_arg $ qor_arg $ report_arg)
+    Term.(const run $ circuits_arg $ baselines_arg $ update_arg $ jobs_arg $ qor_arg
+          $ report_arg)
 
 let () =
   let info =

@@ -24,6 +24,7 @@ type 'a result = {
   moves : int;
   accepted : int;
   plateaus : int;
+  calibration_moves : int;
 }
 
 type plateau = {
@@ -40,10 +41,12 @@ let acceptance_rate p =
   if p.plateau_moves = 0 then 0.0
   else float_of_int p.plateau_accepted /. float_of_int p.plateau_moves
 
+let calibration_samples = 32
+
 (* Sample random moves to estimate the mean uphill cost delta, then pick
    T0 so that exp(-mean_uphill / T0) = target acceptance. *)
 let calibrate ~rng ~cost ~neighbor ~target state c0 =
-  let samples = 32 in
+  let samples = calibration_samples in
   let uphill = ref 0.0 and n_up = ref 0 in
   let s = ref state and c = ref c0 in
   for _ = 1 to samples do
@@ -64,12 +67,13 @@ let calibrate ~rng ~cost ~neighbor ~target state c0 =
 
 let minimize ~rng ~init ~cost ~neighbor ?(params = default_params) ?observer () =
   let c0 = cost init in
-  let t0 =
+  let t0, calibration_moves =
     match params.initial_temp with
-    | Some t -> t
+    | Some t -> (t, 0)
     | None ->
-      calibrate ~rng:(Util.Rng.split rng) ~cost ~neighbor
-        ~target:params.initial_acceptance init c0
+      ( calibrate ~rng:(Util.Rng.split rng) ~cost ~neighbor
+          ~target:params.initial_acceptance init c0,
+        calibration_samples )
   in
   let cur = ref init and cur_cost = ref c0 in
   let best = ref init and best_cost = ref c0 in
@@ -118,4 +122,4 @@ let minimize ~rng ~init ~cost ~neighbor ?(params = default_params) ?observer () 
     temp := !temp *. params.cooling
   done;
   { best = !best; best_cost = !best_cost; moves = !moves; accepted = !accepted;
-    plateaus = !plateaus }
+    plateaus = !plateaus; calibration_moves }

@@ -28,10 +28,20 @@ val quick_params : params
 type 'a result = {
   best : 'a;
   best_cost : float;
-  moves : int;  (** proposals evaluated *)
+  moves : int;  (** schedule proposals evaluated (excludes calibration) *)
   accepted : int;
   plateaus : int;
+  calibration_moves : int;
+      (** cost evaluations spent calibrating the initial temperature
+          ({!calibration_samples} when calibrated, 0 when
+          [initial_temp] was given) — so
+          [moves + calibration_moves + 1] is the exact number of
+          cost-function calls, the [+ 1] being the initial state *)
 }
+
+val calibration_samples : int
+(** Number of neighbor samples drawn by the Kirkpatrick-style initial
+    temperature calibration (32). *)
 
 type plateau = {
   index : int;  (** 0-based plateau number *)

@@ -203,25 +203,29 @@ let place ?(params = default_params) ~flat ~gseq ~ports ~die () =
     done;
     (* legalize and orient *)
     let rects = Legalize.separate ~die (Array.init n rect_of) in
-    let macro_rects = Array.to_list (Array.mapi (fun i r -> (fid_of.(i), r)) rects) in
+    (* The oracle never rotates macros, so every base orientation is R0. *)
+    let macros =
+      Array.to_list
+        (Array.mapi (fun i r -> (fid_of.(i), r, Geom.Orientation.R0)) rects)
+    in
     let empty_ht = Hashtbl.create 1 in
     (* Flipping needs an HT for register positions; with none available,
        registers default to the die centre, which is adequate for the
        oracle's orientation pass. *)
     let tree = Hier.Tree.build flat in
     let flip =
-      Hidap.Flipping.run ~tree ~gseq ~ports ~macro_rects ~ht_rects:empty_ht ~die
+      Hidap.Flipping.run ~tree ~gseq ~ports ~macros ~ht_rects:empty_ht ~die
         ~config:Hidap.Config.default
     in
     let orient_of = Hashtbl.create n in
     List.iter (fun (fid, o) -> Hashtbl.replace orient_of fid o) flip.Hidap.Flipping.orientations;
     List.map
-      (fun (fid, rect) ->
+      (fun (fid, rect, base) ->
         let orient =
           match Hashtbl.find_opt orient_of fid with
           | Some o -> o
-          | None -> Geom.Orientation.R0
+          | None -> base
         in
         { fid; rect; orient })
-      macro_rects
+      macros
   end

@@ -15,6 +15,8 @@ type t = {
   max_curve_points : int;
   flipping_passes : int;
   seed : int;
+  sa_starts : int;
+  jobs : int;
 }
 
 let default =
@@ -33,6 +35,8 @@ let default =
     curve_sa = Anneal.Sa.quick_params;
     max_curve_points = 24;
     flipping_passes = 2;
-    seed = 1 }
+    seed = 1;
+    sa_starts = 4;
+    jobs = Parexec.default_jobs () }
 
 let with_lambda t lambda = { t with lambda; lambda_sweep = [ lambda ] }

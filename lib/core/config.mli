@@ -24,6 +24,14 @@ type t = {
   max_curve_points : int;
   flipping_passes : int;  (** iterations of the orientation post-process *)
   seed : int;
+  sa_starts : int;
+      (** independent annealing starts per floorplan instance: the
+          affinity-greedy chain, its reversal, and [sa_starts - 2]
+          random shuffles (minimum 2) *)
+  jobs : int;
+      (** worker domains for the annealing starts and the lambda sweep
+          (default [Parexec.default_jobs ()]); results are bit-identical
+          for every value *)
 }
 
 val default : t

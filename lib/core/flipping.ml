@@ -13,7 +13,14 @@ let pin_offset ~orient ~w ~h ~dir =
   Orientation.apply_offset orient ~w ~h base
 
 let pin_position ~rect ~orient ~dir =
-  let off = pin_offset ~orient ~w:rect.Rect.w ~h:rect.Rect.h ~dir in
+  (* [pin_offset] works in the library (R0) frame: for a dim-swapping
+     orientation the placed rect is [h0 x w0], so the library footprint
+     is recovered by swapping back. *)
+  let w, h =
+    if Orientation.swaps_dims orient then (rect.Rect.h, rect.Rect.w)
+    else (rect.Rect.w, rect.Rect.h)
+  in
+  let off = pin_offset ~orient ~w ~h ~dir in
   Point.make (rect.Rect.x +. off.Point.x) (rect.Rect.y +. off.Point.y)
 
 type result = {
@@ -42,19 +49,19 @@ let node_position ~tree ~gseq ~ports ~macro_rect ~ht_rects ~die gid =
     up (Tree.ht_node_of_flat tree fid)
   | Seqgraph.Register [] -> Rect.center die
 
-let run_body ~tree ~gseq ~ports ~macro_rects ~ht_rects ~die ~config =
+let run_body ~tree ~gseq ~ports ~macros ~ht_rects ~die ~config =
   ignore config;
-  Obs.Span.attr_int "macros" (List.length macro_rects);
-  let rect_of = Hashtbl.create (List.length macro_rects) in
-  List.iter (fun (fid, r) -> Hashtbl.replace rect_of fid r) macro_rects;
+  Obs.Span.attr_int "macros" (List.length macros);
+  let rect_of = Hashtbl.create (List.length macros) in
+  List.iter (fun (fid, r, _) -> Hashtbl.replace rect_of fid r) macros;
   let macro_rect fid = Hashtbl.find_opt rect_of fid in
   let position = node_position ~tree ~gseq ~ports ~macro_rect ~ht_rects ~die in
   let gain = ref 0.0 in
   let orientations =
     List.map
-      (fun (fid, rect) ->
+      (fun (fid, rect, base) ->
         match gseq.Seqgraph.of_flat.(fid) with
-        | -1 -> (fid, Orientation.R0)
+        | -1 -> (fid, base)
         | gid ->
           let pulls =
             List.map
@@ -72,24 +79,30 @@ let run_body ~tree ~gseq ~ports ~macro_rects ~ht_rects ~die ~config =
               0.0 pulls
           in
           let square = abs_float (rect.Rect.w -. rect.Rect.h) < 1e-9 in
+          (* Candidates must preserve the placed footprint: all eight
+             orientations for a square macro, otherwise the four in the
+             base orientation's dim-swap class (so a macro rotated by
+             the floorplanner stays rotated, only flipped). *)
           let candidates =
-            if square then Orientation.all else Orientation.non_rotating
+            if square then Orientation.all
+            else if Orientation.swaps_dims base then Orientation.rotating
+            else Orientation.non_rotating
           in
-          let base_cost = cost Orientation.R0 in
+          let base_cost = cost base in
           let best, best_cost =
             Array.fold_left
               (fun (bo, bc) o ->
                 let c = cost o in
                 if c < bc -. 1e-12 then (o, c) else (bo, bc))
-              (Orientation.R0, base_cost) candidates
+              (base, base_cost) candidates
           in
           gain := !gain +. (base_cost -. best_cost);
           (fid, best))
-      macro_rects
+      macros
   in
   Obs.Metrics.gauge "flipping.gain" !gain;
   { orientations; gain = !gain }
 
-let run ~tree ~gseq ~ports ~macro_rects ~ht_rects ~die ~config =
+let run ~tree ~gseq ~ports ~macros ~ht_rects ~die ~config =
   Obs.Span.with_ ~name:"flipping.run" (fun () ->
-      run_body ~tree ~gseq ~ports ~macro_rects ~ht_rects ~die ~config)
+      run_body ~tree ~gseq ~ports ~macros ~ht_rects ~die ~config)

@@ -17,7 +17,7 @@ type instance_snapshot = {
 }
 
 type t = {
-  macro_rects : (int * Rect.t) list;
+  placed_macros : (int * Rect.t * Geom.Orientation.t) list;
   levels : level_info list;
   top : instance_snapshot option;
   ht_rects : (int, Rect.t) Hashtbl.t;
@@ -33,7 +33,7 @@ type context = {
   rng : Util.Rng.t;
   die : Rect.t;
   macro_pos : (int, Point.t) Hashtbl.t;  (* flat macro id -> provisional position *)
-  mutable out_macros : (int * Rect.t) list;
+  mutable out_macros : (int * Rect.t * Geom.Orientation.t) list;
   mutable out_levels : level_info list;
   mutable out_top : instance_snapshot option;
   ht_rects : (int, Rect.t) Hashtbl.t;
@@ -108,6 +108,20 @@ let attractor ~affinity ~positions bi =
     positions;
   if !sw > 0.0 then Some (Point.make (!sx /. !sw) (!sy /. !sw)) else None
 
+(* Footprint actually used for a macro of library dimensions (w, h)
+   inside [rect]: rotated (R90) when only the rotated footprint fits,
+   then clamped to the rectangle. The returned orientation is the base
+   orientation of the placement — rect dimensions are always consistent
+   with it. *)
+let oriented_fit ~w ~h ~rect =
+  let fits w h = w <= rect.Rect.w +. 1e-9 && h <= rect.Rect.h +. 1e-9 in
+  let w, h, orient =
+    if fits w h then (w, h, Geom.Orientation.R0)
+    else if fits h w then (h, w, Geom.Orientation.R90)
+    else (w, h, Geom.Orientation.R0)
+  in
+  (min w rect.Rect.w, min h rect.Rect.h, orient)
+
 (* Fix a single macro in the corner of its block rectangle nearest the
    attractor (paper Algorithm 2 line 11). *)
 let fix_position ctx ~fid ~rect ~attract =
@@ -117,13 +131,7 @@ let fix_position ctx ~fid ~rect ~attract =
     | Flat.Kflop | Flat.Kcomb | Flat.Kport _ -> assert false
   in
   let w0 = info.Netlist.Design.mw and h0 = info.Netlist.Design.mh in
-  (* Rotate if only the rotated footprint fits. *)
-  let w, h =
-    if w0 <= rect.Rect.w +. 1e-9 && h0 <= rect.Rect.h +. 1e-9 then (w0, h0)
-    else if h0 <= rect.Rect.w +. 1e-9 && w0 <= rect.Rect.h +. 1e-9 then (h0, w0)
-    else (w0, h0)
-  in
-  let w = min w rect.Rect.w and h = min h rect.Rect.h in
+  let w, h, orient = oriented_fit ~w:w0 ~h:h0 ~rect in
   let candidates =
     [ Rect.make ~x:rect.Rect.x ~y:rect.Rect.y ~w ~h;
       Rect.make ~x:(rect.Rect.x +. rect.Rect.w -. w) ~y:rect.Rect.y ~w ~h;
@@ -142,7 +150,7 @@ let fix_position ctx ~fid ~rect ~attract =
       None candidates
   in
   let r = match best with Some (r, _) -> r | None -> assert false in
-  ctx.out_macros <- (fid, r) :: ctx.out_macros;
+  ctx.out_macros <- (fid, r, orient) :: ctx.out_macros;
   Hashtbl.replace ctx.macro_pos fid (Rect.center r)
 
 (* Per-plateau SA telemetry for one floorplan instance: acceptance-rate
@@ -262,7 +270,7 @@ let run_body ~tree ~gseq ~sgamma ~ports ~config ~rng ~die =
     (Flat.macros (Tree.flat tree));
   instance ctx ~nh:(Tree.root tree) ~budget:die ~depth:0;
   Obs.Span.attr_int "sa_moves" ctx.sa_moves;
-  { macro_rects = List.rev ctx.out_macros;
+  { placed_macros = List.rev ctx.out_macros;
     levels = List.rev ctx.out_levels;
     top = ctx.out_top;
     ht_rects = ctx.ht_rects;

@@ -22,12 +22,23 @@ type instance_snapshot = {
 (** The top-level instance, kept for visualization (paper Fig. 9d). *)
 
 type t = {
-  macro_rects : (int * Geom.Rect.t) list;  (** flat macro id -> placed rect *)
+  placed_macros : (int * Geom.Rect.t * Geom.Orientation.t) list;
+      (** flat macro id, placed rect, base orientation. The orientation
+          is [R90] when the macro was rotated to fit its block
+          rectangle (its rect swaps the library w/h), [R0] otherwise —
+          rect dimensions are always consistent with it. *)
   levels : level_info list;  (** every block rectangle of every instance *)
   top : instance_snapshot option;  (** [None] when the design has no blocks *)
   ht_rects : (int, Geom.Rect.t) Hashtbl.t;  (** block rectangles by HT node *)
   sa_moves_total : int;
 }
+
+val oriented_fit :
+  w:float -> h:float -> rect:Geom.Rect.t -> float * float * Geom.Orientation.t
+(** [(w', h', orient)] for a macro of library footprint [w] x [h]
+    placed inside [rect]: the footprint is rotated ([R90]) exactly when
+    the upright footprint does not fit but the rotated one does, then
+    clamped to [rect]. Exposed for the orientation invariant tests. *)
 
 val run :
   tree:Hier.Tree.t ->

@@ -53,7 +53,7 @@ let place_body ~config ~die flat =
     Floorplan.run ~tree ~gseq ~sgamma ~ports ~config ~rng:(Util.Rng.split rng) ~die
   in
   let flip =
-    Flipping.run ~tree ~gseq ~ports ~macro_rects:fp.Floorplan.macro_rects
+    Flipping.run ~tree ~gseq ~ports ~macros:fp.Floorplan.placed_macros
       ~ht_rects:fp.Floorplan.ht_rects ~die ~config
   in
   let orient_of = Hashtbl.create 64 in
@@ -62,14 +62,14 @@ let place_body ~config ~die flat =
     flip.Flipping.orientations;
   let placements =
     List.map
-      (fun (fid, rect) ->
+      (fun (fid, rect, base) ->
         let orient =
           match Hashtbl.find_opt orient_of fid with
           | Some o -> o
-          | None -> Geom.Orientation.R0
+          | None -> base
         in
         { fid; rect; orient })
-      fp.Floorplan.macro_rects
+      fp.Floorplan.placed_macros
   in
   Obs.Metrics.counter "hidap.places" 1;
   Obs.Metrics.counter "hidap.sa_moves" fp.Floorplan.sa_moves_total;
@@ -102,12 +102,19 @@ let place_sweep ?(config = Config.default) ?die ~objective flat =
       let lambdas =
         match config.Config.lambda_sweep with [] -> [ config.Config.lambda ] | l -> l
       in
+      (* Lambda runs are independent; fan them across the pool. The
+         results come back in sweep order and the reduction below keeps
+         the first minimum, so the chosen run is the same for every job
+         count. Nested pool use inside each run degrades to sequential
+         execution on that worker. *)
+      let pool = Parexec.create ~jobs:config.Config.jobs () in
       let runs =
-        List.map
-          (fun lambda ->
-            let r = place ~config:{ config with Config.lambda } ?die flat in
-            (r, objective r))
-          lambdas
+        Array.to_list
+          (Parexec.map pool
+             (fun lambda ->
+               let r = place ~config:{ config with Config.lambda } ?die flat in
+               (r, objective r))
+             (Array.of_list lambdas))
       in
       let sweep_trace = List.map (fun (r, o) -> (r.lambda, o)) runs in
       List.iter

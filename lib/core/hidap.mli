@@ -61,8 +61,10 @@ val place_sweep :
   Netlist.Flat.t ->
   sweep
 (** Runs once per λ in [config.lambda_sweep] and keeps the result
-    ranked best by [objective], recording every λ's objective in
-    [sweep_trace]. *)
+    ranked best by [objective] (ties to the earliest λ), recording
+    every λ's objective in [sweep_trace]. The runs execute across up to
+    [config.jobs] domains; the outcome — placements, objective, trace
+    and telemetry — is bit-identical for every job count. *)
 
 val overlap_area : result -> float
 (** Total pairwise overlap between placed macros — 0 for a legal

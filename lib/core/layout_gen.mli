@@ -15,6 +15,8 @@ type result = {
   wirelength_term : float;  (** cost without the penalty factor *)
   viol : Slicing.Layout.violations;
   sa_moves : int;
+      (** cost evaluations across every annealing start, including the
+          initial-temperature calibration samples *)
 }
 
 val run :
@@ -29,6 +31,12 @@ val run :
   result
 (** [affinity] is indexed over blocks then fixed endpoints
     ([Array.length blocks + Array.length fixed_pos] square).
-    A single block is placed directly with no search. [observer]
-    receives per-plateau convergence snapshots from both annealing
-    starts (greedy chain first, then random). *)
+    A single block is placed directly with no search, but still at the
+    penalized multi-block cost. Otherwise [config.sa_starts] annealing
+    starts (the affinity-greedy chain, the reversed chain, then random
+    shuffles) run across up to [config.jobs] domains, each with an RNG
+    stream pre-split in start order; the best result is chosen by
+    minimum cost with ties to the lowest start index, so the outcome is
+    bit-identical for every job count. [observer] receives per-plateau
+    convergence snapshots from every start (it runs on worker domains;
+    the telemetry shorthands it may call are domain-safe). *)

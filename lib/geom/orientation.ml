@@ -4,6 +4,8 @@ let all = [| R0; R90; R180; R270; MX; MY; MX90; MY90 |]
 
 let non_rotating = [| R0; R180; MX; MY |]
 
+let rotating = [| R90; R270; MX90; MY90 |]
+
 let swaps_dims = function
   | R90 | R270 | MX90 | MY90 -> true
   | R0 | R180 | MX | MY -> false

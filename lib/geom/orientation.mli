@@ -14,6 +14,11 @@ val non_rotating : t array
     MY — the set explored by macro flipping when rotation is not
     permitted by the macro's aspect. *)
 
+val rotating : t array
+(** The four orientations that swap the footprint to (h, w): R90, R270,
+    MX90, MY90 — the set explored by macro flipping when the macro was
+    rotated to fit its block, so the placed footprint is preserved. *)
+
 val swaps_dims : t -> bool
 (** Whether the orientation exchanges width and height. *)
 

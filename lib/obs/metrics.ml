@@ -17,11 +17,25 @@ let create () = { tbl = Hashtbl.create 32 }
 
 let global = create ()
 
-let enabled_flag = ref false
+(* The enabled flag is read from worker domains (atomic load); the
+   registry the gated shorthands write to is domain-local so that
+   concurrent tasks never share a mutable table. Fork-join runners give
+   each task a fresh ambient registry via [with_ambient] and fold the
+   results back with [merge_into] in a deterministic order. *)
+let enabled_flag = Atomic.make false
 
-let enabled () = !enabled_flag
+let enabled () = Atomic.get enabled_flag
 
-let set_enabled b = enabled_flag := b
+let set_enabled b = Atomic.set enabled_flag b
+
+let ambient_key : t Domain.DLS.key = Domain.DLS.new_key (fun () -> global)
+
+let ambient () = Domain.DLS.get ambient_key
+
+let with_ambient r f =
+  let saved = Domain.DLS.get ambient_key in
+  Domain.DLS.set ambient_key r;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient_key saved) f
 
 let reset t = Hashtbl.reset t.tbl
 
@@ -61,13 +75,13 @@ let push_series t name x y =
 
 (* ---- gated shorthands --------------------------------------------- *)
 
-let counter name n = if !enabled_flag then incr_counter global name n
+let counter name n = if enabled () then incr_counter (ambient ()) name n
 
-let gauge name v = if !enabled_flag then set_gauge global name v
+let gauge name v = if enabled () then set_gauge (ambient ()) name v
 
-let sample ?bin_width name x = if !enabled_flag then observe ?bin_width global name x
+let sample ?bin_width name x = if enabled () then observe ?bin_width (ambient ()) name x
 
-let series name ~x ~y = if !enabled_flag then push_series global name x y
+let series name ~x ~y = if enabled () then push_series (ambient ()) name x y
 
 (* ---- queries ------------------------------------------------------ *)
 
@@ -93,18 +107,21 @@ let series_points t name =
 
 (* ---- merge -------------------------------------------------------- *)
 
-let merge a b =
-  let out = create () in
+let merge_into dst src =
   let copy_into name v =
     match v with
-    | Counter r -> incr_counter out name !r
-    | Gauge r -> set_gauge out name !r
+    | Counter r -> incr_counter dst name !r
+    | Gauge r -> set_gauge dst name !r
     | Hist h ->
-      List.iter (fun x -> observe ~bin_width:h.bin_width out name x) (List.rev h.samples)
-    | Series r -> List.iter (fun (x, y) -> push_series out name x y) (List.rev !r)
+      List.iter (fun x -> observe ~bin_width:h.bin_width dst name x) (List.rev h.samples)
+    | Series r -> List.iter (fun (x, y) -> push_series dst name x y) (List.rev !r)
   in
-  Hashtbl.iter copy_into a.tbl;
-  Hashtbl.iter copy_into b.tbl;
+  Hashtbl.iter copy_into src.tbl
+
+let merge a b =
+  let out = create () in
+  merge_into out a;
+  merge_into out b;
   out
 
 (* ---- percentiles / export ----------------------------------------- *)

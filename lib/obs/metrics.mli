@@ -7,11 +7,19 @@
     cheap to merge and export. Series are append-only ordered point
     lists, used for convergence curves where sample order matters.
 
-    A [global] registry backs the gated shorthands ([counter], [gauge],
-    [sample], [series]); these are no-ops until [set_enabled true], so
+    The gated shorthands ([counter], [gauge], [sample], [series]) write
+    to the calling domain's {e ambient} registry — [global] unless
+    overridden with [with_ambient] — and are no-ops until
+    [set_enabled true] (an atomic flag readable from any domain), so
     instrumentation sprinkled through the libraries costs one boolean
     check when observability is off. Explicit registries ignore the
-    flag. *)
+    flag.
+
+    Domain-safety contract: a registry itself is not synchronized. A
+    fork-join runner gives each task its own fresh ambient registry via
+    [with_ambient] and folds them back with [merge_into] in task order
+    at the join point, so enabling metrics never changes — and is never
+    changed by — the parallel schedule. *)
 
 type t
 
@@ -22,6 +30,14 @@ val global : t
 val enabled : unit -> bool
 
 val set_enabled : bool -> unit
+
+val ambient : unit -> t
+(** The registry the gated shorthands write to on the calling domain
+    ([global] unless inside [with_ambient]). *)
+
+val with_ambient : t -> (unit -> 'a) -> 'a
+(** Run [f] with [r] as the calling domain's ambient registry,
+    restoring the previous one afterwards (also on exceptions). *)
 
 val reset : t -> unit
 (** Drop every metric from the registry. *)
@@ -64,6 +80,10 @@ val merge : t -> t -> t
 (** Fresh registry combining both: counters add, gauges take the right
     value, histograms pool samples and merge bins, series concatenate
     (left points first). On a kind clash the right side wins. *)
+
+val merge_into : t -> t -> unit
+(** [merge_into dst src] folds [src] into [dst] in place, with the same
+    combination rules as [merge] ([src] plays the right side). *)
 
 val percentile_opt : float list -> p:float -> float option
 (** Linear-interpolated percentile, [p] clamped to [0, 100].

@@ -11,11 +11,18 @@ type recorder = {
   mutable stack : t list;  (* innermost first *)
 }
 
-let active : recorder option ref = ref None
+(* The recorder is domain-local: each domain records into its own
+   structure, and fork-join runners stitch worker spans back into the
+   spawning domain's recorder with [capture]/[graft]. *)
+let active : recorder option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-let enabled () = !active <> None
+let get_active () = Domain.DLS.get active
 
-let start_recording () = active := Some { roots = []; stack = [] }
+let set_active r = Domain.DLS.set active r
+
+let enabled () = match get_active () with None -> false | Some _ -> true
+
+let start_recording () = set_active (Some { roots = []; stack = [] })
 
 (* Recording accumulates lists in reverse; normalize once at the end. *)
 let rec normalize sp =
@@ -23,19 +30,52 @@ let rec normalize sp =
   sp.children <- List.rev sp.children;
   List.iter normalize sp.children
 
+(* Close open spans and return the raw roots in execution order, with
+   attrs/children still in reverse order (normalization pending). *)
+let drain_raw r =
+  let now = Clock.now_us () in
+  List.iter (fun sp -> sp.dur_us <- now -. sp.start_us) r.stack;
+  List.rev r.roots
+
 let finish_recording () =
-  match !active with
+  match get_active () with
   | None -> []
   | Some r ->
-    active := None;
-    let now = Clock.now_us () in
-    List.iter (fun sp -> sp.dur_us <- now -. sp.start_us) r.stack;
-    let roots = List.rev r.roots in
+    set_active None;
+    let roots = drain_raw r in
     List.iter normalize roots;
     roots
 
+let capture f =
+  let saved = get_active () in
+  set_active (Some { roots = []; stack = [] });
+  match f () with
+  | v ->
+    let spans =
+      match get_active () with None -> [] | Some r -> drain_raw r
+    in
+    set_active saved;
+    (v, spans)
+  | exception e ->
+    let bt = Printexc.get_raw_backtrace () in
+    set_active saved;
+    Printexc.raise_with_backtrace e bt
+
+let graft spans =
+  match (get_active (), spans) with
+  | None, _ | _, [] -> ()
+  | Some r, spans ->
+    (* The recorder stores children/roots in reverse execution order, so
+       the captured spans (execution order) are reversed and prepended:
+       the final normalization pass un-reverses everything exactly
+       once. *)
+    let rev = List.rev spans in
+    (match r.stack with
+    | parent :: _ -> parent.children <- rev @ parent.children
+    | [] -> r.roots <- rev @ r.roots)
+
 let with_ ?(attrs = []) ~name f =
-  match !active with
+  match get_active () with
   | None -> f ()
   | Some r ->
     let sp =
@@ -55,17 +95,17 @@ let with_ ?(attrs = []) ~name f =
       f
 
 let add_attr k v =
-  match !active with
+  match get_active () with
   | Some { stack = sp :: _; _ } -> sp.attrs <- (k, v) :: sp.attrs
   | Some { stack = []; _ } | None -> ()
 
 let attr_int k v =
-  match !active with
+  match get_active () with
   | Some { stack = _ :: _; _ } -> add_attr k (string_of_int v)
   | Some { stack = []; _ } | None -> ()
 
 let attr_float k v =
-  match !active with
+  match get_active () with
   | Some { stack = _ :: _; _ } -> add_attr k (Printf.sprintf "%g" v)
   | Some { stack = []; _ } | None -> ()
 

@@ -1,0 +1,102 @@
+type t = { jobs : int }
+
+let default_jobs () =
+  match Sys.getenv_opt "HIDAP_JOBS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+    | Some j when j >= 1 -> min 64 j
+    | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let create ?jobs () =
+  let jobs =
+    match jobs with
+    | Some j -> max 1 (min 64 j)
+    | None -> max 1 (default_jobs ())
+  in
+  { jobs }
+
+let jobs t = t.jobs
+
+(* Set while a task body runs, so a nested [map] (e.g. the per-lambda
+   sweep tasks each running per-instance annealing starts) degrades to
+   a sequential loop instead of spawning domains from a worker. *)
+let in_task : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+type ('b, 'reg, 'span) slot =
+  | Pending
+  | Done of 'b * 'reg option * 'span list
+  | Failed of exn * Printexc.raw_backtrace
+
+let map t f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    (* Sinks are sampled once, on the calling domain: worker domains
+       have no recorder of their own, and the atomic metrics flag must
+       not flip telemetry on for some tasks and off for others. *)
+    let metrics_on = Obs.Metrics.enabled () in
+    let tracing = Obs.Span.enabled () in
+    let slots = Array.make n Pending in
+    let run_task i =
+      let saved = Domain.DLS.get in_task in
+      Domain.DLS.set in_task true;
+      (match
+         let reg = if metrics_on then Some (Obs.Metrics.create ()) else None in
+         let body () = f xs.(i) in
+         let in_registry () =
+           match reg with
+           | Some r -> Obs.Metrics.with_ambient r body
+           | None -> body ()
+         in
+         let v, spans =
+           if tracing then Obs.Span.capture in_registry else (in_registry (), [])
+         in
+         (v, reg, spans)
+       with
+      | v, reg, spans -> slots.(i) <- Done (v, reg, spans)
+      | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        slots.(i) <- Failed (e, bt));
+      Domain.DLS.set in_task saved
+    in
+    let workers = min t.jobs n in
+    if workers <= 1 || Domain.DLS.get in_task then
+      for i = 0 to n - 1 do
+        run_task i
+      done
+    else begin
+      let next = Atomic.make 0 in
+      let rec worker () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          run_task i;
+          worker ()
+        end
+      in
+      let spawned = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      Array.iter Domain.join spawned
+    end;
+    (* Join: fold per-task telemetry back in task order — the merged
+       collections depend only on the tasks, never on the schedule. *)
+    Array.iter
+      (function
+        | Done (_, reg, spans) ->
+          (match reg with
+          | Some r -> Obs.Metrics.merge_into (Obs.Metrics.ambient ()) r
+          | None -> ());
+          Obs.Span.graft spans
+        | Pending | Failed _ -> ())
+      slots;
+    Array.iter
+      (function
+        | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Pending | Done _ -> ())
+      slots;
+    Array.map
+      (function
+        | Done (v, _, _) -> v
+        | Pending | Failed _ -> assert false)
+      slots
+  end

@@ -48,4 +48,14 @@ val perturb : Util.Rng.t -> t -> t
     normalized expression (falls back to another move kind if the chosen
     one has no legal application). *)
 
+(** The individual moves, exposed for property testing. Each returns
+    [None] when the move has no legal application to [t] (or, for M3,
+    when no normalized swap was found within its bounded retries); a
+    returned expression is always normalized and permutes the same
+    operand multiset. *)
+
+val move_m1 : Util.Rng.t -> t -> t option
+val move_m2 : Util.Rng.t -> t -> t option
+val move_m3 : Util.Rng.t -> t -> t option
+
 val pp : Format.formatter -> t -> unit

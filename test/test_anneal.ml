@@ -37,6 +37,35 @@ let test_explicit_temperature () =
   let r = Sa.minimize ~rng:(Util.Rng.create 2) ~init:10.0 ~cost ~neighbor ~params () in
   Alcotest.(check bool) "still converges" true (abs_float (r.Sa.best -. 3.0) < 1.0)
 
+(* Calibration burns [calibration_samples] cost evaluations before the
+   annealing proper; they are reported separately from [moves] so a
+   cost-call budget can rely on moves + calibration_moves + 1. *)
+let test_calibration_moves_reported () =
+  let cost, neighbor = quadratic_setup () in
+  let r = Sa.minimize ~rng:(Util.Rng.create 3) ~init:10.0 ~cost ~neighbor () in
+  Alcotest.(check int) "calibrated run reports the samples" Sa.calibration_samples
+    r.Sa.calibration_moves
+
+let test_calibration_moves_zero_with_explicit_temp () =
+  let cost, neighbor = quadratic_setup () in
+  let params = { Sa.default_params with Sa.initial_temp = Some 10.0 } in
+  let r = Sa.minimize ~rng:(Util.Rng.create 3) ~init:10.0 ~cost ~neighbor ~params () in
+  Alcotest.(check int) "explicit temp skips calibration" 0 r.Sa.calibration_moves
+
+(* [moves] must not silently absorb the calibration evaluations: a
+   max_moves budget caps moves alone, and the total cost-call count is
+   exactly moves + calibration_moves (+1 for the initial state). *)
+let test_cost_calls_accounted () =
+  let cost, neighbor = quadratic_setup () in
+  let calls = ref 0 in
+  let cost x = incr calls; cost x in
+  let params = { Sa.default_params with Sa.max_moves = 100 } in
+  let r = Sa.minimize ~rng:(Util.Rng.create 1) ~init:10.0 ~cost ~neighbor ~params () in
+  Alcotest.(check bool) "moves excludes calibration" true (r.Sa.moves <= 100);
+  Alcotest.(check int) "cost calls = moves + calibration + init"
+    (r.Sa.moves + r.Sa.calibration_moves + 1)
+    !calls
+
 let test_stats_consistent () =
   let cost, neighbor = quadratic_setup () in
   let r = Sa.minimize ~rng:(Util.Rng.create 5) ~init:0.0 ~cost ~neighbor () in
@@ -70,5 +99,10 @@ let suite =
         Alcotest.test_case "deterministic" `Quick test_deterministic;
         Alcotest.test_case "max moves" `Quick test_respects_max_moves;
         Alcotest.test_case "explicit temperature" `Quick test_explicit_temperature;
+        Alcotest.test_case "calibration moves reported" `Quick
+          test_calibration_moves_reported;
+        Alcotest.test_case "calibration moves zero with explicit temp" `Quick
+          test_calibration_moves_zero_with_explicit_temp;
+        Alcotest.test_case "cost calls accounted" `Quick test_cost_calls_accounted;
         Alcotest.test_case "stats consistent" `Quick test_stats_consistent;
         best_never_worse_than_init; discrete_state_space ] ) ]

@@ -156,6 +156,26 @@ let test_layout_gen_single_block () =
   Alcotest.(check bool) "single block takes the budget" true
     (Rect.equal r.Hidap.Layout_gen.rects.(0) budget)
 
+let test_layout_gen_single_block_penalized () =
+  (* A lone block violating its budget must pay the same graded penalty
+     as the multi-block path, not report a free cost of zero. *)
+  let budget = Rect.make ~x:0.0 ~y:0.0 ~w:10.0 ~h:10.0 in
+  let blocks am =
+    [| { Hidap.Block.idx = 0; ht_id = 0; name = "b"; curve = Shape.Curve.unconstrained;
+         am; at = am; macro_count = 0 } |]
+  in
+  let run blocks =
+    Hidap.Layout_gen.run ~rng:(Util.Rng.create 1) ~config:Hidap.Config.default ~blocks
+      ~affinity:(Array.make_matrix 1 1 0.0) ~fixed_pos:[||] ~budget ()
+  in
+  let ok = run (blocks 50.0) in
+  let bad = run (blocks 150.0) in
+  Alcotest.(check bool) "violating block pays a penalty" true
+    (bad.Hidap.Layout_gen.cost > ok.Hidap.Layout_gen.cost);
+  Alcotest.(check bool) "am deficit recorded" true
+    (bad.Hidap.Layout_gen.viol.Slicing.Layout.am_deficit > 0.0);
+  Alcotest.(check int) "no search for one block" 0 bad.Hidap.Layout_gen.sa_moves
+
 let test_layout_gen_affinity_pulls_together () =
   (* 4 blocks; 0 and 3 strongly connected: they should end up closer than
      the average pair *)
@@ -279,6 +299,127 @@ let test_place_sweep () =
         (sw.Hidap.best_objective <= o))
     sw.Hidap.sweep_trace
 
+let test_place_sweep_parallel_deterministic () =
+  (* The tentpole contract: a sweep fanned across worker domains is
+     bit-identical to the sequential one for a fixed seed. *)
+  let flat = Lazy.force fig1_flat in
+  let objective (r : Hidap.result) =
+    List.fold_left
+      (fun acc (p : Hidap.macro_placement) ->
+        acc +. Point.manhattan (Rect.center p.Hidap.rect) (Rect.center r.Hidap.die))
+      0.0 r.Hidap.placements
+  in
+  let run jobs =
+    Hidap.place_sweep
+      ~config:{ Hidap.Config.default with Hidap.Config.jobs }
+      ~objective flat
+  in
+  let s1 = run 1 and s2 = run 2 in
+  Alcotest.(check (float 0.0)) "same best objective" s1.Hidap.best_objective
+    s2.Hidap.best_objective;
+  Alcotest.(check (list (pair (float 0.0) (float 0.0))))
+    "same sweep trace" s1.Hidap.sweep_trace s2.Hidap.sweep_trace;
+  Alcotest.(check (float 0.0)) "same best lambda" s1.Hidap.best.Hidap.lambda
+    s2.Hidap.best.Hidap.lambda;
+  List.iter2
+    (fun (a : Hidap.macro_placement) (b : Hidap.macro_placement) ->
+      Alcotest.(check int) "same macro" a.Hidap.fid b.Hidap.fid;
+      Alcotest.(check bool) "bit-identical rect" true (a.Hidap.rect = b.Hidap.rect);
+      Alcotest.(check bool) "same orientation" true (a.Hidap.orient = b.Hidap.orient))
+    s1.Hidap.best.Hidap.placements s2.Hidap.best.Hidap.placements
+
+(* ---- rotated-macro orientation -------------------------------------- *)
+
+let test_oriented_fit () =
+  let rect = Rect.make ~x:0.0 ~y:0.0 ~w:12.0 ~h:45.0 in
+  (* upright 40x10 exceeds the 12-wide rect; rotated it fits exactly *)
+  let w, h, o = Hidap.Floorplan.oriented_fit ~w:40.0 ~h:10.0 ~rect in
+  check_float "rotated width" 10.0 w;
+  check_float "rotated height" 40.0 h;
+  Alcotest.(check bool) "reports R90" true (o = O.R90);
+  (* an upright fit never rotates *)
+  let w, h, o = Hidap.Floorplan.oriented_fit ~w:10.0 ~h:40.0 ~rect in
+  check_float "upright width" 10.0 w;
+  check_float "upright height" 40.0 h;
+  Alcotest.(check bool) "keeps R0" true (o = O.R0);
+  (* neither way fits: clamp to the rect at R0 *)
+  let w, h, o = Hidap.Floorplan.oriented_fit ~w:50.0 ~h:50.0 ~rect in
+  Alcotest.(check bool) "clamps at R0" true
+    (o = O.R0 && w <= 12.0 +. 1e-9 && h <= 45.0 +. 1e-9)
+
+let macro_dims flat fid =
+  match flat.Flat.nodes.(fid).Flat.kind with
+  | Flat.Kmacro info -> (info.Netlist.Design.mw, info.Netlist.Design.mh)
+  | Flat.Kflop | Flat.Kcomb | Flat.Kport _ -> Alcotest.fail "not a macro"
+
+(* Invariant: every placed rect's footprint is bounded by the macro's
+   library dimensions under the reported orientation. *)
+let check_orientation_consistent flat (r : Hidap.result) =
+  List.iter
+    (fun (p : Hidap.macro_placement) ->
+      let mw, mh = macro_dims flat p.Hidap.fid in
+      let ow, oh = O.apply_dims p.Hidap.orient ~w:mw ~h:mh in
+      Alcotest.(check bool)
+        (Printf.sprintf "macro %d footprint matches its orientation" p.Hidap.fid)
+        true
+        (p.Hidap.rect.Rect.w <= ow +. 1e-6 && p.Hidap.rect.Rect.h <= oh +. 1e-6))
+    r.Hidap.placements
+
+(* Two instances of a block holding one wide 40x6 macro, chained through
+   top-level nets; placed into a die only 30 wide so the macros cannot
+   stand upright. *)
+let wide_macro_design () =
+  let module D = Netlist.Design in
+  let bits p = List.init 4 (fun i -> Printf.sprintf "%s_%d" p i) in
+  let blockm name =
+    let cells =
+      D.cell ~name:"mem" ~kind:(D.make_macro ~w:40.0 ~h:6.0) ~ins:(bits "in")
+        ~outs:(bits "q") ()
+      :: List.init 4 (fun i ->
+             D.cell ~name:(Printf.sprintf "ro_%d" i) ~kind:D.Flop
+               ~ins:[ Printf.sprintf "q_%d" i ]
+               ~outs:[ Printf.sprintf "out_%d" i ] ())
+    in
+    let ports =
+      List.map (fun n -> D.port ~name:n ~dir:D.Input) (bits "in")
+      @ List.map (fun n -> D.port ~name:n ~dir:D.Output) (bits "out")
+    in
+    D.module_def ~name ~ports ~cells ()
+  in
+  let top =
+    D.module_def ~name:"top"
+      ~ports:
+        (List.map (fun n -> D.port ~name:n ~dir:D.Input) (bits "pin")
+        @ List.map (fun n -> D.port ~name:n ~dir:D.Output) (bits "pout"))
+      ~insts:
+        [ D.inst ~name:"ba" ~module_:"blk"
+            ~bindings:
+              (List.map2 (fun f a -> (f, a)) (bits "in") (bits "pin")
+              @ List.map2 (fun f a -> (f, a)) (bits "out") (bits "mid"));
+          D.inst ~name:"bb" ~module_:"blk"
+            ~bindings:
+              (List.map2 (fun f a -> (f, a)) (bits "in") (bits "mid")
+              @ List.map2 (fun f a -> (f, a)) (bits "out") (bits "pout")) ]
+      ()
+  in
+  D.design ~top:"top" ~modules:[ top; blockm "blk" ]
+
+let test_rotated_macro_orientation () =
+  let flat = Flat.elaborate (wide_macro_design ()) in
+  let die = Rect.make ~x:0.0 ~y:0.0 ~w:30.0 ~h:200.0 in
+  let r = Hidap.place ~die flat in
+  Alcotest.(check int) "both macros placed" 2 (List.length r.Hidap.placements);
+  Alcotest.(check bool) "inside the die" true (Hidap.placement_bbox_ok r);
+  List.iter
+    (fun (p : Hidap.macro_placement) ->
+      Alcotest.(check bool) "orientation reports the forced rotation" true
+        (O.swaps_dims p.Hidap.orient))
+    r.Hidap.placements;
+  check_orientation_consistent flat r
+
+let test_fig1_orientation_consistent () =
+  check_orientation_consistent (Lazy.force fig1_flat) (Lazy.force fig1_placed)
+
 (* ---- flipping ------------------------------------------------------- *)
 
 let test_pin_positions () =
@@ -311,6 +452,8 @@ let suite =
       [ Alcotest.test_case "assignment" `Quick test_target_area ] );
     ( "hidap.layout_gen",
       [ Alcotest.test_case "single block" `Quick test_layout_gen_single_block;
+        Alcotest.test_case "single block penalized" `Quick
+          test_layout_gen_single_block_penalized;
         Alcotest.test_case "affinity pulls together" `Quick
           test_layout_gen_affinity_pulls_together ] );
     ( "hidap.flow",
@@ -319,7 +462,15 @@ let suite =
         Alcotest.test_case "deterministic" `Slow test_place_deterministic;
         Alcotest.test_case "lambda sensitivity" `Slow test_place_lambda_changes_result;
         Alcotest.test_case "levels recorded" `Quick test_place_levels_recorded;
-        Alcotest.test_case "lambda sweep" `Slow test_place_sweep ] );
+        Alcotest.test_case "lambda sweep" `Slow test_place_sweep;
+        Alcotest.test_case "parallel sweep deterministic" `Slow
+          test_place_sweep_parallel_deterministic ] );
+    ( "hidap.orientation",
+      [ Alcotest.test_case "oriented fit" `Quick test_oriented_fit;
+        Alcotest.test_case "forced rotation reported" `Quick
+          test_rotated_macro_orientation;
+        Alcotest.test_case "fig1 orientations consistent" `Quick
+          test_fig1_orientation_consistent ] );
     ( "hidap.flipping",
       [ Alcotest.test_case "pin positions" `Quick test_pin_positions;
         Alcotest.test_case "gain non-negative" `Quick test_flipping_gain_nonnegative ] ) ]

@@ -143,6 +143,69 @@ let random_expr rng n =
   done;
   !e
 
+(* ---- M1/M2/M3 move laws (Wong–Liu; paper §IV-E) -------------------- *)
+
+let operand_list e =
+  Array.to_list (Polish.elements e)
+  |> List.filter_map (function Polish.Operand i -> Some i | Polish.Operator _ -> None)
+
+let move_preserves_invariants name move =
+  qtest
+    (Printf.sprintf "%s: None or normalized with the same operand multiset" name)
+    QCheck.(pair small_int (int_range 1 12))
+    (fun (seed, n) ->
+      let rng = Util.Rng.create seed in
+      let e = random_expr rng n in
+      match move rng e with
+      | None -> true
+      | Some e' ->
+        Polish.is_normalized (Polish.elements e')
+        && Polish.operand_count e' = n
+        && List.sort compare (operand_list e') = List.sort compare (operand_list e))
+
+let m1_preserves = move_preserves_invariants "M1" Polish.move_m1
+let m2_preserves = move_preserves_invariants "M2" Polish.move_m2
+let m3_preserves = move_preserves_invariants "M3" Polish.move_m3
+
+(* M1 swaps adjacent operands: every operator stays at its position with
+   its value. *)
+let m1_touches_operands_only =
+  qtest "M1 leaves the operator skeleton untouched"
+    QCheck.(pair small_int (int_range 2 12))
+    (fun (seed, n) ->
+      let rng = Util.Rng.create seed in
+      let e = random_expr rng n in
+      match Polish.move_m1 rng e with
+      | None -> true
+      | Some e' ->
+        Array.for_all2
+          (fun a b ->
+            match (a, b) with
+            | Polish.Operator x, Polish.Operator y -> x = y
+            | Polish.Operand _, Polish.Operand _ -> true
+            | _ -> false)
+          (Polish.elements e) (Polish.elements e'))
+
+(* M2 complements an operator chain: the operand subsequence is unchanged
+   in order, and every element keeps its operand/operator kind. *)
+let m2_touches_operators_only =
+  qtest "M2 leaves the operand order untouched"
+    QCheck.(pair small_int (int_range 2 12))
+    (fun (seed, n) ->
+      let rng = Util.Rng.create seed in
+      let e = random_expr rng n in
+      match Polish.move_m2 rng e with
+      | None -> true
+      | Some e' ->
+        operand_list e' = operand_list e
+        && Array.for_all2
+             (fun a b ->
+               match (a, b) with
+               | Polish.Operator _, Polish.Operator _ -> true
+               | Polish.Operand i, Polish.Operand j -> i = j
+               | _ -> false)
+             (Polish.elements e) (Polish.elements e'))
+
 let layout_partitions_budget =
   qtest "layout partitions the budget exactly with no overlap"
     QCheck.(pair small_int (int_range 1 10))
@@ -239,7 +302,8 @@ let suite =
         Alcotest.test_case "of_elements validation" `Quick test_of_elements_validation;
         Alcotest.test_case "normalization check" `Quick test_is_normalized_rejects_skew;
         Alcotest.test_case "single operand perturb" `Quick test_perturb_single_operand;
-        perturb_preserves_normalization ] );
+        perturb_preserves_normalization; m1_preserves; m2_preserves; m3_preserves;
+        m1_touches_operands_only; m2_touches_operators_only ] );
     ( "slicing.layout",
       [ Alcotest.test_case "fig8 regression" `Quick test_fig8_regression;
         Alcotest.test_case "two-leaf cuts" `Quick test_two_leaf_cuts;
