@@ -4,6 +4,7 @@
      stats  FILE.hnl           netlist statistics and abstraction sizes
      place  FILE.hnl           run the HiDaP flow, print macro placements
      eval   (FILE.hnl | -c N)  compare IndEDA / HiDaP / handFP
+     check  (FILE.hnl | -c N)  validate a design (optionally audit its placement)
      gen    -c NAME -o FILE    emit a synthetic suite circuit as HNL
      view   FILE.hnl           evaluate and render a saved placement
      report LEDGER|DIR         self-contained HTML report from QoR ledgers
@@ -11,25 +12,104 @@
 
 open Cmdliner
 
+(* Distinct exit codes so CI and scripts can tell a bad invocation from
+   a bad input, a degraded-but-emitted result, and an illegal
+   placement. Listed under EXIT STATUS in --help. *)
+let exit_usage = 2
+let exit_invalid = 3
+let exit_budget = 4
+let exit_audit = 5
+
+let exits =
+  Cmd.Exit.info exit_usage
+    ~doc:"on usage errors caught by hidap itself: conflicting or missing inputs, \
+          an unknown suite circuit, malformed $(b,HIDAP_FAULT) / $(b,HIDAP_BUDGET) \
+          / $(b,--budget) syntax, or an unwritable output path."
+  :: Cmd.Exit.info exit_invalid
+       ~doc:"when the input design fails to parse or validate; diagnostics are \
+             printed to stderr as $(i,file:line:col: message)."
+  :: Cmd.Exit.info exit_budget
+       ~doc:"when a stage wall-clock budget expired and the flow degraded to a \
+             stage fallback; the (degraded) result is still emitted."
+  :: Cmd.Exit.info exit_audit
+       ~doc:"when the placement legality audit fails (overlaps, out-of-die or \
+             footprint-inconsistent macros)."
+  :: Cmd.Exit.defaults
+
+let die_usage fmt =
+  Format.kasprintf
+    (fun s ->
+      Format.eprintf "hidap: %s@." s;
+      exit exit_usage)
+    fmt
+
+(* Validator diagnostics carry no file position; prefix the file so the
+   report stays greppable alongside parser diagnostics. *)
+let print_diag ?path d =
+  match path with
+  | Some p when d.Guard.Diag.loc = None ->
+    Format.eprintf "%s: %a@." p Guard.Diag.pp d
+  | _ -> Format.eprintf "%a@." Guard.Diag.pp d
+
 let load_design path =
   match Hnl.Parser.parse_file path with
   | Ok d -> d
-  | Error { Hnl.Parser.line; message } ->
-    Format.eprintf "%s:%d: %s@." path line message;
-    exit 1
+  | Error { Hnl.Parser.line; col; message } ->
+    Format.eprintf "%s:%d:%d: error: %s@." path line col message;
+    exit exit_invalid
 
-let design_of ~file ~circuit =
-  match (file, circuit) with
-  | Some path, None -> (Filename.remove_extension (Filename.basename path), load_design path)
-  | None, Some name ->
-    (match Circuitgen.Suite.find name with
-    | Some c -> (name, Circuitgen.Gen.generate c.Circuitgen.Suite.params)
-    | None ->
-      Format.eprintf "unknown suite circuit %s (c1..c8)@." name;
-      exit 1)
-  | Some _, Some _ | None, None ->
-    Format.eprintf "give exactly one of FILE.hnl or --circuit@.";
-    exit 1
+(* Validate (and possibly repair) a parsed design, reporting every
+   diagnostic to stderr. *)
+let validate_design ~strict ?path design =
+  match Guard.Validate.design ~strict design with
+  | Ok r ->
+    List.iter (print_diag ?path) r.Guard.Validate.diags;
+    Ok r.Guard.Validate.design
+  | Error diags ->
+    List.iter (print_diag ?path) diags;
+    Error (List.length (Guard.Validate.errors diags))
+
+let design_of ~strict ~file ~circuit =
+  let path, name, design =
+    match (file, circuit) with
+    | Some path, None ->
+      (Some path, Filename.remove_extension (Filename.basename path), load_design path)
+    | None, Some name ->
+      (match Circuitgen.Suite.find name with
+      | Some c -> (None, name, Circuitgen.Gen.generate c.Circuitgen.Suite.params)
+      | None -> die_usage "unknown suite circuit %s (c1..c8)" name)
+    | Some _, Some _ | None, None -> die_usage "give exactly one of FILE.hnl or --circuit"
+  in
+  match validate_design ~strict ?path design with
+  | Ok design -> (name, design)
+  | Error n ->
+    Format.eprintf "hidap: invalid design: %d error%s@." n (if n = 1 then "" else "s");
+    exit exit_invalid
+
+(* The validator repairs or rejects everything [Flat.elaborate] checks,
+   so this is a backstop, not the primary gate. *)
+let elaborate_checked design =
+  try Netlist.Flat.elaborate design
+  with Invalid_argument msg ->
+    Format.eprintf "hidap: elaboration rejected the design: %s@." msg;
+    exit exit_invalid
+
+(* Fault specs come from HIDAP_FAULT; budgets merge HIDAP_BUDGET with
+   the --budget flag (flag entries win for a stage listed in both). *)
+let supervision ~budget =
+  let faults =
+    match Guard.Fault.of_env () with Ok s -> s | Error msg -> die_usage "%s" msg
+  in
+  let env_budgets =
+    match Guard.Budget.of_env () with Ok b -> b | Error msg -> die_usage "%s" msg
+  in
+  let flag_budgets =
+    match budget with
+    | None -> []
+    | Some s ->
+      (match Guard.Budget.parse s with Ok b -> b | Error msg -> die_usage "%s" msg)
+  in
+  (faults, env_budgets @ flag_budgets)
 
 (* ---- common args -------------------------------------------------- *)
 
@@ -56,6 +136,20 @@ let jobs_arg =
          ~doc:"Worker domains for the annealing starts and the lambda sweep \
                (0 = one per recommended core). The placement is bit-identical \
                for every value.")
+
+let strict_arg =
+  Arg.(value & flag & info [ "strict" ]
+         ~doc:"Escalate validator warnings to errors: a design that parses but \
+               needed repair (dangling bindings, duplicate names, clamped \
+               areas, macros larger than the die) is rejected instead of \
+               silently fixed.")
+
+let budget_arg =
+  Arg.(value & opt (some string) None & info [ "budget" ] ~docv:"STAGE=SECONDS,..."
+         ~doc:"Per-stage wall-clock budgets (stages: floorplan, flipping, \
+               cellplace). A stage past its budget degrades to its fallback \
+               and the run exits with the budget-exceeded status. Merged with \
+               $(b,HIDAP_BUDGET).")
 
 let resolve_jobs jobs = if jobs <= 0 then Parexec.default_jobs () else jobs
 
@@ -94,7 +188,7 @@ let open_output ~what path =
   | oc -> (path, oc)
   | exception Sys_error msg ->
     Format.eprintf "hidap: cannot open %s output: %s@." what msg;
-    exit 1
+    exit exit_usage
 
 let write_output what out json =
   match out with
@@ -133,9 +227,9 @@ let with_obs ~trace ~metrics ~profile ?(force = false) ?(after = fun _ _ -> ()) 
 (* ---- stats -------------------------------------------------------- *)
 
 let stats_cmd =
-  let run file circuit dot_hier dot_gseq =
-    let _, design = design_of ~file ~circuit in
-    let flat = Netlist.Flat.elaborate design in
+  let run file circuit strict dot_hier dot_gseq =
+    let _, design = design_of ~strict ~file ~circuit in
+    let flat = elaborate_checked design in
     Format.printf "%a@." Netlist.Stats.pp (Netlist.Stats.compute flat);
     let gseq = Seqgraph.build flat in
     Format.printf "%a@." Seqgraph.pp_summary gseq;
@@ -165,70 +259,123 @@ let stats_cmd =
     Arg.(value & opt (some string) None & info [ "dot-gseq" ] ~docv:"OUT.dot"
            ~doc:"Write the sequential graph as Graphviz DOT.")
   in
-  Cmd.v (Cmd.info "stats" ~doc:"Netlist statistics and abstraction sizes")
-    Term.(const run $ file_arg $ circuit_arg $ dot_hier_arg $ dot_gseq_arg)
+  Cmd.v (Cmd.info "stats" ~doc:"Netlist statistics and abstraction sizes" ~exits)
+    Term.(const run $ file_arg $ circuit_arg $ strict_arg $ dot_hier_arg $ dot_gseq_arg)
 
 (* ---- place -------------------------------------------------------- *)
 
 let place_cmd =
-  let run file circuit seed lambda jobs svg ascii save trace metrics profile qor =
+  let run file circuit seed lambda jobs svg ascii save strict budget trace metrics
+      profile qor =
+    let faults, budgets = supervision ~budget in
     let qor_out = Option.map (open_output ~what:"qor") qor in
     let captured = ref None in
     let after spans registry =
       match (!captured, qor_out) with
-      | Some (name, flat, config, r), Some _ ->
-        let record = Qor.Record.of_place ~circuit:name ~flat ~config ~spans ~registry r in
+      | Some (name, flat, config, r, measured, degradations), Some _ ->
+        let record =
+          Qor.Record.of_place ~circuit:name ~flat ~config ~spans ~registry
+            ~degradations ?measured r
+        in
         write_output "qor" qor_out (Qor.Record.to_json record)
       | _ -> ()
     in
-    with_obs ~trace ~metrics ~profile ~force:(Option.is_some qor_out) ~after
-    @@ fun () ->
-    let name, design = design_of ~file ~circuit in
-    let flat = Netlist.Flat.elaborate design in
-    let config = config_of ~seed ~lambda ~jobs in
-    let t0 = Unix.gettimeofday () in
-    let r = Hidap.place ~config flat in
-    captured := Some (name, flat, config, r);
-    Format.printf "placed %d macros in %.2fs (lambda %.2f, overlap %.2f)@."
-      (List.length r.Hidap.placements)
-      (Unix.gettimeofday () -. t0)
-      r.Hidap.lambda (Hidap.overlap_area r);
-    List.iter
-      (fun (p : Hidap.macro_placement) ->
-        Format.printf "%s %.3f %.3f %.3f %.3f %s@."
-          flat.Netlist.Flat.nodes.(p.Hidap.fid).Netlist.Flat.path p.Hidap.rect.Geom.Rect.x
-          p.Hidap.rect.Geom.Rect.y p.Hidap.rect.Geom.Rect.w p.Hidap.rect.Geom.Rect.h
-          (Geom.Orientation.to_string p.Hidap.orient))
-      r.Hidap.placements;
-    if ascii then
-      print_string
-        (Viz.Ascii.floorplan ~die:r.Hidap.die
-           ~rects:
-             (List.map (fun (p : Hidap.macro_placement) -> ("M", p.Hidap.rect)) r.Hidap.placements)
-           ~width:64 ~height:28 ());
-    (match save with
-    | Some path ->
-      let placements =
-        List.map
-          (fun (p : Hidap.macro_placement) -> (p.Hidap.fid, p.Hidap.rect, p.Hidap.orient))
-          r.Hidap.placements
+    (* The exit happens after [with_obs] unwinds so requested telemetry
+       outputs are written even for degraded or audit-failing runs. *)
+    let code =
+      with_obs ~trace ~metrics ~profile ~force:(Option.is_some qor_out) ~after
+      @@ fun () ->
+      let name, design = design_of ~strict ~file ~circuit in
+      let flat = elaborate_checked design in
+      let config =
+        { (config_of ~seed ~lambda ~jobs) with Hidap.Config.faults; budgets }
       in
-      Hidap.Placement_io.save path
-        (Hidap.Placement_io.make ~flat ~die:r.Hidap.die ~placements);
-      Format.printf "saved placement to %s@." path
-    | None -> ());
-    match svg with
-    | Some path ->
-      let rects =
-        List.map
+      let die = Hidap.die_for flat ~config in
+      let flat_diags = Guard.Validate.flat ~strict ~die flat in
+      List.iter print_diag flat_diags;
+      if Guard.Validate.errors flat_diags <> [] then exit_invalid
+      else begin
+        let t0 = Unix.gettimeofday () in
+        (* Quality metrics are measured inside the supervised region:
+           the cell-placement stage they drive has its own fault site
+           and fallback, and its degradations must land in the ledger
+           (and hence the QoR record), not fire after disarm. *)
+        let (r, measured), degradations =
+          Guard.Supervisor.with_run ~budgets ~faults (fun () ->
+              let r = Hidap.place ~config ~die flat in
+              let measured =
+                match qor_out with
+                | None -> None
+                | Some _ ->
+                  let cp_macros =
+                    List.map
+                      (fun (p : Hidap.macro_placement) ->
+                        { Cellplace.fid = p.Hidap.fid; rect = p.Hidap.rect;
+                          orient = p.Hidap.orient })
+                      r.Hidap.placements
+                  in
+                  let m, _ =
+                    Evalflow.measure ~flat ~gseq:r.Hidap.gseq ~ports:r.Hidap.ports
+                      ~die:r.Hidap.die ~macros:cp_macros
+                  in
+                  Some m
+              in
+              (r, measured))
+        in
+        captured := Some (name, flat, config, r, measured, degradations);
+        List.iter
+          (fun e -> Format.eprintf "degraded: %a@." Guard.Supervisor.pp_entry e)
+          degradations;
+        Format.printf "placed %d macros in %.2fs (lambda %.2f, overlap %.2f)@."
+          (List.length r.Hidap.placements)
+          (Unix.gettimeofday () -. t0)
+          r.Hidap.lambda (Hidap.overlap_area r);
+        List.iter
           (fun (p : Hidap.macro_placement) ->
-            ( flat.Netlist.Flat.nodes.(p.Hidap.fid).Netlist.Flat.base,
-              p.Hidap.rect, Viz.Svg.macro_style ))
-          r.Hidap.placements
-      in
-      Viz.Svg.write_file path (Viz.Svg.floorplan ~die:r.Hidap.die ~rects ());
-      Format.printf "wrote %s@." path
-    | None -> ()
+            Format.printf "%s %.3f %.3f %.3f %.3f %s@."
+              flat.Netlist.Flat.nodes.(p.Hidap.fid).Netlist.Flat.path p.Hidap.rect.Geom.Rect.x
+              p.Hidap.rect.Geom.Rect.y p.Hidap.rect.Geom.Rect.w p.Hidap.rect.Geom.Rect.h
+              (Geom.Orientation.to_string p.Hidap.orient))
+          r.Hidap.placements;
+        if ascii then
+          print_string
+            (Viz.Ascii.floorplan ~die:r.Hidap.die
+               ~rects:
+                 (List.map (fun (p : Hidap.macro_placement) -> ("M", p.Hidap.rect)) r.Hidap.placements)
+               ~width:64 ~height:28 ());
+        let placements =
+          List.map
+            (fun (p : Hidap.macro_placement) -> (p.Hidap.fid, p.Hidap.rect, p.Hidap.orient))
+            r.Hidap.placements
+        in
+        (match save with
+        | Some path ->
+          Hidap.Placement_io.save path
+            (Hidap.Placement_io.make ~flat ~die:r.Hidap.die ~placements);
+          Format.printf "saved placement to %s@." path
+        | None -> ());
+        (match svg with
+        | Some path ->
+          let rects =
+            List.map
+              (fun (p : Hidap.macro_placement) ->
+                ( flat.Netlist.Flat.nodes.(p.Hidap.fid).Netlist.Flat.base,
+                  p.Hidap.rect, Viz.Svg.macro_style ))
+              r.Hidap.placements
+          in
+          Viz.Svg.write_file path (Viz.Svg.floorplan ~die:r.Hidap.die ~rects ());
+          Format.printf "wrote %s@." path
+        | None -> ());
+        let audit = Guard.Audit.run ~flat ~die:r.Hidap.die ~placements in
+        if not (Guard.Audit.ok audit) then begin
+          Guard.Audit.pp_summary Format.err_formatter audit;
+          exit_audit
+        end
+        else if Guard.Supervisor.budget_degraded degradations then exit_budget
+        else 0
+      end
+    in
+    if code <> 0 then exit code
   in
   let ascii_arg =
     Arg.(value & flag & info [ "ascii" ] ~doc:"Print an ASCII rendering of the floorplan.")
@@ -237,31 +384,44 @@ let place_cmd =
     Arg.(value & opt (some string) None & info [ "save" ] ~docv:"OUT.place"
            ~doc:"Save the placement to a file (reload with 'view').")
   in
-  Cmd.v (Cmd.info "place" ~doc:"Run the HiDaP macro placement flow")
+  Cmd.v (Cmd.info "place" ~doc:"Run the HiDaP macro placement flow" ~exits)
     Term.(const run $ file_arg $ circuit_arg $ seed_arg $ lambda_arg $ jobs_arg $ svg_arg
-          $ ascii_arg $ save_arg $ trace_arg $ metrics_arg $ profile_arg $ qor_arg)
+          $ ascii_arg $ save_arg $ strict_arg $ budget_arg $ trace_arg $ metrics_arg
+          $ profile_arg $ qor_arg)
 
 (* ---- eval --------------------------------------------------------- *)
 
 let eval_cmd =
-  let run file circuit seed jobs trace metrics profile qor =
+  let run file circuit seed jobs strict budget trace metrics profile qor =
+    let faults, budgets = supervision ~budget in
     let qor_out = Option.map (open_output ~what:"qor") qor in
     let captured = ref None in
     let after spans registry =
       match (!captured, qor_out) with
-      | Some (name, flat, config, res), Some _ ->
-        let records = Qor.Record.of_eval ~circuit:name ~flat ~config ~spans ~registry res in
+      | Some (name, flat, config, res, degradations), Some _ ->
+        let records =
+          Qor.Record.of_eval ~circuit:name ~flat ~config ~spans ~registry
+            ~degradations res
+        in
         write_output "qor" qor_out (Qor.Record.ledger_json records)
       | _ -> ()
     in
-    with_obs ~trace ~metrics ~profile ~force:(Option.is_some qor_out) ~after
-    @@ fun () ->
-    let name, design = design_of ~file ~circuit in
-    let config =
-      { Hidap.Config.default with Hidap.Config.seed; jobs = resolve_jobs jobs }
-    in
-    let res = Evalflow.run_all ~config ~name design in
-    captured := Some (name, Netlist.Flat.elaborate design, config, res);
+    let code =
+      with_obs ~trace ~metrics ~profile ~force:(Option.is_some qor_out) ~after
+      @@ fun () ->
+      let name, design = design_of ~strict ~file ~circuit in
+      let config =
+        { Hidap.Config.default with Hidap.Config.seed; jobs = resolve_jobs jobs;
+          faults; budgets }
+      in
+      let res, degradations =
+        Guard.Supervisor.with_run ~budgets ~faults (fun () ->
+            Evalflow.run_all ~config ~name design)
+      in
+      captured := Some (name, elaborate_checked design, config, res, degradations);
+      List.iter
+        (fun e -> Format.eprintf "degraded: %a@." Guard.Supervisor.pp_entry e)
+        degradations;
     Format.printf "circuit %s: %d cells, %d macros@." res.Evalflow.circuit
       res.Evalflow.cells res.Evalflow.macro_count;
     let rows =
@@ -282,33 +442,130 @@ let eval_cmd =
          ~header:[ "flow"; "WL(m)"; "WLnorm"; "GRC%"; "WNS%"; "TNS"; "rt(s)" ]
          rows);
     (* λ sweep of the HiDaP run, losing candidates included. *)
-    List.iter
-      (fun (r : Evalflow.run) ->
-        match r.Evalflow.sweep_trace with
-        | [] -> ()
-        | sweep ->
-          Format.printf "%s lambda sweep:%s@."
-            (Evalflow.flow_name r.Evalflow.kind)
-            (String.concat ""
-               (List.map
-                  (fun (l, o) -> Printf.sprintf "  %.1f->%.0f" l o)
-                  sweep)))
-      res.Evalflow.runs
+      List.iter
+        (fun (r : Evalflow.run) ->
+          match r.Evalflow.sweep_trace with
+          | [] -> ()
+          | sweep ->
+            Format.printf "%s lambda sweep:%s@."
+              (Evalflow.flow_name r.Evalflow.kind)
+              (String.concat ""
+                 (List.map
+                    (fun (l, o) -> Printf.sprintf "  %.1f->%.0f" l o)
+                    sweep)))
+        res.Evalflow.runs;
+      if Guard.Supervisor.budget_degraded degradations then exit_budget else 0
+    in
+    if code <> 0 then exit code
   in
-  Cmd.v (Cmd.info "eval" ~doc:"Compare the IndEDA / HiDaP / handFP flows")
-    Term.(const run $ file_arg $ circuit_arg $ seed_arg $ jobs_arg $ trace_arg
-          $ metrics_arg $ profile_arg $ qor_arg)
+  Cmd.v (Cmd.info "eval" ~doc:"Compare the IndEDA / HiDaP / handFP flows" ~exits)
+    Term.(const run $ file_arg $ circuit_arg $ seed_arg $ jobs_arg $ strict_arg
+          $ budget_arg $ trace_arg $ metrics_arg $ profile_arg $ qor_arg)
+
+(* ---- check -------------------------------------------------------- *)
+
+let check_cmd =
+  let run file circuit circuits strict audit seed jobs list_sites =
+    if list_sites then
+      List.iter
+        (fun (site, fallback) -> Format.printf "%s\t%s@." site fallback)
+        Guard.Fault.sites
+    else begin
+      let names l = String.split_on_char ',' l |> List.filter (fun s -> s <> "") in
+      let targets =
+        match (file, circuit, circuits) with
+        | Some path, None, None -> [ `File path ]
+        | None, Some name, None -> [ `Circuit name ]
+        | None, None, Some l -> List.map (fun n -> `Circuit n) (names l)
+        | None, None, None -> die_usage "give FILE.hnl, --circuit or --circuits"
+        | _ -> die_usage "give exactly one of FILE.hnl, --circuit or --circuits"
+      in
+      (* Check every target before exiting, reporting the worst failure:
+         one bad circuit must not mask diagnostics for the rest. *)
+      let worst = ref 0 in
+      let bump c = if c > !worst then worst := c in
+      List.iter
+        (fun target ->
+          let path, name, design =
+            match target with
+            | `File path ->
+              ( Some path,
+                Filename.remove_extension (Filename.basename path),
+                load_design path )
+            | `Circuit name ->
+              (match Circuitgen.Suite.find name with
+              | Some c -> (None, name, Circuitgen.Gen.generate c.Circuitgen.Suite.params)
+              | None -> die_usage "unknown suite circuit %s (c1..c8)" name)
+          in
+          match validate_design ~strict ?path design with
+          | Error n ->
+            Format.printf "%s: INVALID (%d error%s)@." name n (if n = 1 then "" else "s");
+            bump exit_invalid
+          | Ok design ->
+            let flat = elaborate_checked design in
+            let config = config_of ~seed ~lambda:None ~jobs in
+            let die = Hidap.die_for flat ~config in
+            let diags = Guard.Validate.flat ~strict ~die flat in
+            List.iter (print_diag ?path) diags;
+            if Guard.Validate.errors diags <> [] then begin
+              Format.printf "%s: INVALID@." name;
+              bump exit_invalid
+            end
+            else if audit then begin
+              let r, degradations =
+                Guard.Supervisor.with_run (fun () -> Hidap.place ~config ~die flat)
+              in
+              List.iter
+                (fun e -> Format.eprintf "degraded: %a@." Guard.Supervisor.pp_entry e)
+                degradations;
+              let placements =
+                List.map
+                  (fun (p : Hidap.macro_placement) ->
+                    (p.Hidap.fid, p.Hidap.rect, p.Hidap.orient))
+                  r.Hidap.placements
+              in
+              let report = Guard.Audit.run ~flat ~die:r.Hidap.die ~placements in
+              Guard.Audit.pp_summary Format.std_formatter report;
+              if Guard.Audit.ok report then
+                Format.printf "%s: OK (validated and audited)@." name
+              else begin
+                Format.printf "%s: AUDIT FAILED@." name;
+                bump exit_audit
+              end
+            end
+            else Format.printf "%s: OK@." name)
+        targets;
+      if !worst <> 0 then exit !worst
+    end
+  in
+  let circuits_arg =
+    Arg.(value & opt (some string) None & info [ "circuits" ] ~docv:"c1,c2"
+           ~doc:"Comma-separated suite circuits to check.")
+  in
+  let audit_arg =
+    Arg.(value & flag & info [ "audit" ]
+           ~doc:"Also run the full placement flow and the legality audit on \
+                 each target.")
+  in
+  let list_sites_arg =
+    Arg.(value & flag & info [ "list-fault-sites" ]
+           ~doc:"Print the registered fault-injection sites (name, fallback) \
+                 and exit; the names are valid in $(b,HIDAP_FAULT).")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Validate designs (and optionally audit their placements)" ~exits)
+    Term.(const run $ file_arg $ circuit_arg $ circuits_arg $ strict_arg $ audit_arg
+          $ seed_arg $ jobs_arg $ list_sites_arg)
 
 (* ---- gen ---------------------------------------------------------- *)
 
 let gen_cmd =
   let run circuit out =
     match circuit with
-    | None ->
-      Format.eprintf "--circuit is required@.";
-      exit 1
+    | None -> die_usage "--circuit is required"
     | Some name ->
-      let _, design = design_of ~file:None ~circuit:(Some name) in
+      let _, design = design_of ~strict:false ~file:None ~circuit:(Some name) in
       (match out with
       | Some path ->
         Hnl.Printer.write_file path design;
@@ -326,17 +583,17 @@ let gen_cmd =
 
 let view_cmd =
   let run file circuit placement_file =
-    let _, design = design_of ~file ~circuit in
-    let flat = Netlist.Flat.elaborate design in
+    let _, design = design_of ~strict:false ~file ~circuit in
+    let flat = elaborate_checked design in
     match Hidap.Placement_io.load placement_file with
     | Error msg ->
       Format.eprintf "%s: %s@." placement_file msg;
-      exit 1
+      exit exit_invalid
     | Ok pl ->
       (match Hidap.Placement_io.resolve flat pl with
       | Error msg ->
         Format.eprintf "%s@." msg;
-        exit 1
+        exit exit_invalid
       | Ok placements ->
         let die = pl.Hidap.Placement_io.die in
         let gseq = Seqgraph.build flat in
@@ -455,9 +712,7 @@ let bench_cmd =
       List.concat_map
         (fun name ->
           match Circuitgen.Suite.find name with
-          | None ->
-            Format.eprintf "unknown suite circuit %s (c1..c8)@." name;
-            exit 1
+          | None -> die_usage "unknown suite circuit %s (c1..c8)" name
           | Some c ->
             let design = Circuitgen.Gen.generate c.Circuitgen.Suite.params in
             let flat = Netlist.Flat.elaborate design in
@@ -535,8 +790,10 @@ let () =
   let info =
     Cmd.info "hidap" ~version:"1.0.0"
       ~doc:"RTL-aware dataflow-driven macro placement (DATE 2019 reproduction)"
+      ~exits
   in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ stats_cmd; place_cmd; eval_cmd; gen_cmd; view_cmd; report_cmd; bench_cmd ]))
+          [ stats_cmd; place_cmd; eval_cmd; check_cmd; gen_cmd; view_cmd; report_cmd;
+            bench_cmd ]))

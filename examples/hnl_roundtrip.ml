@@ -35,8 +35,8 @@ let () =
   let design =
     match Hnl.Parser.parse_string source with
     | Ok d -> d
-    | Error { Hnl.Parser.line; message } ->
-      Format.eprintf "parse error at line %d: %s@." line message;
+    | Error { Hnl.Parser.line; col; message } ->
+      Format.eprintf "parse error at line %d, column %d: %s@." line col message;
       exit 1
   in
   Format.printf "parsed %d modules, top = %s@." (Netlist.Design.module_count design)

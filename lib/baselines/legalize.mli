@@ -1,12 +1,4 @@
-(** Macro legalization: iterative pairwise separation.
+(** Re-export of {!Hidap.Legalize} (the legalizer lives in core so the
+    supervised flow can repair degraded placements with it). *)
 
-    Overlapping macros are pushed apart along the axis of least
-    penetration, then clamped into the die. Converges quickly for the
-    mild overlaps produced by the annealing baselines. *)
-
-val separate :
-  die:Geom.Rect.t -> ?iterations:int -> ?spacing:float -> Geom.Rect.t array -> Geom.Rect.t array
-(** Returns adjusted rectangles (same order). [spacing] is a minimal gap
-    kept between macros (default 0). *)
-
-val total_overlap : Geom.Rect.t array -> float
+include module type of Hidap.Legalize

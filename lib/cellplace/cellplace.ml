@@ -225,10 +225,12 @@ let push_out_of_macros ~pos ~movable ~macro_rects ~die =
       end)
     (Array.copy pos)
 
-let run_body ~params ~flat ~macros ~port_pos ~die =
+(* Initial state: ports and macros pinned, movable cells seeded from a
+   deterministic jitter around the die centroid. This is also the
+   supervisor fallback when the relaxation itself fails — crude but
+   finite, in-die, and usable by the evaluation stages. *)
+let seed_state ~flat ~macros ~port_pos ~die =
   let n = Array.length flat.Flat.nodes in
-  Obs.Span.attr_int "cells" n;
-  Obs.Span.attr_int "iterations" params.iterations;
   let pos = Array.make n (Rect.center die) in
   let movable = Array.make n false in
   let macro_rect = Hashtbl.create 64 in
@@ -255,12 +257,21 @@ let run_body ~params ~flat ~macros ~port_pos ~die =
             (die.Rect.x +. (die.Rect.w *. (0.25 +. (0.5 *. fx))))
             (die.Rect.y +. (die.Rect.h *. (0.25 +. (0.5 *. fy)))))
     flat.Flat.nodes;
+  (pos, movable)
+
+let run_body ~params ~flat ~macros ~port_pos ~die =
+  let n = Array.length flat.Flat.nodes in
+  Obs.Span.attr_int "cells" n;
+  Obs.Span.attr_int "iterations" params.iterations;
+  let pos, movable = seed_state ~flat ~macros ~port_pos ~die in
   for _ = 1 to params.iterations do
+    Guard.Budget.check ~stage:"cellplace";
     relax_sweep ~flat ~pos ~movable ~damp:1.0
   done;
   let macro_rects = List.map (fun m -> m.rect) macros in
   spread ~flat ~pos ~movable ~die ~macro_rects ~s:params.spread_grid;
   for _ = 1 to params.smooth_iterations do
+    Guard.Budget.check ~stage:"cellplace";
     relax_sweep ~flat ~pos ~movable ~damp:0.25;
     push_out_of_macros ~pos ~movable ~macro_rects ~die
   done;
@@ -269,7 +280,13 @@ let run_body ~params ~flat ~macros ~port_pos ~die =
 let run ?(params = default_params) ~flat ~macros ~port_pos ~die () =
   Obs.Span.with_ ~name:"cellplace.run" (fun () ->
       Obs.Metrics.counter "cellplace.runs" 1;
-      run_body ~params ~flat ~macros ~port_pos ~die)
+      Guard.Supervisor.protect ~stage:"cellplace.run"
+        ~fallback:(fun _ ->
+          let positions, movable = seed_state ~flat ~macros ~port_pos ~die in
+          { positions; die; movable })
+        (fun () ->
+          Guard.Fault.hit "cellplace.run";
+          run_body ~params ~flat ~macros ~port_pos ~die))
 
 let density_map t ~flat ~macros ~bins =
   let s = bins in

@@ -17,6 +17,8 @@ type t = {
   seed : int;
   sa_starts : int;
   jobs : int;
+  faults : Guard.Fault.spec list;
+  budgets : (string * float) list;
 }
 
 let default =
@@ -37,6 +39,8 @@ let default =
     flipping_passes = 2;
     seed = 1;
     sa_starts = 4;
-    jobs = Parexec.default_jobs () }
+    jobs = Parexec.default_jobs ();
+    faults = [];
+    budgets = [] }
 
 let with_lambda t lambda = { t with lambda; lambda_sweep = [ lambda ] }

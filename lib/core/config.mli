@@ -32,6 +32,13 @@ type t = {
       (** worker domains for the annealing starts and the lambda sweep
           (default [Parexec.default_jobs ()]); results are bit-identical
           for every value *)
+  faults : Guard.Fault.spec list;
+      (** fault-injection specs armed for the run (default none); see
+          {!Guard.Fault} for the registered sites *)
+  budgets : (string * float) list;
+      (** per-stage wall-clock budgets in seconds (default none); a
+          stage past its budget degrades to its fallback — see
+          {!Guard.Budget} *)
 }
 
 val default : t

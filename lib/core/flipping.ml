@@ -60,6 +60,7 @@ let run_body ~tree ~gseq ~ports ~macros ~ht_rects ~die ~config =
   let orientations =
     List.map
       (fun (fid, rect, base) ->
+        Guard.Budget.check ~stage:"flipping";
         match gseq.Seqgraph.of_flat.(fid) with
         | -1 -> (fid, base)
         | gid ->
@@ -105,4 +106,12 @@ let run_body ~tree ~gseq ~ports ~macros ~ht_rects ~die ~config =
 
 let run ~tree ~gseq ~ports ~macros ~ht_rects ~die ~config =
   Obs.Span.with_ ~name:"flipping.run" (fun () ->
-      run_body ~tree ~gseq ~ports ~macros ~ht_rects ~die ~config)
+      (* Flipping is a pure gain post-process: on failure the base
+         orientations from the floorplanner stand, which every
+         downstream consumer already handles (an empty orientation list
+         means "no overrides"). *)
+      Guard.Supervisor.protect ~stage:"flipping.run"
+        ~fallback:(fun _ -> { orientations = []; gain = 0.0 })
+        (fun () ->
+          Guard.Fault.hit "flipping.run";
+          run_body ~tree ~gseq ~ports ~macros ~ht_rects ~die ~config))

@@ -202,9 +202,18 @@ and instance_body ctx ~nh ~budget ~depth =
              | Seqgraph.Register _ -> None)
            (Array.to_list ctx.gseq.Seqgraph.nodes))
     in
-    let gdf = Dataflow.Gdf.build ctx.gseq ~n_blocks ~block_of_node ~fixed in
+    (* When dataflow affinity is unavailable the instance is laid out
+       area-only: a zero matrix keeps every block a valid SA operand
+       while the cost reduces to the legality terms. *)
+    let n_endpoints = n_blocks + Array.length fixed in
     let affinity =
-      Dataflow.Gdf.affinity_matrix gdf ~lambda:config.Config.lambda ~k:config.Config.k ()
+      Guard.Supervisor.protect ~stage:"floorplan.affinity"
+        ~fallback:(fun _ -> Array.make_matrix n_endpoints n_endpoints 0.0)
+        (fun () ->
+          Guard.Fault.hit "floorplan.affinity";
+          let gdf = Dataflow.Gdf.build ctx.gseq ~n_blocks ~block_of_node ~fixed in
+          Dataflow.Gdf.affinity_matrix gdf ~lambda:config.Config.lambda
+            ~k:config.Config.k ())
     in
     let fixed_pos = Array.map (fun gid -> fixed_position ctx gid) fixed in
     let layout =

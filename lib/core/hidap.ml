@@ -6,6 +6,7 @@ module Target_area = Target_area
 module Layout_gen = Layout_gen
 module Floorplan = Floorplan
 module Flipping = Flipping
+module Legalize = Legalize
 module Placement_io = Placement_io
 module Rect = Geom.Rect
 module Flat = Netlist.Flat
@@ -36,6 +37,31 @@ let die_for flat ~config =
   let h = sqrt (area /. aspect) in
   let w = aspect *. h in
   Rect.make ~x:0.0 ~y:0.0 ~w ~h
+
+(* Degraded stages (fault fallbacks, budget cuts) can leave macros
+   clamped below their library footprint or stacked on top of each
+   other. Restore every macro's true oriented footprint around its
+   current center, then push the rects apart until they are legal.
+   Only reachable after a recorded degradation, so clean runs keep
+   their bit-identical output. *)
+let repair_placements ~die flat placements =
+  let rects =
+    Array.of_list
+      (List.map
+         (fun p ->
+           match flat.Flat.nodes.(p.fid).Flat.kind with
+           | Flat.Kmacro { Netlist.Design.mw; mh } ->
+             let w, h = Geom.Orientation.apply_dims p.orient ~w:mw ~h:mh in
+             let c = Rect.center p.rect in
+             Rect.make
+               ~x:(c.Geom.Point.x -. (w /. 2.0))
+               ~y:(c.Geom.Point.y -. (h /. 2.0))
+               ~w ~h
+           | _ -> p.rect)
+         placements)
+  in
+  let rects = Legalize.separate ~die ~iterations:512 rects in
+  List.mapi (fun i p -> { p with rect = rects.(i) }) placements
 
 let place_body ~config ~die flat =
   let die = match die with Some d -> d | None -> die_for flat ~config in
@@ -70,6 +96,10 @@ let place_body ~config ~die flat =
         in
         { fid; rect; orient })
       fp.Floorplan.placed_macros
+  in
+  let placements =
+    if Guard.Supervisor.degraded () then repair_placements ~die flat placements
+    else placements
   in
   Obs.Metrics.counter "hidap.places" 1;
   Obs.Metrics.counter "hidap.sa_moves" fp.Floorplan.sa_moves_total;

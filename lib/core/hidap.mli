@@ -16,6 +16,7 @@ module Target_area = Target_area
 module Layout_gen = Layout_gen
 module Floorplan = Floorplan
 module Flipping = Flipping
+module Legalize = Legalize
 module Placement_io = Placement_io
 
 type macro_placement = {

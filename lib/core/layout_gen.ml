@@ -80,6 +80,16 @@ let evaluate_into s ~leaves ~budget ~pairs ~fixed_pos ~config ~n_blocks expr =
      affinity matrix is empty: prefer legal layouts. *)
   let base = if Array.length pairs = 0 then 1.0 else !wl in
   let cost = base *. (1.0 +. pen) in
+  (* NaN poisoning must surface as a diagnostic, never reach the SA
+     acceptance test: [nan < x] is silently false, so a poisoned cost
+     would freeze the search on whatever expression came first and the
+     run would "succeed" with a garbage layout. *)
+  if not (Float.is_finite cost) then
+    Guard.Diag.fail ~code:"non-finite-cost" ~stage:"floorplan"
+      (Printf.sprintf
+         "layout cost is %g (wirelength %g, budget %gx%g): non-finite area or \
+          position reached the annealer"
+         cost !wl budget.Rect.w budget.Rect.h);
   (cost, !wl, viol)
 
 (* The alternating-operator chain skeleton with operand values taken
@@ -158,46 +168,58 @@ let run ?observer ~rng ~config ~blocks ~affinity ~fixed_pos ~budget () =
        and hence the reduced result — is independent of how the starts
        are scheduled across domains. *)
     let chain = greedy_chain ~affinity ~n_blocks ~n_endpoints in
-    let rev_chain =
-      Array.init n_blocks (fun i -> chain.(n_blocks - 1 - i))
+    let search () =
+      Guard.Fault.hit "floorplan.sa";
+      let rev_chain =
+        Array.init n_blocks (fun i -> chain.(n_blocks - 1 - i))
+      in
+      let n_random = max 0 (config.Config.sa_starts - 2) in
+      let inits =
+        Array.of_list
+          (chain_expr ~n_blocks ~order:chain
+          :: chain_expr ~n_blocks ~order:rev_chain
+          :: List.init n_random (fun _ -> Slicing.Polish.initial_random rng ~n:n_blocks))
+      in
+      let n_starts = Array.length inits in
+      let rngs = Array.init n_starts (fun _ -> Util.Rng.split rng) in
+      let pool = Parexec.create ~jobs:config.Config.jobs () in
+      let results =
+        Parexec.map pool
+          (fun i ->
+            let s = make_scratch ~n_blocks ~budget in
+            let cost expr =
+              Guard.Budget.check ~stage:"floorplan";
+              let c, _, _ = eval_into s expr in
+              c
+            in
+            Anneal.Sa.minimize ~rng:rngs.(i) ~init:inits.(i) ~cost
+              ~neighbor:(fun rng e -> Slicing.Polish.perturb rng e)
+              ~params:config.Config.layout_sa ?observer ())
+          (Array.init n_starts Fun.id)
+      in
+      (* Deterministic reduction: minimum best cost, ties to the lowest
+         start index. *)
+      let best_i = ref 0 in
+      for i = 1 to n_starts - 1 do
+        if results.(i).Anneal.Sa.best_cost < results.(!best_i).Anneal.Sa.best_cost then
+          best_i := i
+      done;
+      let sa_moves =
+        Array.fold_left
+          (fun acc (r : _ Anneal.Sa.result) -> acc + r.moves + r.calibration_moves)
+          0 results
+      in
+      (results.(!best_i).Anneal.Sa.best, sa_moves)
     in
-    let n_random = max 0 (config.Config.sa_starts - 2) in
-    let inits =
-      Array.of_list
-        (chain_expr ~n_blocks ~order:chain
-        :: chain_expr ~n_blocks ~order:rev_chain
-        :: List.init n_random (fun _ -> Slicing.Polish.initial_random rng ~n:n_blocks))
+    (* When the annealing search dies — injected fault, exceeded budget
+       — the instance keeps the affinity-greedy chain layout: legal by
+       construction of the slicing evaluation, just not optimized. *)
+    let best_expr, sa_moves =
+      Guard.Supervisor.protect ~stage:"floorplan.sa"
+        ~fallback:(fun _ -> (chain_expr ~n_blocks ~order:chain, 0))
+        search
     in
-    let n_starts = Array.length inits in
-    let rngs = Array.init n_starts (fun _ -> Util.Rng.split rng) in
-    let pool = Parexec.create ~jobs:config.Config.jobs () in
-    let results =
-      Parexec.map pool
-        (fun i ->
-          let s = make_scratch ~n_blocks ~budget in
-          let cost expr =
-            let c, _, _ = eval_into s expr in
-            c
-          in
-          Anneal.Sa.minimize ~rng:rngs.(i) ~init:inits.(i) ~cost
-            ~neighbor:(fun rng e -> Slicing.Polish.perturb rng e)
-            ~params:config.Config.layout_sa ?observer ())
-        (Array.init n_starts Fun.id)
-    in
-    (* Deterministic reduction: minimum best cost, ties to the lowest
-       start index. *)
-    let best_i = ref 0 in
-    for i = 1 to n_starts - 1 do
-      if results.(i).Anneal.Sa.best_cost < results.(!best_i).Anneal.Sa.best_cost then
-        best_i := i
-    done;
-    let sa = results.(!best_i) in
     let s = make_scratch ~n_blocks ~budget in
-    let cost, wl, viol = eval_into s sa.Anneal.Sa.best in
-    let sa_moves =
-      Array.fold_left
-        (fun acc (r : _ Anneal.Sa.result) -> acc + r.moves + r.calibration_moves)
-        0 results
-    in
+    let cost, wl, viol = eval_into s best_expr in
     { rects = Array.copy s.s_rects; cost; wirelength_term = wl; viol; sa_moves }
   end

@@ -1,0 +1,60 @@
+module Rect = Geom.Rect
+
+let total_overlap rects =
+  let n = Array.length rects in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      acc := !acc +. Rect.intersection_area rects.(i) rects.(j)
+    done
+  done;
+  !acc
+
+let clamp_into ~(die : Rect.t) (r : Rect.t) =
+  let x = Util.Stat.clamp ~lo:die.Rect.x ~hi:(max die.Rect.x (die.Rect.x +. die.Rect.w -. r.Rect.w)) r.Rect.x in
+  let y = Util.Stat.clamp ~lo:die.Rect.y ~hi:(max die.Rect.y (die.Rect.y +. die.Rect.h -. r.Rect.h)) r.Rect.y in
+  { r with Rect.x; y }
+
+let separate ~die ?(iterations = 64) ?(spacing = 0.0) rects =
+  let rects = Array.map (clamp_into ~die) rects in
+  let n = Array.length rects in
+  let pass () =
+    let moved = ref false in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let a = rects.(i) and b = rects.(j) in
+        let grown =
+          { Rect.x = a.Rect.x -. spacing; y = a.Rect.y -. spacing;
+            w = a.Rect.w +. (2.0 *. spacing); h = a.Rect.h +. (2.0 *. spacing) }
+        in
+        if Rect.overlaps grown b then begin
+          moved := true;
+          (* penetration along each axis *)
+          let slack = 1e-4 in
+          let px =
+            min (a.Rect.x +. a.Rect.w -. b.Rect.x) (b.Rect.x +. b.Rect.w -. a.Rect.x)
+            +. spacing +. slack
+          in
+          let py =
+            min (a.Rect.y +. a.Rect.h -. b.Rect.y) (b.Rect.y +. b.Rect.h -. a.Rect.y)
+            +. spacing +. slack
+          in
+          if px <= py then begin
+            (* split the x push between both macros *)
+            let dir = if Rect.center a |> fun c -> c.Geom.Point.x <= (Rect.center b).Geom.Point.x then 1.0 else -1.0 in
+            rects.(i) <- clamp_into ~die { a with Rect.x = a.Rect.x -. (dir *. px /. 2.0) };
+            rects.(j) <- clamp_into ~die { b with Rect.x = b.Rect.x +. (dir *. px /. 2.0) }
+          end
+          else begin
+            let dir = if (Rect.center a).Geom.Point.y <= (Rect.center b).Geom.Point.y then 1.0 else -1.0 in
+            rects.(i) <- clamp_into ~die { a with Rect.y = a.Rect.y -. (dir *. py /. 2.0) };
+            rects.(j) <- clamp_into ~die { b with Rect.y = b.Rect.y +. (dir *. py /. 2.0) }
+          end
+        end
+      done
+    done;
+    !moved
+  in
+  let rec go k = if k > 0 && pass () then go (k - 1) in
+  go iterations;
+  rects

@@ -1,0 +1,163 @@
+module Flat = Netlist.Flat
+module Rect = Geom.Rect
+module Orientation = Geom.Orientation
+
+type violation = {
+  kind : string;
+  subject : string;
+  other : string option;
+  amount : float;
+  detail : string;
+}
+
+type report = {
+  total_macros : int;
+  placed : int;
+  violations : violation list;
+  overlap_area : float;
+}
+
+(* Overlaps below this share of the smaller macro's area are numerical
+   noise, not legality violations. *)
+let overlap_rel_eps = 1e-9
+
+(* Footprint dimensions may differ from the library by floating-point
+   slack only. *)
+let dim_rel_eps = 1e-6
+
+let finite_rect (r : Rect.t) =
+  Float.is_finite r.Rect.x && Float.is_finite r.Rect.y && Float.is_finite r.Rect.w
+  && Float.is_finite r.Rect.h
+
+let run ~flat ~die ~placements =
+  let violations = ref [] in
+  let push v = violations := v :: !violations in
+  let name fid =
+    if fid >= 0 && fid < Array.length flat.Flat.nodes then
+      flat.Flat.nodes.(fid).Flat.path
+    else Printf.sprintf "<fid %d>" fid
+  in
+  let seen = Hashtbl.create 64 in
+  let audited = ref [] in
+  List.iter
+    (fun (fid, rect, orient) ->
+      let subject = name fid in
+      let macro_info =
+        if fid < 0 || fid >= Array.length flat.Flat.nodes then None
+        else
+          match flat.Flat.nodes.(fid).Flat.kind with
+          | Flat.Kmacro info -> Some info
+          | Flat.Kflop | Flat.Kcomb | Flat.Kport _ -> None
+      in
+      (match macro_info with
+      | None ->
+        push
+          { kind = "not-a-macro"; subject; other = None; amount = 0.0;
+            detail = Printf.sprintf "placed id %d is not a macro of the netlist" fid }
+      | Some info ->
+        if Hashtbl.mem seen fid then
+          push
+            { kind = "duplicate"; subject; other = None; amount = 0.0;
+              detail = "macro placed more than once" }
+        else begin
+          Hashtbl.add seen fid ();
+          if not (finite_rect rect) then
+            push
+              { kind = "non-finite"; subject; other = None; amount = 0.0;
+                detail =
+                  Printf.sprintf "placement [%g %g %g %g] has non-finite coordinates"
+                    rect.Rect.x rect.Rect.y rect.Rect.w rect.Rect.h }
+          else begin
+            if not (Rect.contains_rect ~outer:die ~inner:rect) then begin
+              let over =
+                Float.max 0.0 (die.Rect.x -. rect.Rect.x)
+                +. Float.max 0.0 (die.Rect.y -. rect.Rect.y)
+                +. Float.max 0.0
+                     (rect.Rect.x +. rect.Rect.w -. (die.Rect.x +. die.Rect.w))
+                +. Float.max 0.0
+                     (rect.Rect.y +. rect.Rect.h -. (die.Rect.y +. die.Rect.h))
+              in
+              push
+                { kind = "out-of-die"; subject; other = None; amount = over;
+                  detail = Printf.sprintf "macro extends %g beyond the die boundary" over }
+            end;
+            let ew, eh =
+              Orientation.apply_dims orient ~w:info.Netlist.Design.mw
+                ~h:info.Netlist.Design.mh
+            in
+            let dim_ok a b = Float.abs (a -. b) <= dim_rel_eps *. Float.max 1.0 b in
+            if not (dim_ok rect.Rect.w ew && dim_ok rect.Rect.h eh) then
+              push
+                { kind = "footprint"; subject; other = None;
+                  amount =
+                    Float.abs (rect.Rect.w -. ew) +. Float.abs (rect.Rect.h -. eh);
+                  detail =
+                    Printf.sprintf
+                      "placed %gx%g but library footprint is %gx%g under %s"
+                      rect.Rect.w rect.Rect.h ew eh
+                      (Orientation.to_string orient) };
+            audited := (fid, rect) :: !audited
+          end
+        end))
+    placements;
+  (* Pairwise overlaps over the audited (finite, unique) placements. *)
+  let arr = Array.of_list (List.rev !audited) in
+  let overlap_area = ref 0.0 in
+  for i = 0 to Array.length arr - 1 do
+    for j = i + 1 to Array.length arr - 1 do
+      let fa, ra = arr.(i) and fb, rb = arr.(j) in
+      let inter = Rect.intersection_area ra rb in
+      overlap_area := !overlap_area +. inter;
+      let min_area = Float.min (Rect.area ra) (Rect.area rb) in
+      if inter > overlap_rel_eps *. Float.max 1.0 min_area then
+        push
+          { kind = "overlap"; subject = name fa; other = Some (name fb);
+            amount = inter;
+            detail = Printf.sprintf "macros overlap by area %g" inter }
+    done
+  done;
+  { total_macros = Flat.macro_count flat;
+    placed = List.length placements;
+    violations = List.sort compare (List.rev !violations);
+    overlap_area = !overlap_area }
+
+let ok r = r.violations = []
+
+let to_json r =
+  Obs.Jsonx.Obj
+    [ ("schema", Obs.Jsonx.String "hidap-audit");
+      ("version", Obs.Jsonx.Int 1);
+      ("total_macros", Obs.Jsonx.Int r.total_macros);
+      ("placed", Obs.Jsonx.Int r.placed);
+      ("ok", Obs.Jsonx.Bool (ok r));
+      ("overlap_area", Obs.Jsonx.Float r.overlap_area);
+      ( "violations",
+        Obs.Jsonx.List
+          (List.map
+             (fun v ->
+               Obs.Jsonx.Obj
+                 [ ("kind", Obs.Jsonx.String v.kind);
+                   ("subject", Obs.Jsonx.String v.subject);
+                   ( "other",
+                     match v.other with
+                     | Some o -> Obs.Jsonx.String o
+                     | None -> Obs.Jsonx.Null );
+                   ("amount", Obs.Jsonx.Float v.amount);
+                   ("detail", Obs.Jsonx.String v.detail) ])
+             r.violations) ) ]
+
+let pp_summary ppf r =
+  if ok r then
+    Format.fprintf ppf "audit: OK (%d/%d macros placed, overlap %g)@." r.placed
+      r.total_macros r.overlap_area
+  else begin
+    Format.fprintf ppf "audit: FAILED with %d violation%s@."
+      (List.length r.violations)
+      (if List.length r.violations = 1 then "" else "s");
+    List.iter
+      (fun v ->
+        Format.fprintf ppf "  %s: %s%s: %s@." v.kind v.subject
+          (match v.other with Some o -> " / " ^ o | None -> "")
+          v.detail)
+      r.violations
+  end

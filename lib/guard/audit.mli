@@ -1,0 +1,45 @@
+(** Post-placement legality audit.
+
+    Verifies the invariants a macro placement must satisfy before it is
+    worth anything downstream: every placed id is a macro placed once,
+    coordinates are finite, macros lie inside the die, no two macros
+    overlap, and each placed rectangle is consistent with the macro's
+    library footprint under its reported orientation (dimension-swapping
+    orientations swap width and height — the pin-frame rules the
+    flipping stage relies on).
+
+    The audit is pure and cheap (O(n^2) on the macro count); [hidap
+    place] runs it on every placement and exits non-zero with a
+    distinct code when it fails. *)
+
+type violation = {
+  kind : string;
+      (** ["not-a-macro"] | ["duplicate"] | ["non-finite"] |
+          ["out-of-die"] | ["overlap"] | ["footprint"] *)
+  subject : string;  (** macro path *)
+  other : string option;  (** second macro for pairwise violations *)
+  amount : float;  (** overlap area / out-of-die distance / size delta *)
+  detail : string;
+}
+
+type report = {
+  total_macros : int;  (** macros in the netlist *)
+  placed : int;  (** placements audited *)
+  violations : violation list;
+  overlap_area : float;  (** total pairwise overlap *)
+}
+
+val run :
+  flat:Netlist.Flat.t ->
+  die:Geom.Rect.t ->
+  placements:(int * Geom.Rect.t * Geom.Orientation.t) list ->
+  report
+(** Violations come out sorted by (kind, subject, other), so reports
+    are deterministic and diffable. *)
+
+val ok : report -> bool
+
+val to_json : report -> Obs.Jsonx.t
+
+val pp_summary : Format.formatter -> report -> unit
+(** One line when clean; one line per violation otherwise. *)

@@ -1,0 +1,67 @@
+exception Exceeded of { stage : string; budget_s : float }
+
+(* One cell per configured stage; the deadline is CAS-published by the
+   first poll so every domain races to the same value (the winner's
+   timestamp is the stage start for everyone). *)
+type cell = { stage : string; budget_s : float; deadline : float Atomic.t }
+
+let cells : cell array Atomic.t = Atomic.make [||]
+
+let configure budgets =
+  Atomic.set cells
+    (Array.of_list
+       (List.map
+          (fun (stage, budget_s) -> { stage; budget_s; deadline = Atomic.make nan })
+          budgets))
+
+let clear () = Atomic.set cells [||]
+
+let budgets () =
+  Array.to_list (Array.map (fun c -> (c.stage, c.budget_s)) (Atomic.get cells))
+
+let check ~stage =
+  let arr = Atomic.get cells in
+  for i = 0 to Array.length arr - 1 do
+    let c = arr.(i) in
+    if c.stage = stage then begin
+      let now = Unix.gettimeofday () in
+      let dl = Atomic.get c.deadline in
+      if Float.is_nan dl then
+        (* First poll of the stage: publish the deadline. On a CAS race
+           the earliest published value wins for every domain. *)
+        ignore (Atomic.compare_and_set c.deadline dl (now +. c.budget_s))
+      else if now > dl then raise (Exceeded { stage; budget_s = c.budget_s })
+    end
+  done
+
+let parse s =
+  let parts =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun p -> p <> "")
+  in
+  List.fold_left
+    (fun acc p ->
+      match acc with
+      | Error _ as e -> e
+      | Ok budgets ->
+        (match String.index_opt p '=' with
+        | None -> Error (Printf.sprintf "bad budget %S (expected stage=SECONDS)" p)
+        | Some i ->
+          let stage = String.sub p 0 i in
+          let v = String.sub p (i + 1) (String.length p - i - 1) in
+          (match float_of_string_opt v with
+          | Some s when s >= 0.0 && Float.is_finite s -> Ok (budgets @ [ (stage, s) ])
+          | Some _ | None ->
+            Error (Printf.sprintf "bad budget duration %S for stage %S" v stage))))
+    (Ok []) parts
+
+let of_env () =
+  match Sys.getenv_opt "HIDAP_BUDGET" with
+  | None | Some "" -> Ok []
+  | Some v -> parse v
+
+let () =
+  Printexc.register_printer (function
+    | Exceeded { stage; budget_s } ->
+      Some (Printf.sprintf "Guard.Budget.Exceeded(stage=%s, budget=%gs)" stage budget_s)
+    | _ -> None)

@@ -1,0 +1,37 @@
+(** Per-stage wall-clock budgets.
+
+    A budget bounds how long a flow stage may run before it degrades.
+    Stages poll {!check} from their inner loops (the SA cost function,
+    the flipping macro loop, the cell-placement sweeps); the first poll
+    of a stage starts its clock, and a poll past the deadline raises
+    {!Exceeded}, which the stage's supervisor wrapper converts into its
+    fallback plus a recorded degradation.
+
+    Polling is lock-free and, with no budgets configured (the default),
+    a single atomic load — placements are bit-identical whether or not
+    budgets are armed, as long as none expires. Deadlines are published
+    once and shared across worker domains, so every annealing start of
+    a stage observes the same deadline. *)
+
+exception Exceeded of { stage : string; budget_s : float }
+
+val configure : (string * float) list -> unit
+(** Install [(stage, seconds)] budgets, clearing previous deadlines.
+    Stages without an entry are unlimited. Call on the main domain
+    before the flow starts. *)
+
+val clear : unit -> unit
+
+val budgets : unit -> (string * float) list
+
+val check : stage:string -> unit
+(** Start [stage]'s clock on first call; raise {!Exceeded} when the
+    stage has been running longer than its budget. No-op for stages
+    without a budget. *)
+
+val parse : string -> ((string * float) list, string) result
+(** Parse a comma-separated [stage=SECONDS] list (the [--budget] CLI
+    flag and the [HIDAP_BUDGET] environment variable). *)
+
+val of_env : unit -> ((string * float) list, string) result
+(** Budgets from [HIDAP_BUDGET]; [Ok []] when unset or empty. *)

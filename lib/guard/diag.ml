@@ -1,0 +1,68 @@
+type severity = Info | Warning | Error
+
+type loc = { file : string option; line : int; col : int }
+
+type t = {
+  code : string;
+  severity : severity;
+  stage : string;
+  loc : loc option;
+  message : string;
+}
+
+exception Fail of t
+
+let make ~code ~severity ~stage ?loc message = { code; severity; stage; loc; message }
+
+let error ~code ~stage ?loc message = make ~code ~severity:Error ~stage ?loc message
+
+let warning ~code ~stage ?loc message = make ~code ~severity:Warning ~stage ?loc message
+
+let fail ~code ~stage ?loc message = raise (Fail (error ~code ~stage ?loc message))
+
+let escalate t = match t.severity with Warning -> { t with severity = Error } | _ -> t
+
+let is_error t = t.severity = Error
+
+let severity_to_string = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let pp ppf t =
+  (match t.loc with
+  | Some { file; line; col } ->
+    (match file with Some f -> Format.fprintf ppf "%s:" f | None -> ());
+    if line > 0 then Format.fprintf ppf "%d:" line;
+    if col > 0 then Format.fprintf ppf "%d:" col;
+    Format.pp_print_char ppf ' '
+  | None -> ());
+  Format.fprintf ppf "%s[%s] (%s): %s"
+    (severity_to_string t.severity)
+    t.code t.stage t.message
+
+let to_string t = Format.asprintf "%a" pp t
+
+let to_json t =
+  let loc_json =
+    match t.loc with
+    | None -> Obs.Jsonx.Null
+    | Some { file; line; col } ->
+      Obs.Jsonx.Obj
+        [ ("file", (match file with Some f -> Obs.Jsonx.String f | None -> Obs.Jsonx.Null));
+          ("line", Obs.Jsonx.Int line);
+          ("col", Obs.Jsonx.Int col) ]
+  in
+  Obs.Jsonx.Obj
+    [ ("code", Obs.Jsonx.String t.code);
+      ("severity", Obs.Jsonx.String (severity_to_string t.severity));
+      ("stage", Obs.Jsonx.String t.stage);
+      ("loc", loc_json);
+      ("message", Obs.Jsonx.String t.message) ]
+
+(* Register a printer so an escaped Fail still renders readably in a
+   backtrace instead of an opaque constructor dump. *)
+let () =
+  Printexc.register_printer (function
+    | Fail d -> Some (Printf.sprintf "Guard.Diag.Fail(%s)" (to_string d))
+    | _ -> None)

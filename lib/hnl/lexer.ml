@@ -23,7 +23,9 @@ type token =
   | Number of float
   | Eof
 
-type error = { line : int; message : string }
+type pos = { line : int; col : int }
+
+type error = { line : int; col : int; message : string }
 
 exception Lex_error of error
 
@@ -55,14 +57,23 @@ let tokenize src =
   let n = String.length src in
   let toks = ref [] in
   let line = ref 1 in
+  (* Index of the first character of the current line; the column of
+     the character at [i] is [i - bol + 1]. *)
+  let bol = ref 0 in
   let i = ref 0 in
-  let emit t = toks := (t, !line) :: !toks in
-  let fail message = raise (Lex_error { line = !line; message }) in
+  let col_at i = i - !bol + 1 in
+  let emit_at start t = toks := (t, { line = !line; col = col_at start }) :: !toks in
+  let emit t = emit_at !i t in
+  let fail_at start message =
+    raise (Lex_error { line = !line; col = col_at start; message })
+  in
+  let fail message = fail_at !i message in
   while !i < n do
     let c = src.[!i] in
     if c = '\n' then begin
       incr line;
-      incr i
+      incr i;
+      bol := !i
     end
     else if c = ' ' || c = '\t' || c = '\r' then incr i
     else if c = '#' then begin
@@ -92,8 +103,8 @@ let tokenize src =
       done;
       let s = String.sub src start (!i - start) in
       match float_of_string_opt s with
-      | Some f -> emit (Number f)
-      | None -> fail (Printf.sprintf "bad number %S" s)
+      | Some f -> emit_at start (Number f)
+      | None -> fail_at start (Printf.sprintf "bad number %S" s)
     end
     else if is_ident_start c then begin
       let start = !i in
@@ -102,8 +113,8 @@ let tokenize src =
       done;
       let s = String.sub src start (!i - start) in
       match keyword_of_string s with
-      | Some kw -> emit kw
-      | None -> emit (Ident s)
+      | Some kw -> emit_at start kw
+      | None -> emit_at start (Ident s)
     end
     else fail (Printf.sprintf "illegal character %C" c)
   done;

@@ -25,13 +25,17 @@ type token =
   | Number of float
   | Eof
 
-type error = { line : int; message : string }
+type pos = { line : int; col : int }
+(** 1-based line and column of a token's first character. *)
+
+type error = { line : int; col : int; message : string }
 
 exception Lex_error of error
 
-val tokenize : string -> (token * int) list
-(** Token stream with 1-based line numbers; ends with [Eof]. [#] starts a
-    comment running to end of line. Raises {!Lex_error} on an illegal
-    character. *)
+val tokenize : string -> (token * pos) list
+(** Token stream with 1-based line/column positions; ends with [Eof].
+    [#] starts a comment running to end of line. Raises {!Lex_error}
+    (carrying the offending position) on an illegal character or a
+    malformed number. *)
 
 val token_to_string : token -> string

@@ -1,28 +1,29 @@
 module D = Netlist.Design
 
-type error = { line : int; message : string }
+type error = { line : int; col : int; message : string }
 
 exception Parse_error of error
 
-type state = { mutable toks : (Lexer.token * int) list }
+type state = { mutable toks : (Lexer.token * Lexer.pos) list }
 
 let peek st =
   match st.toks with
-  | (t, line) :: _ -> (t, line)
-  | [] -> (Lexer.Eof, 0)
+  | (t, pos) :: _ -> (t, pos)
+  | [] -> (Lexer.Eof, { Lexer.line = 0; col = 0 })
 
 let advance st =
   match st.toks with
   | _ :: rest -> st.toks <- rest
   | [] -> ()
 
-let fail line message = raise (Parse_error { line; message })
+let fail (pos : Lexer.pos) message =
+  raise (Parse_error { line = pos.Lexer.line; col = pos.Lexer.col; message })
 
 let expect st tok =
-  let t, line = peek st in
+  let t, pos = peek st in
   if t = tok then advance st
   else
-    fail line
+    fail pos
       (Printf.sprintf "expected %s, found %s" (Lexer.token_to_string tok)
          (Lexer.token_to_string t))
 
@@ -31,14 +32,14 @@ let ident st =
   | Lexer.Ident s, _ ->
     advance st;
     s
-  | t, line -> fail line (Printf.sprintf "expected identifier, found %s" (Lexer.token_to_string t))
+  | t, pos -> fail pos (Printf.sprintf "expected identifier, found %s" (Lexer.token_to_string t))
 
 let number st =
   match peek st with
   | Lexer.Number f, _ ->
     advance st;
     f
-  | t, line -> fail line (Printf.sprintf "expected number, found %s" (Lexer.token_to_string t))
+  | t, pos -> fail pos (Printf.sprintf "expected number, found %s" (Lexer.token_to_string t))
 
 let ident_list st =
   let rec loop acc =
@@ -182,7 +183,8 @@ let parse_string src =
       with
       | d -> Ok d
       | exception Parse_error e -> Error e
-      | exception Lexer.Lex_error { Lexer.line; message } -> Error { line; message })
+      | exception Lexer.Lex_error { Lexer.line; col; message } ->
+        Error { line; col; message })
 
 let parse_file path =
   Obs.Span.with_ ~name:"hnl.parse_file" (fun () ->

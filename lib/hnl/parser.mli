@@ -14,7 +14,8 @@
     binding := IDENT "=>" IDENT
     v} *)
 
-type error = { line : int; message : string }
+type error = { line : int; col : int; message : string }
+(** 1-based position of the offending token's first character. *)
 
 exception Parse_error of error
 

@@ -59,6 +59,10 @@ val module_def : name:string -> ?ports:port_decl list -> ?cells:cell_decl list -
 
 val design : top:string -> modules:module_def list -> t
 
+val default_area : cell_kind -> float
+(** The area [cell] assigns when none is given: the macro footprint for
+    macros, 1.0 for flops / combinational cells. *)
+
 val find_module : t -> string -> module_def option
 
 type error =

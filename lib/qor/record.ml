@@ -51,6 +51,7 @@ type t = {
   die : Rect.t;
   macros : macro list;
   levels : level list;
+  degradations : Guard.Supervisor.entry list;
 }
 
 (* ---- derived quantities ------------------------------------------- *)
@@ -108,8 +109,8 @@ let gc_of registry =
 
 (* ---- constructors ------------------------------------------------- *)
 
-let of_place ~circuit ~flat ~(config : Hidap.Config.t) ?spans ?registry (r : Hidap.result)
-    =
+let of_place ~circuit ~flat ~(config : Hidap.Config.t) ?spans ?registry
+    ?(degradations = []) ?measured (r : Hidap.result) =
   let macros =
     List.map
       (fun (p : Hidap.macro_placement) ->
@@ -124,9 +125,15 @@ let of_place ~circuit ~flat ~(config : Hidap.Config.t) ?spans ?registry (r : Hid
         { Cellplace.fid = p.Hidap.fid; rect = p.Hidap.rect; orient = p.Hidap.orient })
       r.Hidap.placements
   in
-  let m, _ =
-    Evalflow.measure ~flat ~gseq:r.Hidap.gseq ~ports:r.Hidap.ports ~die:r.Hidap.die
-      ~macros:cp_macros
+  let m =
+    match measured with
+    | Some m -> m
+    | None ->
+      let m, _ =
+        Evalflow.measure ~flat ~gseq:r.Hidap.gseq ~ports:r.Hidap.ports
+          ~die:r.Hidap.die ~macros:cp_macros
+      in
+      m
   in
   let runtime_s =
     match spans with
@@ -165,10 +172,11 @@ let of_place ~circuit ~flat ~(config : Hidap.Config.t) ?spans ?registry (r : Hid
             ht_id = l.Hidap.Floorplan.ht_id;
             level_rect = l.Hidap.Floorplan.rect;
             level_macros = l.Hidap.Floorplan.macro_count })
-        r.Hidap.levels }
+        r.Hidap.levels;
+    degradations }
 
 let of_eval ~circuit ~flat ~(config : Hidap.Config.t) ?spans ?registry
-    (res : Evalflow.circuit_result) =
+    ?(degradations = []) (res : Evalflow.circuit_result) =
   let die = Hidap.die_for flat ~config in
   List.map
     (fun (run : Evalflow.run) ->
@@ -214,7 +222,8 @@ let of_eval ~circuit ~flat ~(config : Hidap.Config.t) ?spans ?registry
         gc = (if is_hidap then gc_of registry else None);
         die;
         macros;
-        levels = [] })
+        levels = [];
+        degradations = (if is_hidap then degradations else []) })
     res.Evalflow.runs
 
 (* ---- JSON ---------------------------------------------------------- *)
@@ -303,7 +312,9 @@ let to_json t =
                    ("ht_id", Jsonx.Int l.ht_id);
                    ("rect", rect_json l.level_rect);
                    ("macro_count", Jsonx.Int l.level_macros) ])
-             t.levels) ) ]
+             t.levels) );
+      ( "degradations",
+        Jsonx.List (List.map Guard.Supervisor.entry_to_json t.degradations) ) ]
 
 let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
 
@@ -403,6 +414,23 @@ let of_json j =
               | _ -> None)
             items
       in
+      let degradations =
+        match Option.bind (Jsonx.member "degradations" j) Jsonx.to_list_opt with
+        | None -> []
+        | Some items ->
+          List.filter_map
+            (fun d ->
+              match
+                ( Option.bind (Jsonx.member "stage" d) Jsonx.to_string_opt,
+                  Option.bind (Jsonx.member "reason" d) Jsonx.to_string_opt,
+                  Option.bind (Jsonx.member "detail" d) Jsonx.to_string_opt,
+                  Option.bind (Jsonx.member "count" d) Jsonx.to_int_opt )
+              with
+              | Some stage, Some reason, Some detail, Some count ->
+                Some { Guard.Supervisor.stage; reason; detail; count }
+              | _ -> None)
+            items
+      in
       Ok
         { rec_version = v;
           circuit;
@@ -419,7 +447,8 @@ let of_json j =
           gc;
           die;
           macros;
-          levels }
+          levels;
+          degradations }
 
 (* ---- ledger files -------------------------------------------------- *)
 

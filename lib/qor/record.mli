@@ -68,6 +68,11 @@ type t = {
   die : Geom.Rect.t;
   macros : macro list;
   levels : level list;
+  degradations : Guard.Supervisor.entry list;
+      (** supervisor ledger of the run: every stage fallback taken
+          (injected fault, exceeded budget, absorbed failure); empty for
+          a clean run. Added in-place as a backward-compatible field:
+          old readers ignore it, old records read back as empty. *)
 }
 
 val of_place :
@@ -76,12 +81,16 @@ val of_place :
   config:Hidap.Config.t ->
   ?spans:Obs.Trace.t ->
   ?registry:Obs.Metrics.t ->
+  ?degradations:Guard.Supervisor.entry list ->
+  ?measured:Evalflow.metrics ->
   Hidap.result ->
   t
 (** Record a [Hidap.place] run. Quality metrics are measured with the
-    shared evaluation pipeline ({!Evalflow.measure}); stage times, the
-    SA curve and [Gc] gauges are pulled from [spans] / [registry] when
-    the run was instrumented. *)
+    shared evaluation pipeline ({!Evalflow.measure}) unless a
+    pre-computed [measured] is supplied (the CLI measures inside the
+    supervised region so cell-placement degradations are captured);
+    stage times, the SA curve and [Gc] gauges are pulled from
+    [spans] / [registry] when the run was instrumented. *)
 
 val of_eval :
   circuit:string ->
@@ -89,6 +98,7 @@ val of_eval :
   config:Hidap.Config.t ->
   ?spans:Obs.Trace.t ->
   ?registry:Obs.Metrics.t ->
+  ?degradations:Guard.Supervisor.entry list ->
   Evalflow.circuit_result ->
   t list
 (** One record per flow of an {!Evalflow.run_all} result, each carrying

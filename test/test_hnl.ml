@@ -41,15 +41,18 @@ let test_lexer_comments_and_lines () =
   (match List.map fst toks with
   | [ L.Ident "a"; L.Ident "b"; L.Eof ] -> ()
   | _ -> Alcotest.fail "comment not skipped");
-  (* line numbers *)
+  (* token positions: both idents start their line, Eof sits after [b] *)
   match toks with
-  | [ (_, 1); (_, 2); (_, 2) ] -> ()
-  | _ -> Alcotest.fail "line numbers wrong"
+  | [ (_, { L.line = 1; col = 1 }); (_, { L.line = 2; col = 1 });
+      (_, { L.line = 2; col = 2 }) ] ->
+    ()
+  | _ -> Alcotest.fail "token positions wrong"
 
 let test_lexer_error () =
-  match L.tokenize "a\n$" with
-  | exception L.Lex_error { L.line = 2; _ } -> ()
-  | exception L.Lex_error { L.line; _ } -> Alcotest.failf "wrong line %d" line
+  match L.tokenize "a\n $" with
+  | exception L.Lex_error { L.line = 2; col = 2; _ } -> ()
+  | exception L.Lex_error { L.line; col; _ } ->
+    Alcotest.failf "wrong position %d:%d" line col
   | _ -> Alcotest.fail "expected lex error"
 
 let small_src =
@@ -124,7 +127,9 @@ let test_parse_errors () =
 
 let test_parse_error_line () =
   match P.parse_string "design t\nmodule t {\n  macro m (in a)\n}" with
-  | Error e -> Alcotest.(check int) "error line" 3 e.P.line
+  | Error e ->
+    Alcotest.(check int) "error line" 3 e.P.line;
+    Alcotest.(check int) "error col" 11 e.P.col
   | Ok _ -> Alcotest.fail "expected error"
 
 let test_roundtrip_small () =

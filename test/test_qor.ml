@@ -161,6 +161,9 @@ let sample_record () =
           level_macros = 2 };
         { Record.depth = 1; ht_id = 3; level_rect = rect 0.0 0.0 200.0 400.0;
           level_macros = 1 } ];
+    degradations =
+      [ { Guard.Supervisor.stage = "floorplan.sa"; reason = "fault";
+          detail = "injected fault at floorplan.sa"; count = 3 } ];
   }
 
 let test_record_roundtrip () =
