@@ -8,7 +8,8 @@
      gen    -c NAME -o FILE    emit a synthetic suite circuit as HNL
      view   FILE.hnl           evaluate and render a saved placement
      report LEDGER|DIR         self-contained HTML report from QoR ledgers
-     bench                     run suite circuits, gate against baselines *)
+     bench                     run suite circuits, gate against baselines
+     ckpt   ls|inspect|gc DIR  inspect and maintain checkpoint directories *)
 
 open Cmdliner
 
@@ -266,16 +267,17 @@ let stats_cmd =
 
 let place_cmd =
   let run file circuit seed lambda jobs svg ascii save strict budget trace metrics
-      profile qor =
+      profile qor ckpt_dir ckpt_every resume =
+    if resume && ckpt_dir = None then die_usage "--resume requires --checkpoint-dir";
     let faults, budgets = supervision ~budget in
     let qor_out = Option.map (open_output ~what:"qor") qor in
     let captured = ref None in
     let after spans registry =
       match (!captured, qor_out) with
-      | Some (name, flat, config, r, measured, degradations), Some _ ->
+      | Some (name, flat, config, r, measured, degradations, ckpt), Some _ ->
         let record =
           Qor.Record.of_place ~circuit:name ~flat ~config ~spans ~registry
-            ~degradations ?measured r
+            ~degradations ?measured ?ckpt r
         in
         write_output "qor" qor_out (Qor.Record.to_json record)
       | _ -> ()
@@ -296,13 +298,37 @@ let place_cmd =
       if Guard.Validate.errors flat_diags <> [] then exit_invalid
       else begin
         let t0 = Unix.gettimeofday () in
+        let session = ref None in
         (* Quality metrics are measured inside the supervised region:
            the cell-placement stage they drive has its own fault site
            and fallback, and its degradations must land in the ledger
-           (and hence the QoR record), not fire after disarm. *)
+           (and hence the QoR record), not fire after disarm. The
+           checkpoint session starts inside it too: resume-time
+           rollbacks and snapshot-write failures belong in the same
+           ledger. *)
         let (r, measured), degradations =
           Guard.Supervisor.with_run ~budgets ~faults (fun () ->
-              let r = Hidap.place ~config ~die flat in
+              (match ckpt_dir with
+              | None -> ()
+              | Some dir ->
+                let fp =
+                  { Ckpt.State.circuit = name;
+                    seed = config.Hidap.Config.seed;
+                    lambda = config.Hidap.Config.lambda;
+                    sa_starts = config.Hidap.Config.sa_starts;
+                    cells = Netlist.Flat.cell_count flat;
+                    macro_count = Netlist.Flat.macro_count flat }
+                in
+                (match Ckpt.Session.start ~every:ckpt_every ~dir ~resume fp with
+                | Error d ->
+                  print_diag d;
+                  exit exit_invalid
+                | Ok s ->
+                  (match Ckpt.Session.resumed_from s with
+                  | Some f -> Format.eprintf "checkpoint: resuming from %s/%s@." dir f
+                  | None -> ());
+                  session := Some s));
+              let r = Hidap.place ~config ~die ?ckpt:!session flat in
               let measured =
                 match qor_out with
                 | None -> None
@@ -322,7 +348,18 @@ let place_cmd =
               in
               (r, measured))
         in
-        captured := Some (name, flat, config, r, measured, degradations);
+        let ckpt_summary =
+          Option.map
+            (fun s ->
+              let sm = Ckpt.Session.summary s in
+              Format.eprintf "checkpoint: %d snapshot(s) written, %d instance(s) reused@."
+                sm.Ckpt.Session.snapshots_written sm.Ckpt.Session.instances_reused;
+              { Qor.Record.resumed_from = sm.Ckpt.Session.resumed_from;
+                snapshots_written = sm.Ckpt.Session.snapshots_written;
+                instances_reused = sm.Ckpt.Session.instances_reused })
+            !session
+        in
+        captured := Some (name, flat, config, r, measured, degradations, ckpt_summary);
         List.iter
           (fun e -> Format.eprintf "degraded: %a@." Guard.Supervisor.pp_entry e)
           degradations;
@@ -384,10 +421,29 @@ let place_cmd =
     Arg.(value & opt (some string) None & info [ "save" ] ~docv:"OUT.place"
            ~doc:"Save the placement to a file (reload with 'view').")
   in
+  let ckpt_dir_arg =
+    Arg.(value & opt (some string) None & info [ "checkpoint-dir" ] ~docv:"DIR"
+           ~doc:"Checkpoint the run into DIR (created if needed): a crash-safe \
+                 snapshot after every N completed floorplan instances and at \
+                 each stage boundary. Inspect with $(b,hidap ckpt).")
+  in
+  let ckpt_every_arg =
+    Arg.(value & opt int 1 & info [ "checkpoint-every" ] ~docv:"N"
+           ~doc:"Completed floorplan instances between periodic snapshots \
+                 (default 1). Stage boundaries always snapshot.")
+  in
+  let resume_arg =
+    Arg.(value & flag & info [ "resume" ]
+           ~doc:"Resume from the newest valid snapshot in --checkpoint-dir. \
+                 Finished work is replayed instead of recomputed and the final \
+                 placement is bit-identical to an uninterrupted run. An empty \
+                 or wholly corrupted directory starts from scratch, so a \
+                 retry loop can always pass --resume.")
+  in
   Cmd.v (Cmd.info "place" ~doc:"Run the HiDaP macro placement flow" ~exits)
     Term.(const run $ file_arg $ circuit_arg $ seed_arg $ lambda_arg $ jobs_arg $ svg_arg
           $ ascii_arg $ save_arg $ strict_arg $ budget_arg $ trace_arg $ metrics_arg
-          $ profile_arg $ qor_arg)
+          $ profile_arg $ qor_arg $ ckpt_dir_arg $ ckpt_every_arg $ resume_arg)
 
 (* ---- eval --------------------------------------------------------- *)
 
@@ -465,11 +521,15 @@ let eval_cmd =
 (* ---- check -------------------------------------------------------- *)
 
 let check_cmd =
-  let run file circuit circuits strict audit seed jobs list_sites =
+  let run file circuit circuits strict audit seed jobs list_sites list_codes =
     if list_sites then
       List.iter
         (fun (site, fallback) -> Format.printf "%s\t%s@." site fallback)
         Guard.Fault.sites
+    else if list_codes then
+      List.iter
+        (fun (code, severity, doc) -> Format.printf "%s\t%s\t%s@." code severity doc)
+        Guard.Diag.codes
     else begin
       let names l = String.split_on_char ',' l |> List.filter (fun s -> s <> "") in
       let targets =
@@ -552,11 +612,17 @@ let check_cmd =
            ~doc:"Print the registered fault-injection sites (name, fallback) \
                  and exit; the names are valid in $(b,HIDAP_FAULT).")
   in
+  let list_codes_arg =
+    Arg.(value & flag & info [ "list-codes" ]
+           ~doc:"Print the stable diagnostic code table (code, severity, \
+                 meaning) and exit. The table mirrors DESIGN.md section 10 \
+                 and CI asserts the two stay in sync.")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Validate designs (and optionally audit their placements)" ~exits)
     Term.(const run $ file_arg $ circuit_arg $ circuits_arg $ strict_arg $ audit_arg
-          $ seed_arg $ jobs_arg $ list_sites_arg)
+          $ seed_arg $ jobs_arg $ list_sites_arg $ list_codes_arg)
 
 (* ---- gen ---------------------------------------------------------- *)
 
@@ -786,6 +852,106 @@ let bench_cmd =
     Term.(const run $ circuits_arg $ baselines_arg $ update_arg $ jobs_arg $ qor_arg
           $ report_arg)
 
+(* ---- ckpt --------------------------------------------------------- *)
+
+let ckpt_cmd =
+  let dir_pos =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"
+           ~doc:"Checkpoint directory (as given to 'place --checkpoint-dir').")
+  in
+  let open_store ?keep dir =
+    if not (Sys.file_exists dir && Sys.is_directory dir) then
+      die_usage "%s is not a directory" dir;
+    match Ckpt.Store.open_ ?keep ~fresh:false dir with
+    | Ok s -> s
+    | Error msg ->
+      Format.eprintf "hidap: %s: %s@." dir msg;
+      exit exit_invalid
+  in
+  let describe store (e : Ckpt.Store.entry) =
+    match Ckpt.Store.read_entry store e with
+    | Ok st ->
+      Printf.sprintf "ok    %d instance(s)%s%s"
+        (List.length st.Ckpt.State.instances)
+        (if st.Ckpt.State.flip <> None then ", flip" else "")
+        (match st.Ckpt.State.stages with
+        | [] -> ""
+        | l -> ", stages " ^ String.concat "+" l)
+    | Error msg -> "BAD   " ^ msg
+  in
+  let ls_cmd =
+    let run dir =
+      let store = open_store dir in
+      let entries = Ckpt.Store.entries store in
+      if entries = [] then Format.printf "no snapshots in %s@." dir
+      else
+        List.iter
+          (fun (e : Ckpt.Store.entry) ->
+            Format.printf "%s  %s  %s@." e.Ckpt.Store.file
+              (if e.Ckpt.Store.stage then "stage" else "     ")
+              (describe store e))
+          entries
+    in
+    Cmd.v
+      (Cmd.info "ls" ~doc:"List the snapshots of a checkpoint directory" ~exits)
+      Term.(const run $ dir_pos)
+  in
+  let inspect_cmd =
+    let run dir seq =
+      let store = open_store dir in
+      let entries = Ckpt.Store.entries store in
+      let entry =
+        match seq with
+        | None ->
+          (match List.rev entries with
+          | [] ->
+            Format.eprintf "hidap: %s: no snapshots@." dir;
+            exit exit_invalid
+          | e :: _ -> e)
+        | Some n ->
+          (match
+             List.find_opt (fun (e : Ckpt.Store.entry) -> e.Ckpt.Store.seq = n) entries
+           with
+          | Some e -> e
+          | None ->
+            Format.eprintf "hidap: %s: no snapshot with sequence %d@." dir n;
+            exit exit_invalid)
+      in
+      match Ckpt.Store.read_entry store entry with
+      | Error msg ->
+        Format.eprintf "hidap: %s: %s@." entry.Ckpt.Store.file msg;
+        exit exit_invalid
+      | Ok st -> print_endline (Obs.Jsonx.to_string (Ckpt.State.to_json st))
+    in
+    let seq_arg =
+      Arg.(value & opt (some int) None & info [ "seq" ] ~docv:"N"
+             ~doc:"Snapshot sequence number (default: the newest).")
+    in
+    Cmd.v
+      (Cmd.info "inspect" ~doc:"Decode one snapshot and print it as JSON" ~exits)
+      Term.(const run $ dir_pos $ seq_arg)
+  in
+  let gc_cmd =
+    let run dir keep =
+      let store = open_store ?keep dir in
+      let removed = Ckpt.Store.gc ?keep store in
+      Format.printf "removed %d file(s)@." (List.length removed);
+      List.iter print_endline removed
+    in
+    let keep_arg =
+      Arg.(value & opt (some int) None & info [ "keep" ] ~docv:"K"
+             ~doc:"Retention window to apply (default: the store's own, 4). \
+                   Stage-boundary snapshots are always kept.")
+    in
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:"Apply retention and delete unreferenced snapshot files" ~exits)
+      Term.(const run $ dir_pos $ keep_arg)
+  in
+  Cmd.group
+    (Cmd.info "ckpt" ~doc:"Inspect and maintain checkpoint directories" ~exits)
+    [ ls_cmd; inspect_cmd; gc_cmd ]
+
 let () =
   let info =
     Cmd.info "hidap" ~version:"1.0.0"
@@ -796,4 +962,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ stats_cmd; place_cmd; eval_cmd; check_cmd; gen_cmd; view_cmd; report_cmd;
-            bench_cmd ]))
+            bench_cmd; ckpt_cmd ]))

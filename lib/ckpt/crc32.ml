@@ -1,0 +1,35 @@
+(* CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320), table-driven.
+   Kept dependency-free: checkpoint envelopes must be verifiable without
+   anything beyond the stdlib. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let update crc s ~pos ~len =
+  let table = Lazy.force table in
+  let c = ref (Int32.lognot crc) in
+  for i = pos to pos + len - 1 do
+    let idx = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code s.[i]))) 0xffl) in
+    c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.lognot !c
+
+let string s = update 0l s ~pos:0 ~len:(String.length s)
+
+let to_hex crc = Printf.sprintf "%08lx" crc
+
+let of_hex s =
+  if String.length s <> 8 then None
+  else
+    match Int64.of_string_opt ("0x" ^ s) with
+    | Some v when Int64.unsigned_compare v 0x1_0000_0000L < 0 -> Some (Int64.to_int32 v)
+    | Some _ | None -> None

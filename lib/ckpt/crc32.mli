@@ -1,0 +1,14 @@
+(** CRC-32 (IEEE) checksums for checkpoint envelopes. *)
+
+val string : string -> int32
+(** Checksum of a whole string. *)
+
+val update : int32 -> string -> pos:int -> len:int -> int32
+(** Incremental update: [update (string a) b ~pos:0 ~len] equals
+    [string (a ^ b)] when [len = String.length b]. *)
+
+val to_hex : int32 -> string
+(** Fixed-width lowercase hex, 8 characters. *)
+
+val of_hex : string -> int32 option
+(** Inverse of {!to_hex}; [None] on anything but 8 hex digits. *)

@@ -1,0 +1,111 @@
+(* Crash-safe checkpoint envelope.
+
+   On-disk layout (text header, arbitrary payload bytes):
+
+     hidap-ckpt <version>\n
+     crc32=<8 hex> len=<payload bytes>\n
+     <payload>
+
+   A torn write can truncate the payload (len mismatch), corrupt bytes
+   (crc mismatch), or lose the file entirely; every case is a clean
+   [Error], never a crash or a silently wrong state. Writes go through
+   a temp file in the same directory, are fsynced, then renamed over
+   the target, and the directory is fsynced so the rename itself
+   survives power loss. *)
+
+let magic = "hidap-ckpt"
+
+let version = 1
+
+let header payload =
+  Printf.sprintf "%s %d\ncrc32=%s len=%d\n" magic version
+    (Crc32.to_hex (Crc32.string payload))
+    (String.length payload)
+
+let fsync_dir dir =
+  (* Best effort: some filesystems refuse fsync on a directory fd; the
+     rename is still atomic, only its durability window widens. *)
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    Unix.close fd
+
+let write path payload =
+  Guard.Fault.hit "ckpt_write";
+  let dir = Filename.dirname path in
+  let tmp =
+    Filename.concat dir
+      (Printf.sprintf ".%s.tmp.%d" (Filename.basename path) (Unix.getpid ()))
+  in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let oc = Unix.out_channel_of_descr fd in
+      output_string oc (header payload);
+      output_string oc payload;
+      flush oc;
+      Unix.fsync fd);
+  Unix.rename tmp path;
+  fsync_dir dir
+
+let read path =
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let* contents =
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | contents -> Ok contents
+    | exception Sys_error msg -> Error msg
+  in
+  let* line1_end =
+    match String.index_opt contents '\n' with
+    | Some i -> Ok i
+    | None -> Error "missing envelope header"
+  in
+  let* () =
+    let line1 = String.sub contents 0 line1_end in
+    match String.split_on_char ' ' line1 with
+    | [ m; v ] when m = magic ->
+      (match int_of_string_opt v with
+      | Some v when v <= version -> Ok ()
+      | Some v -> Error (Printf.sprintf "envelope version %d is newer than supported %d" v version)
+      | None -> Error (Printf.sprintf "malformed envelope version %S" line1))
+    | _ -> Error "not a hidap-ckpt envelope"
+  in
+  let* line2_end =
+    match String.index_from_opt contents (line1_end + 1) '\n' with
+    | Some i -> Ok i
+    | None -> Error "truncated envelope header"
+  in
+  let line2 = String.sub contents (line1_end + 1) (line2_end - line1_end - 1) in
+  let* crc, len =
+    match String.split_on_char ' ' line2 with
+    | [ c; l ]
+      when String.length c > 6
+           && String.sub c 0 6 = "crc32="
+           && String.length l > 4
+           && String.sub l 0 4 = "len=" -> (
+      match
+        ( Crc32.of_hex (String.sub c 6 (String.length c - 6)),
+          int_of_string_opt (String.sub l 4 (String.length l - 4)) )
+      with
+      | Some crc, Some len when len >= 0 -> Ok (crc, len)
+      | _ -> Error "malformed envelope checksum line")
+    | _ -> Error "malformed envelope checksum line"
+  in
+  let payload_start = line2_end + 1 in
+  let actual = String.length contents - payload_start in
+  if actual <> len then
+    Error (Printf.sprintf "truncated payload: %d bytes, envelope says %d" actual len)
+  else
+    let found = Crc32.update 0l contents ~pos:payload_start ~len in
+    if found <> crc then
+      Error
+        (Printf.sprintf "checksum mismatch: crc32 %s, envelope says %s"
+           (Crc32.to_hex found) (Crc32.to_hex crc))
+    else Ok (String.sub contents payload_start len)

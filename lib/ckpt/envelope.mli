@@ -1,0 +1,22 @@
+(** Crash-safe, CRC-validated file envelope for checkpoint payloads.
+
+    Files carry a versioned text header ([hidap-ckpt N], then the
+    payload CRC-32 and byte length) followed by the raw payload. {!write}
+    is atomic with respect to crashes: temp file in the same directory,
+    fsync, rename over the target, directory fsync. {!read} rejects a
+    torn or corrupted file (bad magic, newer version, length mismatch,
+    checksum mismatch) with a descriptive [Error] instead of returning
+    a partial state. *)
+
+val version : int
+(** Current envelope format version. Readers accept any version up to
+    this; a newer on-disk version is rejected (forward compatibility is
+    a rollback concern, not a parsing one). *)
+
+val write : string -> string -> unit
+(** [write path payload] atomically replaces [path]. Raises
+    [Unix.Unix_error] / [Sys_error] on I/O failure and honors the
+    [ckpt_write] fault-injection site. *)
+
+val read : string -> (string, string) result
+(** Validated payload of an envelope file. *)

@@ -1,0 +1,66 @@
+(** Checkpointable flow state.
+
+    A snapshot is the complete record of finished work in one
+    [Hidap.place] invocation: the run fingerprint (inputs that must
+    match for a resume to be meaningful), the per-instance floorplan
+    results in completion order — each carrying the SA-derived block
+    rectangles {e and} the RNG state after the instance, so a resumed
+    run replays the identical pseudo-random stream — the flipping
+    result, and the completed stage boundaries.
+
+    All floats are serialized as the hex image of their IEEE-754 bits:
+    a loaded snapshot is bit-identical to the saved one, which is what
+    makes resume-after-kill produce byte-identical placements. *)
+
+type fingerprint = {
+  circuit : string;
+  seed : int;
+  lambda : float;
+  sa_starts : int;
+  cells : int;
+  macro_count : int;
+}
+(** Identity of a run: a snapshot only resumes a run with an equal
+    fingerprint (bit-equal [lambda]). *)
+
+type instance_entry = {
+  nh : int;  (** HT node id of the floorplan instance (unique per run) *)
+  depth : int;
+  n_blocks : int;
+  rects : Geom.Rect.t array;  (** block rectangles chosen by the SA *)
+  sa_moves : int;
+  rng_after : int64;  (** RNG state after the instance completed *)
+}
+
+type flip_entry = {
+  orientations : (int * Geom.Orientation.t) list;
+  flip_gain : float;
+}
+
+type t = {
+  fp : fingerprint;
+  instances : instance_entry list;
+  flip : flip_entry option;
+  stages : string list;
+}
+
+val version : int
+(** Payload schema version; bump on any incompatible layout change
+    (see DESIGN.md section 11 for the bump rules). *)
+
+val empty : fingerprint -> t
+
+val equal : t -> t -> bool
+(** Structural equality with bit-exact float comparison (NaN-safe). *)
+
+val fingerprint_equal : fingerprint -> fingerprint -> bool
+
+val to_payload : t -> string
+(** Serialize for {!Envelope.write}. *)
+
+val of_payload : string -> (t, string) result
+(** Inverse of {!to_payload}; schema/version-checked. *)
+
+val to_json : t -> Obs.Jsonx.t
+
+val pp_fingerprint : Format.formatter -> fingerprint -> unit

@@ -1,0 +1,237 @@
+module Jsonx = Obs.Jsonx
+
+let manifest_schema = "hidap-ckpt-manifest"
+
+let manifest_version = 1
+
+let manifest_file = "manifest.json"
+
+type entry = {
+  seq : int;
+  file : string;  (** basename inside the store directory *)
+  stage : bool;  (** stage-boundary snapshot (kept beyond the last-K window) *)
+}
+
+type t = {
+  dir : string;
+  keep : int;
+  mutable next_seq : int;
+  mutable entries : entry list;  (** oldest first *)
+}
+
+let dir t = t.dir
+
+let entries t = t.entries
+
+let path_of t e = Filename.concat t.dir e.file
+
+let snap_name seq = Printf.sprintf "snap-%06d.ckpt" seq
+
+let seq_of_name name =
+  match String.length name = 16 && String.sub name 0 5 = "snap-" && Filename.check_suffix name ".ckpt" with
+  | true -> int_of_string_opt (String.sub name 5 6)
+  | false -> None
+
+(* ---- manifest ------------------------------------------------------ *)
+
+let manifest_json t =
+  Jsonx.Obj
+    [ ("schema", Jsonx.String manifest_schema);
+      ("version", Jsonx.Int manifest_version);
+      ("keep", Jsonx.Int t.keep);
+      ("next_seq", Jsonx.Int t.next_seq);
+      ( "entries",
+        Jsonx.List
+          (List.map
+             (fun e ->
+               Jsonx.Obj
+                 [ ("seq", Jsonx.Int e.seq);
+                   ("file", Jsonx.String e.file);
+                   ("stage", Jsonx.Bool e.stage) ])
+             t.entries) ) ]
+
+let write_manifest t =
+  Envelope.write (Filename.concat t.dir manifest_file)
+    (Jsonx.to_string ~compact:true (manifest_json t) ^ "\n")
+
+let entries_of_manifest j =
+  match Option.bind (Jsonx.member "entries" j) Jsonx.to_list_opt with
+  | None -> None
+  | Some items ->
+    let entry e =
+      match
+        ( Option.bind (Jsonx.member "seq" e) Jsonx.to_int_opt,
+          Option.bind (Jsonx.member "file" e) Jsonx.to_string_opt,
+          Jsonx.member "stage" e )
+      with
+      | Some seq, Some file, Some (Jsonx.Bool stage) -> Some { seq; file; stage }
+      | _ -> None
+    in
+    let entries = List.filter_map entry items in
+    if List.length entries = List.length items then Some entries else None
+
+let read_manifest dir =
+  match Envelope.read (Filename.concat dir manifest_file) with
+  | Error msg -> Error msg
+  | Ok payload ->
+    (match Jsonx.parse payload with
+    | Error msg -> Error msg
+    | Ok j ->
+      (match
+         ( Option.bind (Jsonx.member "schema" j) Jsonx.to_string_opt,
+           entries_of_manifest j,
+           Option.bind (Jsonx.member "next_seq" j) Jsonx.to_int_opt )
+       with
+      | Some s, Some entries, Some next_seq when s = manifest_schema ->
+        Ok (entries, next_seq)
+      | _ -> Error "malformed manifest"))
+
+(* Fallback when the manifest is lost or torn: the snapshots themselves
+   are self-validating, so the directory listing is an authoritative —
+   if unordered-by-kind — index. Rescued entries are marked as stage
+   boundaries so retention never deletes evidence it cannot classify. *)
+let rescan dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+    Array.to_list names
+    |> List.filter_map (fun name ->
+           Option.map (fun seq -> { seq; file = name; stage = true }) (seq_of_name name))
+    |> List.sort (fun a b -> compare a.seq b.seq)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_ ?(keep = 4) ~fresh dir =
+  match
+    mkdir_p dir;
+    if not (Sys.is_directory dir) then Error (dir ^ " is not a directory")
+    else begin
+      let listed, next_seq =
+        match read_manifest dir with
+        | Ok (entries, next_seq) -> (entries, next_seq)
+        | Error _ ->
+          let rescued = rescan dir in
+          ( rescued,
+            1 + List.fold_left (fun acc e -> max acc e.seq) 0 rescued )
+      in
+      if fresh then
+        (* A fresh run ignores whatever a previous run left behind; the
+           old files stay on disk (unlisted) until [gc] sweeps them, so
+           an accidental restart without --resume is recoverable. *)
+        Ok { dir; keep = max 1 keep; next_seq; entries = [] }
+      else Ok { dir; keep = max 1 keep; next_seq; entries = listed }
+    end
+  with
+  | r -> r
+  | exception Unix.Unix_error (e, _, arg) ->
+    Error (Printf.sprintf "%s: %s" arg (Unix.error_message e))
+  | exception Sys_error msg -> Error msg
+
+(* ---- retention ----------------------------------------------------- *)
+
+(* Keep every stage-boundary snapshot plus the [keep] most recent
+   snapshots of any kind; everything older is dropped. *)
+let retained t =
+  let n = List.length t.entries in
+  List.filteri (fun i e -> e.stage || i >= n - t.keep) t.entries
+
+let save t ~stage state =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let e = { seq; file = snap_name seq; stage } in
+  Envelope.write (path_of t e) (State.to_payload state);
+  t.entries <- t.entries @ [ e ];
+  let kept = retained t in
+  let dropped = List.filter (fun e -> not (List.memq e kept)) t.entries in
+  t.entries <- kept;
+  write_manifest t;
+  List.iter (fun e -> try Sys.remove (path_of t e) with Sys_error _ -> ()) dropped;
+  e
+
+(* ---- loading with rollback ----------------------------------------- *)
+
+type loaded = {
+  state : State.t;
+  entry : entry;
+  rejected : (entry * string) list;  (** newer snapshots that failed validation *)
+}
+
+let read_entry t e =
+  match Envelope.read (path_of t e) with
+  | Error msg -> Error msg
+  | Ok payload -> State.of_payload payload
+
+(* Walk newest -> oldest; the first snapshot that validates wins. Every
+   rejected (torn, corrupted, missing) snapshot on the way is a
+   rollback: recorded in the supervisor's degradation ledger so the QoR
+   record shows the run did not resume from where it thought it
+   would. *)
+let load_latest t =
+  let rec go rejected = function
+    | [] -> None
+    | e :: older ->
+      (match read_entry t e with
+      | Ok state -> Some { state; entry = e; rejected = List.rev rejected }
+      | Error msg ->
+        Guard.Supervisor.record ~stage:"ckpt.load" ~reason:"rollback"
+          ~detail:(Printf.sprintf "snapshot %s rejected: %s" e.file msg);
+        go ((e, msg) :: rejected) older)
+  in
+  go [] (List.rev t.entries)
+
+(* Deterministic torn-write simulation for the [ckpt_load_corrupt]
+   fault site and the tests: flip one payload byte in the middle of the
+   newest snapshot and truncate its final byte, covering both
+   corruption modes the envelope must reject. *)
+let corrupt_latest t =
+  match List.rev t.entries with
+  | [] -> ()
+  | e :: _ ->
+    let path = path_of t e in
+    (match
+       let ic = open_in_bin path in
+       Fun.protect
+         ~finally:(fun () -> close_in_noerr ic)
+         (fun () -> really_input_string ic (in_channel_length ic))
+     with
+    | exception Sys_error _ -> ()
+    | contents when String.length contents < 2 -> ()
+    | contents ->
+      let b = Bytes.of_string contents in
+      let mid = Bytes.length b / 2 in
+      Bytes.set b mid (Char.chr (Char.code (Bytes.get b mid) lxor 0x40));
+      let oc = open_out_bin path in
+      output_bytes oc (Bytes.sub b 0 (Bytes.length b - 1));
+      close_out oc)
+
+(* ---- gc ------------------------------------------------------------ *)
+
+(* Re-apply retention under [keep] and sweep snapshot files the
+   manifest no longer references (left by a crash mid-save or by a
+   fresh run over an old directory). *)
+let gc ?keep t =
+  let t = match keep with Some k -> { t with keep = max 1 k } | None -> t in
+  let kept = retained t in
+  let dropped = List.filter (fun e -> not (List.memq e kept)) t.entries in
+  t.entries <- kept;
+  write_manifest t;
+  let listed = List.map (fun e -> e.file) t.entries in
+  let unreferenced =
+    match Sys.readdir t.dir with
+    | exception Sys_error _ -> []
+    | names ->
+      Array.to_list names
+      |> List.filter (fun n -> seq_of_name n <> None && not (List.mem n listed))
+  in
+  let removed =
+    List.map (fun e -> e.file) dropped
+    @ List.filter (fun _ -> true) unreferenced
+  in
+  List.iter
+    (fun file -> try Sys.remove (Filename.concat t.dir file) with Sys_error _ -> ())
+    removed;
+  List.sort_uniq compare removed

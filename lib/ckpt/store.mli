@@ -1,0 +1,57 @@
+(** Checkpoint directory: numbered snapshots plus a manifest.
+
+    A store owns one directory holding [snap-NNNNNN.ckpt] envelope
+    files and a [manifest.json] (itself envelope-wrapped, so a torn
+    manifest is detected, not trusted). Snapshots are written through
+    {!Envelope.write}, so every file is atomic-or-rejected.
+
+    Retention keeps every stage-boundary snapshot plus the last [keep]
+    snapshots of any kind. Loading walks newest to oldest and falls
+    back past torn or corrupted snapshots, recording each rollback in
+    the {!Guard.Supervisor} degradation ledger. *)
+
+type entry = { seq : int; file : string; stage : bool }
+
+type t
+
+val open_ : ?keep:int -> fresh:bool -> string -> (t, string) result
+(** Open (creating if needed) a checkpoint directory. [fresh] starts a
+    new snapshot sequence ignoring — but not deleting — existing
+    snapshots; [fresh:false] adopts the manifest, or a directory rescan
+    when the manifest itself is lost or torn. [keep] (default 4) is the
+    retention window. *)
+
+val dir : t -> string
+
+val entries : t -> entry list
+(** Oldest first. *)
+
+val path_of : t -> entry -> string
+
+val save : t -> stage:bool -> State.t -> entry
+(** Write a snapshot, update the manifest, apply retention. Raises on
+    I/O failure (callers degrade via {!Guard.Supervisor.protect}). *)
+
+type loaded = {
+  state : State.t;
+  entry : entry;
+  rejected : (entry * string) list;
+}
+
+val load_latest : t -> loaded option
+(** Most recent snapshot that validates, with the newer rejected ones;
+    [None] when the store holds no valid snapshot. Rollbacks are
+    recorded in the degradation ledger of the active supervised run. *)
+
+val read_entry : t -> entry -> (State.t, string) result
+(** Validate and decode one snapshot. *)
+
+val corrupt_latest : t -> unit
+(** Deterministically corrupt the newest snapshot (flip one payload
+    byte, truncate the last byte) — the [ckpt_load_corrupt] fault
+    action, also used by the tests. *)
+
+val gc : ?keep:int -> t -> string list
+(** Re-apply retention (optionally under a new [keep]) and remove
+    snapshot files no longer referenced by the manifest. Returns the
+    removed file names, sorted. *)

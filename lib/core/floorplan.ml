@@ -31,6 +31,7 @@ type context = {
   ports : Port_plan.t;
   config : Config.t;
   rng : Util.Rng.t;
+  ckpt : Ckpt.Session.t option;
   die : Rect.t;
   macro_pos : (int, Point.t) Hashtbl.t;  (* flat macro id -> provisional position *)
   mutable out_macros : (int * Rect.t * Geom.Orientation.t) list;
@@ -216,23 +217,45 @@ and instance_body ctx ~nh ~budget ~depth =
             ~k:config.Config.k ())
     in
     let fixed_pos = Array.map (fun gid -> fixed_position ctx gid) fixed in
-    let layout =
-      Layout_gen.run ?observer:(sa_observer ~depth) ~rng:ctx.rng ~config ~blocks
-        ~affinity ~fixed_pos ~budget ()
+    (* Checkpoint unit: one completed instance. A resumed run takes the
+       recorded rectangles and restores the RNG to its post-instance
+       state instead of re-annealing, so the rest of the recursion —
+       and everything downstream — replays bit-identically. *)
+    let cached =
+      match ctx.ckpt with
+      | None -> None
+      | Some session -> Ckpt.Session.lookup_instance session ~nh ~n_blocks
     in
-    ctx.sa_moves <- ctx.sa_moves + layout.Layout_gen.sa_moves;
+    let rects, inst_moves =
+      match cached with
+      | Some e ->
+        Util.Rng.set_state ctx.rng e.Ckpt.State.rng_after;
+        Obs.Span.attr_int "ckpt_reused" 1;
+        (e.Ckpt.State.rects, e.Ckpt.State.sa_moves)
+      | None ->
+        let layout =
+          Layout_gen.run ?observer:(sa_observer ~depth) ~rng:ctx.rng ~config ~blocks
+            ~affinity ~fixed_pos ~budget ()
+        in
+        (match ctx.ckpt with
+        | None -> ()
+        | Some session ->
+          Ckpt.Session.instance_done session ~nh ~depth ~n_blocks
+            ~rects:layout.Layout_gen.rects ~sa_moves:layout.Layout_gen.sa_moves
+            ~rng_after:(Util.Rng.state ctx.rng));
+        (layout.Layout_gen.rects, layout.Layout_gen.sa_moves)
+    in
+    ctx.sa_moves <- ctx.sa_moves + inst_moves;
     Obs.Span.attr_int "blocks" n_blocks;
-    Obs.Span.attr_int "sa_moves" layout.Layout_gen.sa_moves;
+    Obs.Span.attr_int "sa_moves" inst_moves;
     Obs.Metrics.counter "floorplan.instances" 1;
-    Obs.Metrics.counter "floorplan.sa_moves" layout.Layout_gen.sa_moves;
+    Obs.Metrics.counter "floorplan.sa_moves" inst_moves;
     Obs.Metrics.sample "floorplan.block_count" (float_of_int n_blocks);
     (* Record rectangles; update provisional macro positions. *)
-    let positions =
-      Array.append (Array.map Rect.center layout.Layout_gen.rects) fixed_pos
-    in
+    let positions = Array.append (Array.map Rect.center rects) fixed_pos in
     Array.iteri
       (fun bi (b : Block.t) ->
-        let r = layout.Layout_gen.rects.(bi) in
+        let r = rects.(bi) in
         Hashtbl.replace ctx.ht_rects b.Block.ht_id r;
         ctx.out_levels <-
           { depth; ht_id = b.Block.ht_id; rect = r; macro_count = b.Block.macro_count }
@@ -245,11 +268,11 @@ and instance_body ctx ~nh ~budget ~depth =
       ctx.out_top <-
         Some
           { inst_blocks = blocks; inst_affinity = affinity;
-            inst_rects = Array.copy layout.Layout_gen.rects };
+            inst_rects = Array.copy rects };
     (* Recurse / fix. *)
     Array.iteri
       (fun bi (b : Block.t) ->
-        let r = layout.Layout_gen.rects.(bi) in
+        let r = rects.(bi) in
         if b.Block.macro_count > 1 then
           instance ctx ~nh:b.Block.ht_id ~budget:r ~depth:(depth + 1)
         else if b.Block.macro_count = 1 then begin
@@ -263,9 +286,9 @@ and instance_body ctx ~nh ~budget ~depth =
         end)
       blocks
 
-let run_body ~tree ~gseq ~sgamma ~ports ~config ~rng ~die =
+let run_body ~tree ~gseq ~sgamma ~ports ~config ~rng ?ckpt ~die () =
   let ctx =
-    { tree; gseq; sgamma; ports; config; rng; die;
+    { tree; gseq; sgamma; ports; config; rng; ckpt; die;
       macro_pos = Hashtbl.create 64;
       out_macros = [];
       out_levels = [];
@@ -285,6 +308,6 @@ let run_body ~tree ~gseq ~sgamma ~ports ~config ~rng ~die =
     ht_rects = ctx.ht_rects;
     sa_moves_total = ctx.sa_moves }
 
-let run ~tree ~gseq ~sgamma ~ports ~config ~rng ~die =
+let run ~tree ~gseq ~sgamma ~ports ~config ~rng ?ckpt ~die () =
   Obs.Span.with_ ~name:"floorplan.run" (fun () ->
-      run_body ~tree ~gseq ~sgamma ~ports ~config ~rng ~die)
+      run_body ~tree ~gseq ~sgamma ~ports ~config ~rng ?ckpt ~die ())

@@ -47,6 +47,12 @@ val run :
   ports:Port_plan.t ->
   config:Config.t ->
   rng:Util.Rng.t ->
+  ?ckpt:Ckpt.Session.t ->
   die:Geom.Rect.t ->
+  unit ->
   t
-(** Places every macro of the design inside [die]. *)
+(** Places every macro of the design inside [die]. With [ckpt], each
+    completed instance is reported to the checkpoint session (and
+    resumed instances are replayed from it, restoring the RNG to the
+    recorded post-instance state, so a resumed run is bit-identical to
+    an uninterrupted one). *)

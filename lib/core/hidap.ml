@@ -63,7 +63,7 @@ let repair_placements ~die flat placements =
   let rects = Legalize.separate ~die ~iterations:512 rects in
   List.mapi (fun i p -> { p with rect = rects.(i) }) placements
 
-let place_body ~config ~die flat =
+let place_body ~config ~die ?ckpt flat =
   let die = match die with Some d -> d | None -> die_for flat ~config in
   Obs.Span.attr_int "seed" config.Config.seed;
   Obs.Span.attr_float "lambda" config.Config.lambda;
@@ -76,12 +76,32 @@ let place_body ~config ~die flat =
   let sgamma = Shape_curves.generate tree ~config ~rng:(Util.Rng.split rng) in
   let ports = Obs.Span.with_ ~name:"port_plan.make" (fun () -> Port_plan.make gseq ~die) in
   let fp =
-    Floorplan.run ~tree ~gseq ~sgamma ~ports ~config ~rng:(Util.Rng.split rng) ~die
+    Floorplan.run ~tree ~gseq ~sgamma ~ports ~config ~rng:(Util.Rng.split rng) ?ckpt
+      ~die ()
   in
+  Option.iter (fun s -> Ckpt.Session.stage_done s "floorplan") ckpt;
+  (* The flipping stage is replayed from the checkpoint when a resumed
+     snapshot carries it; orientation search is deterministic, so the
+     replay equals a recomputation — just free. *)
   let flip =
-    Flipping.run ~tree ~gseq ~ports ~macros:fp.Floorplan.placed_macros
-      ~ht_rects:fp.Floorplan.ht_rects ~die ~config
+    match Option.bind ckpt Ckpt.Session.lookup_flip with
+    | Some e ->
+      { Flipping.orientations = e.Ckpt.State.orientations;
+        gain = e.Ckpt.State.flip_gain }
+    | None ->
+      let flip =
+        Flipping.run ~tree ~gseq ~ports ~macros:fp.Floorplan.placed_macros
+          ~ht_rects:fp.Floorplan.ht_rects ~die ~config
+      in
+      Option.iter
+        (fun s ->
+          Ckpt.Session.flip_done s
+            { Ckpt.State.orientations = flip.Flipping.orientations;
+              flip_gain = flip.Flipping.gain })
+        ckpt;
+      flip
   in
+  Option.iter (fun s -> Ckpt.Session.stage_done s "flipping") ckpt;
   let orient_of = Hashtbl.create 64 in
   List.iter
     (fun (fid, o) -> Hashtbl.replace orient_of fid o)
@@ -118,8 +138,8 @@ let place_body ~config ~die flat =
     sa_moves = fp.Floorplan.sa_moves_total;
     flip_gain = flip.Flipping.gain }
 
-let place ?(config = Config.default) ?die flat =
-  Obs.Span.with_ ~name:"hidap.place" (fun () -> place_body ~config ~die flat)
+let place ?(config = Config.default) ?die ?ckpt flat =
+  Obs.Span.with_ ~name:"hidap.place" (fun () -> place_body ~config ~die ?ckpt flat)
 
 type sweep = {
   best : result;

@@ -42,10 +42,20 @@ type result = {
 val die_for : Netlist.Flat.t -> config:Config.t -> Geom.Rect.t
 (** Die sized from total cell area, utilization and aspect ratio. *)
 
-val place : ?config:Config.t -> ?die:Geom.Rect.t -> Netlist.Flat.t -> result
+val place :
+  ?config:Config.t -> ?die:Geom.Rect.t -> ?ckpt:Ckpt.Session.t -> Netlist.Flat.t -> result
 (** Single run with [config.lambda]. The flow is instrumented with
     [Obs] spans and metrics; with no trace sink installed the
-    instrumentation is inert and the placement is identical. *)
+    instrumentation is inert and the placement is identical.
+
+    With [ckpt], the run checkpoints itself through the session: every
+    completed floorplan instance is recorded (with the post-instance
+    RNG state), the flipping result is recorded, and the "floorplan"
+    and "flipping" stage boundaries force snapshots. A session that
+    resumed from a snapshot replays the recorded work instead of
+    recomputing it; because the recorded RNG states are restored, the
+    resumed placement is bit-identical to an uninterrupted run at any
+    [config.jobs]. *)
 
 type sweep = {
   best : result;  (** run with the smallest objective *)

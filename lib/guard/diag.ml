@@ -12,6 +12,42 @@ type t = {
 
 exception Fail of t
 
+(* Registry of every stable code: (code, severity discipline, meaning).
+   This is the single source of truth — `hidap check --list-codes`
+   prints it and CI asserts the DESIGN.md section 10 table matches, so
+   the docs cannot drift from the implementation. Keep entries in the
+   order the pipeline can emit them (validation, elaboration, flow,
+   checkpointing). *)
+let codes =
+  [ ("dup-module", "warning (repaired: later duplicate dropped)",
+     "two module definitions share a name");
+    ("dup-port", "warning (repaired: duplicate dropped)",
+     "duplicate port declaration in a module");
+    ("dup-cell", "warning (repaired: duplicate dropped)",
+     "duplicate leaf-cell name in a module");
+    ("dup-binding", "warning (repaired: duplicate dropped)",
+     "instance binds the same formal port twice");
+    ("dangling-binding", "warning (repaired: binding dropped)",
+     "instance binds a port the target module does not declare");
+    ("bad-area", "warning (repaired: default area restored); error post-elaboration",
+     "non-finite or non-positive cell area");
+    ("bad-footprint", "error",
+     "non-finite or non-positive macro footprint (not repairable)");
+    ("missing-module", "error", "instantiated module has no definition");
+    ("recursive-module", "error",
+     "module instantiates itself (directly or transitively)");
+    ("macro-exceeds-die", "warning",
+     "a macro is larger than the die in both orientations");
+    ("bad-die", "error", "degenerate die rectangle");
+    ("non-finite-cost", "error",
+     "a floorplan candidate evaluated to NaN/inf cost (caught before SA acceptance, \
+      where `NaN < x` would silently reject forever)");
+    ("ckpt-io", "error",
+     "checkpoint directory cannot be created, opened or written");
+    ("ckpt-mismatch", "error",
+     "the resumed snapshot was written by a different run (circuit, seed, lambda, \
+      sa_starts or netlist size differ)") ]
+
 let make ~code ~severity ~stage ?loc message = { code; severity; stage; loc; message }
 
 let error ~code ~stage ?loc message = make ~code ~severity:Error ~stage ?loc message

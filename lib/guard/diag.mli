@@ -24,6 +24,12 @@ type t = {
   message : string;
 }
 
+val codes : (string * string * string) list
+(** Every registered code as [(code, severity discipline, meaning)] —
+    the table `hidap check --list-codes` prints, and the source the
+    DESIGN.md section 10 table is generated from (CI asserts they
+    match). *)
+
 exception Fail of t
 (** Raised by library code for an unrecoverable, already-diagnosed
     failure. The supervisor never converts a [Fail] into a degradation:

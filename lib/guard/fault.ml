@@ -13,7 +13,12 @@ let sites =
     ( "floorplan.affinity",
       "dataflow affinity unavailable; the instance is laid out area-only" );
     ("flipping.run", "macro flipping fails; base orientations are kept");
-    ("cellplace.run", "cell placement fails; centroid-seeded positions are kept") ]
+    ("cellplace.run", "cell placement fails; centroid-seeded positions are kept");
+    ( "ckpt_write",
+      "checkpoint snapshot write fails; the run continues without that snapshot" );
+    ( "ckpt_load_corrupt",
+      "resume finds the latest snapshot torn (bytes flipped, tail truncated); the \
+       store rolls back to the most recent valid snapshot" ) ]
 
 let known name = List.mem_assoc name sites
 

@@ -25,6 +25,15 @@ let escape_string s =
   Buffer.add_char buf '"';
   Buffer.contents buf
 
+(* Non-finite floats (degraded or fault-injected runs produce them in
+   metrics) have no JSON number syntax; they are emitted as the string
+   sentinels below so the document stays standard JSON and the value
+   survives a round-trip — [to_float_opt] maps the sentinels back. *)
+let nonfinite_repr f =
+  if Float.is_nan f then "\"NaN\""
+  else if f > 0.0 then "\"Infinity\""
+  else "\"-Infinity\""
+
 let float_repr f =
   if not (Float.is_finite f) then None
   else if Float.is_integer f && abs_float f < 1e15 then
@@ -44,7 +53,8 @@ let to_string ?(compact = false) t =
     | Bool b -> Buffer.add_string buf (if b then "true" else "false")
     | Int i -> Buffer.add_string buf (string_of_int i)
     | Float f ->
-      Buffer.add_string buf (match float_repr f with Some s -> s | None -> "null")
+      Buffer.add_string buf
+        (match float_repr f with Some s -> s | None -> nonfinite_repr f)
     | String s -> Buffer.add_string buf (escape_string s)
     | List [] -> Buffer.add_string buf "[]"
     | List items ->
@@ -311,6 +321,9 @@ let to_int_opt = function Int i -> Some i | _ -> None
 let to_float_opt = function
   | Float f -> Some f
   | Int i -> Some (float_of_int i)
+  | String "NaN" -> Some Float.nan
+  | String "Infinity" -> Some Float.infinity
+  | String "-Infinity" -> Some Float.neg_infinity
   | _ -> None
 
 let to_list_opt = function List l -> Some l | _ -> None

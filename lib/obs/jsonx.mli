@@ -2,8 +2,11 @@
 
     Just enough JSON to export traces and metrics without an external
     dependency: construction, rendering (compact or indented) and file
-    output. Non-finite floats are rendered as [null] so the output is
-    always standard JSON. *)
+    output. Non-finite floats (NaN and infinities leak into metrics
+    from degraded or fault-injected runs) are rendered as the string
+    sentinels ["NaN"] / ["Infinity"] / ["-Infinity"] so the output is
+    always standard JSON; {!to_float_opt} maps the sentinels back, so
+    numeric fields round-trip through [parse] even when non-finite. *)
 
 type t =
   | Null
@@ -41,6 +44,7 @@ val to_string_opt : t -> string option
 val to_int_opt : t -> int option
 
 val to_float_opt : t -> float option
-(** Accepts both [Float] and [Int] (JSON does not distinguish). *)
+(** Accepts [Float], [Int] (JSON does not distinguish), and the
+    non-finite string sentinels the serializer emits. *)
 
 val to_list_opt : t -> t list option

@@ -4,7 +4,13 @@ module Point = Geom.Point
 
 let schema = "hidap-qor"
 
-let version = 1
+let version = 2
+
+type ckpt_info = {
+  resumed_from : string option;
+  snapshots_written : int;
+  instances_reused : int;
+}
 
 type stage = {
   stage_name : string;
@@ -52,6 +58,7 @@ type t = {
   macros : macro list;
   levels : level list;
   degradations : Guard.Supervisor.entry list;
+  ckpt : ckpt_info option;
 }
 
 (* ---- derived quantities ------------------------------------------- *)
@@ -110,7 +117,7 @@ let gc_of registry =
 (* ---- constructors ------------------------------------------------- *)
 
 let of_place ~circuit ~flat ~(config : Hidap.Config.t) ?spans ?registry
-    ?(degradations = []) ?measured (r : Hidap.result) =
+    ?(degradations = []) ?measured ?ckpt (r : Hidap.result) =
   let macros =
     List.map
       (fun (p : Hidap.macro_placement) ->
@@ -173,7 +180,8 @@ let of_place ~circuit ~flat ~(config : Hidap.Config.t) ?spans ?registry
             level_rect = l.Hidap.Floorplan.rect;
             level_macros = l.Hidap.Floorplan.macro_count })
         r.Hidap.levels;
-    degradations }
+    degradations;
+    ckpt }
 
 let of_eval ~circuit ~flat ~(config : Hidap.Config.t) ?spans ?registry
     ?(degradations = []) (res : Evalflow.circuit_result) =
@@ -223,7 +231,8 @@ let of_eval ~circuit ~flat ~(config : Hidap.Config.t) ?spans ?registry
         die;
         macros;
         levels = [];
-        degradations = (if is_hidap then degradations else []) })
+        degradations = (if is_hidap then degradations else []);
+        ckpt = None })
     res.Evalflow.runs
 
 (* ---- JSON ---------------------------------------------------------- *)
@@ -314,7 +323,18 @@ let to_json t =
                    ("macro_count", Jsonx.Int l.level_macros) ])
              t.levels) );
       ( "degradations",
-        Jsonx.List (List.map Guard.Supervisor.entry_to_json t.degradations) ) ]
+        Jsonx.List (List.map Guard.Supervisor.entry_to_json t.degradations) );
+      ( "ckpt",
+        match t.ckpt with
+        | None -> Jsonx.Null
+        | Some c ->
+          Jsonx.Obj
+            [ ( "resumed_from",
+                match c.resumed_from with
+                | Some f -> Jsonx.String f
+                | None -> Jsonx.Null );
+              ("snapshots_written", Jsonx.Int c.snapshots_written);
+              ("instances_reused", Jsonx.Int c.instances_reused) ] ) ]
 
 let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
 
@@ -431,6 +451,22 @@ let of_json j =
               | _ -> None)
             items
       in
+      let ckpt =
+        match Jsonx.member "ckpt" j with
+        | Some (Jsonx.Obj _ as c) ->
+          (match
+             ( Option.bind (Jsonx.member "snapshots_written" c) Jsonx.to_int_opt,
+               Option.bind (Jsonx.member "instances_reused" c) Jsonx.to_int_opt )
+           with
+          | Some snapshots_written, Some instances_reused ->
+            Some
+              { resumed_from =
+                  Option.bind (Jsonx.member "resumed_from" c) Jsonx.to_string_opt;
+                snapshots_written;
+                instances_reused }
+          | _ -> None)
+        | _ -> None
+      in
       Ok
         { rec_version = v;
           circuit;
@@ -448,7 +484,8 @@ let of_json j =
           die;
           macros;
           levels;
-          degradations }
+          degradations;
+          ckpt }
 
 (* ---- ledger files -------------------------------------------------- *)
 

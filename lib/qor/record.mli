@@ -17,7 +17,16 @@ val schema : string
 (** ["hidap-qor"], the [schema] tag of every record. *)
 
 val version : int
-(** Current schema version (1). *)
+(** Current schema version (2). Version 2 adds the optional [ckpt]
+    resume summary; version-1 records read back with [ckpt = None]. *)
+
+type ckpt_info = {
+  resumed_from : string option;
+      (** snapshot file the run resumed from; [None] for a run that
+          checkpointed but started fresh *)
+  snapshots_written : int;
+  instances_reused : int;  (** floorplan instances replayed, not re-run *)
+}
 
 type stage = {
   stage_name : string;
@@ -73,6 +82,9 @@ type t = {
           (injected fault, exceeded budget, absorbed failure); empty for
           a clean run. Added in-place as a backward-compatible field:
           old readers ignore it, old records read back as empty. *)
+  ckpt : ckpt_info option;
+      (** checkpoint/resume summary; [None] when the run did not
+          checkpoint (including every pre-v2 record) *)
 }
 
 val of_place :
@@ -83,6 +95,7 @@ val of_place :
   ?registry:Obs.Metrics.t ->
   ?degradations:Guard.Supervisor.entry list ->
   ?measured:Evalflow.metrics ->
+  ?ckpt:ckpt_info ->
   Hidap.result ->
   t
 (** Record a [Hidap.place] run. Quality metrics are measured with the

@@ -6,6 +6,12 @@ let create seed = { state = Int64.of_int seed }
 
 let copy t = { state = t.state }
 
+let state t = t.state
+
+let set_state t s = t.state <- s
+
+let of_state s = { state = s }
+
 (* SplitMix64 output function (Steele, Lea, Flood 2014). *)
 let bits64 t =
   t.state <- Int64.add t.state golden_gamma;

@@ -14,6 +14,18 @@ val create : int -> t
 val copy : t -> t
 (** Independent copy of the current state. *)
 
+val state : t -> int64
+(** The raw 64-bit SplitMix64 state. Together with {!set_state} this is
+    the checkpoint/resume hook: capturing the state after a unit of
+    work and restoring it on resume replays the exact stream an
+    uninterrupted run would have consumed. *)
+
+val set_state : t -> int64 -> unit
+(** Overwrite the generator state (see {!state}). *)
+
+val of_state : int64 -> t
+(** Fresh generator positioned at a previously captured {!state}. *)
+
 val split : t -> t
 (** [split t] advances [t] and returns a new generator whose stream is
     statistically independent of [t]'s subsequent output. *)

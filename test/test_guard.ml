@@ -263,14 +263,42 @@ let test_audit_non_finite () =
 
 (* ---- end-to-end: every fault site degrades to a legal placement --- *)
 
+(* Temp checkpoint dir for the ckpt fault sites: the sites only fire
+   when a session is active, so those legs place with one. *)
+let fresh_ckpt_dir () =
+  let dir = Filename.temp_file "hidap-ckpt-test" "" in
+  Sys.remove dir;
+  dir
+
+let fig1_fingerprint flat =
+  { Ckpt.State.circuit = "fig1";
+    seed = Hidap.Config.default.Hidap.Config.seed;
+    lambda = Hidap.Config.default.Hidap.Config.lambda;
+    sa_starts = Hidap.Config.default.Hidap.Config.sa_starts;
+    cells = Flat.cell_count flat;
+    macro_count = Flat.macro_count flat }
+
 let test_fault_matrix () =
   let flat = Lazy.force fig1_flat in
   List.iter
     (fun (site, _) ->
       let spec = { Guard.Fault.site; nth = 1; action = Guard.Fault.Raise } in
+      let is_ckpt_site = String.length site >= 4 && String.sub site 0 4 = "ckpt" in
       let r, degradations =
         Guard.Supervisor.with_run ~faults:[ spec ] (fun () ->
-            let r = Hidap.place flat in
+            let ckpt =
+              if not is_ckpt_site then None
+              else
+                (* resume:true so the load path (and its fault site) runs
+                   even on this empty store. *)
+                match
+                  Ckpt.Session.start ~dir:(fresh_ckpt_dir ()) ~resume:true
+                    (fig1_fingerprint flat)
+                with
+                | Ok s -> Some s
+                | Error d -> Alcotest.failf "session start failed: %a" Guard.Diag.pp d
+            in
+            let r = Hidap.place ?ckpt flat in
             (* reach the cell-placement site the way `place --qor` does *)
             let macros =
               List.map

@@ -112,8 +112,32 @@ let test_jsonx_rendering () =
         ("nan", Jsonx.Float Float.nan) ]
   in
   Alcotest.(check string) "compact rendering"
-    {|{"a":1,"b":[null,true,"x\"y\n"],"c":0.25,"nan":null}|}
+    {|{"a":1,"b":[null,true,"x\"y\n"],"c":0.25,"nan":"NaN"}|}
     (Jsonx.to_string ~compact:true doc)
+
+(* Non-finite floats must survive a serialize/parse cycle: they are
+   emitted as sentinel strings (JSON has no literal for them) and
+   [to_float_opt] maps the sentinels back. A QoR record with a NaN
+   metric used to come back unreadable because the old rendering
+   collapsed the value to [null]. *)
+let test_jsonx_nonfinite_roundtrip () =
+  List.iter
+    (fun f ->
+      let rendered = Jsonx.to_string ~compact:true (Jsonx.Float f) in
+      match Jsonx.parse rendered with
+      | Error msg -> Alcotest.failf "%s failed to parse back: %s" rendered msg
+      | Ok j ->
+        (match Jsonx.to_float_opt j with
+        | None -> Alcotest.failf "%s lost its float value" rendered
+        | Some f' ->
+          Alcotest.(check bool)
+            (rendered ^ " round-trips bit-exactly")
+            true
+            (Int64.bits_of_float f = Int64.bits_of_float f')))
+    [ Float.nan; Float.infinity; Float.neg_infinity; 0.25 ];
+  (* plain strings that merely look numeric must not become floats *)
+  Alcotest.(check bool) "ordinary string stays a string" true
+    (Jsonx.to_float_opt (Jsonx.String "fast") = None)
 
 let test_percentiles () =
   let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
@@ -258,6 +282,8 @@ let suite =
           test_span_survives_exception;
         Alcotest.test_case "chrome trace export" `Quick test_chrome_json;
         Alcotest.test_case "jsonx rendering" `Quick test_jsonx_rendering;
+        Alcotest.test_case "jsonx non-finite round-trip" `Quick
+          test_jsonx_nonfinite_roundtrip;
         Alcotest.test_case "percentile math" `Quick test_percentiles;
         Alcotest.test_case "registry basics" `Quick test_registry_basics;
         Alcotest.test_case "registry merge" `Quick test_registry_merge;

@@ -164,6 +164,10 @@ let sample_record () =
     degradations =
       [ { Guard.Supervisor.stage = "floorplan.sa"; reason = "fault";
           detail = "injected fault at floorplan.sa"; count = 3 } ];
+    ckpt =
+      Some
+        { Record.resumed_from = Some "snap-000004.ckpt"; snapshots_written = 2;
+          instances_reused = 5 };
   }
 
 let test_record_roundtrip () =
@@ -193,7 +197,8 @@ let test_record_roundtrip () =
     Alcotest.(check int) "levels" 2 (List.length r'.Record.levels);
     Alcotest.(check int) "ht_id kept" 3 (List.nth r'.Record.levels 1).Record.ht_id;
     Alcotest.(check bool) "displacement kept" true
-      (r'.Record.displacement = r.Record.displacement)
+      (r'.Record.displacement = r.Record.displacement);
+    Alcotest.(check bool) "ckpt kept" true (r'.Record.ckpt = r.Record.ckpt)
 
 let test_record_versioning () =
   let r = sample_record () in
