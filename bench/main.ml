@@ -80,13 +80,18 @@ let tables_2_3 () =
            (see test_obs determinism case). *)
         Obs.Metrics.reset Obs.Metrics.global;
         Obs.Metrics.set_enabled true;
+        Obs.Perf.reset Obs.Perf.global;
+        Obs.Perf.set_enabled true;
         Obs.Trace.start ();
         let res =
           Fun.protect
-            ~finally:(fun () -> Obs.Metrics.set_enabled false)
+            ~finally:(fun () ->
+              Obs.Metrics.set_enabled false;
+              Obs.Perf.set_enabled false)
             (fun () -> Evalflow.run_all ~name:c.Circuitgen.Suite.cname design)
         in
         let spans = Obs.Trace.finish () in
+        let sa_moves = Obs.Perf.get Obs.Perf.global Obs.Perf.sa_moves in
         let records =
           Qor.Record.of_eval ~circuit:c.Circuitgen.Suite.cname ~flat
             ~config:Hidap.Config.default ~spans ~registry:Obs.Metrics.global res
@@ -99,9 +104,22 @@ let tables_2_3 () =
         Qor.Record.write_ledger ledger_path records;
         printf "  [done] %s (%d cells, %d macros) -> %s@." res.Evalflow.circuit
           res.Evalflow.cells res.Evalflow.macro_count ledger_path;
-        (c, flat, res))
+        (* Throughput of the HiDaP leg, defined exactly as in
+           [hidap bench --speed-out]: the leg's measured runtime against
+           the deterministic move count of the whole sweep (the other
+           flows spend no SA moves). *)
+        let wall_s =
+          List.fold_left
+            (fun acc (r : Evalflow.run) ->
+              if r.Evalflow.kind = Evalflow.HiDaP then
+                acc +. r.Evalflow.metrics.Evalflow.runtime_s
+              else acc)
+            0.0 res.Evalflow.runs
+        in
+        ((c, flat, res), Qor.Speed.entry ~circuit:c.Circuitgen.Suite.cname ~wall_s ~sa_moves))
       (circuits ())
   in
+  let results, speed = (List.map fst results, List.map snd results) in
   let rows =
     List.concat_map
       (fun ((c : Circuitgen.Suite.circuit), _, res) ->
@@ -178,7 +196,7 @@ let tables_2_3 () =
        [ row Evalflow.IndEDA p_wl_i p_wns_i e_i;
          row Evalflow.HiDaP p_wl_h p_wns_h e_h;
          row Evalflow.HandFP p_wl_f p_wns_f e_f ]);
-  results
+  (results, speed)
 
 (* ------------------------------------------------------------------ *)
 (* Fig 1: multi-level floorplan evolution                              *)
@@ -614,10 +632,14 @@ let observability () =
       let flat = Flat.elaborate (Circuitgen.Gen.generate c.Circuitgen.Suite.params) in
       Obs.Metrics.reset Obs.Metrics.global;
       Obs.Metrics.set_enabled true;
+      Obs.Perf.reset Obs.Perf.global;
+      Obs.Perf.set_enabled true;
       Obs.Trace.start ();
       let spans =
         Fun.protect
-          ~finally:(fun () -> Obs.Metrics.set_enabled false)
+          ~finally:(fun () ->
+            Obs.Metrics.set_enabled false;
+            Obs.Perf.set_enabled false)
           (fun () ->
             let (_ : Hidap.result) = Hidap.place flat in
             Obs.Trace.finish ())
@@ -665,8 +687,73 @@ let observability () =
            (has_prefix ~prefix:"sa.acceptance.level")
            (Obs.Metrics.names Obs.Metrics.global));
       printf "  wrote %s, %s, %s@." trace_path metrics_path curve_path;
+      printf "  perf: %s@."
+        (String.concat ", "
+           (List.map
+              (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+              (Obs.Perf.to_assoc Obs.Perf.global)));
       Obs.Metrics.reset Obs.Metrics.global)
     (circuits ())
+
+(* ------------------------------------------------------------------ *)
+(* Speed: throughput table, counter-overhead budget, baseline deltas   *)
+(* ------------------------------------------------------------------ *)
+
+let speed_baselines_path = Filename.concat "bench" "speed_baselines.json"
+
+let speed_table (speed : Qor.Speed.entry list) =
+  printf "%s@." (T.section "Speed: placement throughput per circuit");
+  printf "%s@."
+    (T.render
+       ~header:[ "circuit"; "wall(s)"; "sa_moves"; "moves/s" ]
+       (List.map
+          (fun (e : Qor.Speed.entry) ->
+            [ e.Qor.Speed.circuit; T.fmt_f 2 e.Qor.Speed.wall_s;
+              string_of_int e.Qor.Speed.sa_moves; T.fmt_f 0 e.Qor.Speed.moves_per_s ])
+          speed));
+  if Sys.file_exists speed_baselines_path then begin
+    match Qor.Speed.load speed_baselines_path with
+    | Ok base ->
+      printf "speed vs %s (report-only):@." speed_baselines_path;
+      print_string
+        (Qor.Speed.render
+           (Qor.Speed.compare_to ~baseline:base { Qor.Speed.entries = speed }))
+    | Error msg -> printf "(speed comparison skipped: %s)@." msg
+  end
+  else printf "(no %s: speed comparison skipped)@." speed_baselines_path
+
+(* The ≤2%% budget from DESIGN.md §12: enabling the perf counters may
+   not cost more than 2%% wall-clock on c5. Min-of-3 on both sides
+   discounts one-off scheduler noise; a small absolute floor keeps the
+   assertion meaningful should c5 ever get very fast. *)
+let overhead_check () =
+  printf "%s@." (T.section "Perf-counter overhead budget (c5, min of 3)");
+  let c = match Circuitgen.Suite.find "c5" with Some c -> c | None -> assert false in
+  let flat = Flat.elaborate (Circuitgen.Gen.generate c.Circuitgen.Suite.params) in
+  let time_place () =
+    let t0 = Obs.Clock.now_s () in
+    let (_ : Hidap.result) = Hidap.place flat in
+    Obs.Clock.now_s () -. t0
+  in
+  let min3 f =
+    let a = f () in
+    let b = f () in
+    let c = f () in
+    Float.min a (Float.min b c)
+  in
+  let disabled_s = min3 time_place in
+  Obs.Perf.reset Obs.Perf.global;
+  Obs.Perf.set_enabled true;
+  let enabled_s =
+    Fun.protect ~finally:(fun () -> Obs.Perf.set_enabled false) (fun () -> min3 time_place)
+  in
+  let overhead_pct = 100.0 *. ((enabled_s /. disabled_s) -. 1.0) in
+  printf "disabled %.3fs, enabled %.3fs: overhead %+.2f%% (budget 2%%)@." disabled_s
+    enabled_s overhead_pct;
+  if enabled_s > (disabled_s *. 1.02) +. 0.01 then
+    failwith
+      (Printf.sprintf "perf-counter overhead %.2f%% exceeds the 2%% budget" overhead_pct);
+  overhead_pct
 
 (* ------------------------------------------------------------------ *)
 (* Parallel annealing: floorplan-stage speedup and determinism (c5)    *)
@@ -679,9 +766,9 @@ let parallel_speedup () =
   let measure jobs =
     let config = { Hidap.Config.default with Hidap.Config.jobs } in
     Obs.Trace.start ();
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Clock.now_s () in
     let r = Hidap.place ~config flat in
-    let wall_s = Unix.gettimeofday () -. t0 in
+    let wall_s = Obs.Clock.now_s () -. t0 in
     let spans = Obs.Trace.finish () in
     let rec sum acc (s : Obs.Span.t) =
       let acc =
@@ -803,7 +890,7 @@ let bechamel_benches () =
 (* the perf trajectory accumulates across commits (BENCH_<date>.json). *)
 (* ------------------------------------------------------------------ *)
 
-let suite_summary results ~elapsed_s =
+let suite_summary results ~speed ~overhead_pct ~elapsed_s =
   let module J = Obs.Jsonx in
   let tm = Unix.localtime (Unix.time ()) in
   let date =
@@ -850,6 +937,19 @@ let suite_summary results ~elapsed_s =
             (List.map
                (fun kind -> (Evalflow.flow_name kind, J.Float (geo kind)))
                [ Evalflow.IndEDA; Evalflow.HiDaP; Evalflow.HandFP ]) );
+        ( "speed",
+          J.Obj
+            [ ("counter_overhead_pct", J.Float overhead_pct);
+              ( "circuits",
+                J.Obj
+                  (List.map
+                     (fun (e : Qor.Speed.entry) ->
+                       ( e.Qor.Speed.circuit,
+                         J.Obj
+                           [ ("wall_s", J.Float e.Qor.Speed.wall_s);
+                             ("sa_moves", J.Int e.Qor.Speed.sa_moves);
+                             ("moves_per_s", J.Float e.Qor.Speed.moves_per_s) ] ))
+                     speed) ) ] );
         ("circuits", J.Obj per_circuit) ]
   in
   let path = Printf.sprintf "BENCH_%s.json" date in
@@ -857,11 +957,11 @@ let suite_summary results ~elapsed_s =
   printf "wrote %s (suite QoR summary, %d circuits)@." path (List.length results)
 
 let () =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now_s () in
   printf "HiDaP benchmark harness — reproduces every table and figure of the paper.@.";
   if fast_mode then printf "(HIDAP_BENCH_FAST set: suite restricted to c1/c5)@.";
   table1 ();
-  let results = tables_2_3 () in
+  let results, speed = tables_2_3 () in
   fig1 ();
   figs_2_3 ();
   fig4 ();
@@ -871,8 +971,10 @@ let () =
   fig9 results;
   ablations ();
   observability ();
+  speed_table speed;
+  let overhead_pct = overhead_check () in
   parallel_speedup ();
   bechamel_benches ();
-  let elapsed_s = Unix.gettimeofday () -. t0 in
-  suite_summary results ~elapsed_s;
+  let elapsed_s = Obs.Clock.now_s () -. t0 in
+  suite_summary results ~speed ~overhead_pct ~elapsed_s;
   printf "@.total bench time: %.1fs@." elapsed_s

@@ -181,6 +181,32 @@ let qor_arg =
   Arg.(value & opt (some string) None & info [ "qor" ] ~docv:"OUT.json"
          ~doc:"Write a QoR ledger record of the run (render with 'hidap report').")
 
+let profile_out_arg =
+  Arg.(value & opt (some string) None & info [ "profile-out" ] ~docv:"OUT.folded"
+         ~doc:"Sample the run with the wall-clock profiler and write a \
+               collapsed-stack profile (flamegraph.pl / speedscope / inferno \
+               input). Implies span recording; the trace itself is only \
+               written when $(b,--trace) is also given.")
+
+let perf_out_arg =
+  Arg.(value & opt (some string) None & info [ "perf-out" ] ~docv:"OUT.json"
+         ~doc:"Write the hot-path perf counters (SA moves/accepts/rejects/\
+               reheats, cost evaluations), pool utilization and throughput as \
+               JSON. The merged counters are bit-identical for every --jobs \
+               value.")
+
+let progress_file_arg =
+  Arg.(value & opt (some string) None & info [ "progress-file" ] ~docv:"OUT.ndjson"
+         ~doc:"Stream live progress events (NDJSON, schema hidap-progress v1: \
+               heartbeat, stage start/end, per-instance SA progress, \
+               checkpoints, degradations) to a file. See DESIGN.md section 12.")
+
+let progress_fd_arg =
+  Arg.(value & opt (some int) None & info [ "progress-fd" ] ~docv:"N"
+         ~doc:"Stream the same progress events to an already-open file \
+               descriptor (for wrappers: $(b,hidap place ... --progress-fd 3 \
+               3>&1)). Mutually exclusive with $(b,--progress-file).")
+
 (* Telemetry output paths are opened before the run starts: a typo in
    --trace/--metrics/--qor fails fast instead of silently discarding
    the telemetry of a completed (possibly long) run. *)
@@ -199,6 +225,50 @@ let write_output what out json =
     output_char oc '\n';
     close_out oc;
     Format.eprintf "wrote %s %s@." what path
+
+(* --progress-fd receives an inherited descriptor number; Unix.file_descr
+   is abstractly an int on Unix, which the standard library provides no
+   blessed conversion for. *)
+let descr_of_int (n : int) : Unix.file_descr = Obj.magic n
+
+let open_progress ~progress_file ~progress_fd =
+  match (progress_file, progress_fd) with
+  | Some _, Some _ -> die_usage "give at most one of --progress-file and --progress-fd"
+  | Some path, None ->
+    let _, oc = open_output ~what:"progress" path in
+    Some (oc, true)
+  | None, Some fd ->
+    if fd < 0 then die_usage "--progress-fd must be a non-negative descriptor";
+    Some (Unix.out_channel_of_descr (descr_of_int fd), false)
+  | None, None -> None
+
+(* Perf/pool/profile assembly shared by --perf-out and the QoR record.
+   [wall_s] is the placement wall-clock; moves/sec divides the
+   deterministic sa.moves counter by it. *)
+let perf_info_of ~wall_s ~samples () =
+  let counters = Obs.Perf.to_assoc Obs.Perf.global in
+  let moves = Obs.Perf.get Obs.Perf.global Obs.Perf.sa_moves in
+  let pool = Parexec.pool_stats () in
+  { Qor.Record.perf_counters = counters;
+    perf_moves_per_s = (if wall_s > 0.0 then float_of_int moves /. wall_s else 0.0);
+    perf_wall_s = wall_s;
+    pool_workers =
+      Array.to_list
+        (Array.map
+           (fun (w : Parexec.worker_stats) ->
+             { Qor.Record.pw_tasks = w.Parexec.tasks;
+               pw_steals = w.Parexec.steals;
+               pw_busy_us = w.Parexec.busy_us })
+           pool.Parexec.workers);
+    pool_wall_us = pool.Parexec.wall_us;
+    pool_maps = pool.Parexec.maps;
+    profile = samples }
+
+let perf_out_json (p : Qor.Record.perf_info) =
+  Obs.Jsonx.Obj
+    [ ("schema", Obs.Jsonx.String "hidap-perf");
+      ("version", Obs.Jsonx.Int 1);
+      ("perf", Qor.Record.perf_info_json p) ]
 
 (* Run [f] with the observability layer active when any output was
    requested; otherwise run it with the default no-op sink. [after] is
@@ -267,17 +337,28 @@ let stats_cmd =
 
 let place_cmd =
   let run file circuit seed lambda jobs svg ascii save strict budget trace metrics
-      profile qor ckpt_dir ckpt_every resume =
+      profile qor profile_out perf_out progress_file progress_fd ckpt_dir ckpt_every
+      resume =
     if resume && ckpt_dir = None then die_usage "--resume requires --checkpoint-dir";
     let faults, budgets = supervision ~budget in
     let qor_out = Option.map (open_output ~what:"qor") qor in
+    let profile_out = Option.map (open_output ~what:"profile") profile_out in
+    let perf_out = Option.map (open_output ~what:"perf") perf_out in
+    let progress = open_progress ~progress_file ~progress_fd in
+    (* Perf counters piggyback on any structured output request; they
+       are cheap (one gated add per SA move) and deterministic, so the
+       outputs agree regardless of which one asked. *)
+    let want_perf =
+      Option.is_some perf_out || Option.is_some qor_out || Option.is_some metrics
+    in
     let captured = ref None in
+    let perf_captured = ref None in
     let after spans registry =
       match (!captured, qor_out) with
       | Some (name, flat, config, r, measured, degradations, ckpt), Some _ ->
         let record =
           Qor.Record.of_place ~circuit:name ~flat ~config ~spans ~registry
-            ~degradations ?measured ?ckpt r
+            ~degradations ?measured ?ckpt ?perf:!perf_captured r
         in
         write_output "qor" qor_out (Qor.Record.to_json record)
       | _ -> ()
@@ -285,7 +366,9 @@ let place_cmd =
     (* The exit happens after [with_obs] unwinds so requested telemetry
        outputs are written even for degraded or audit-failing runs. *)
     let code =
-      with_obs ~trace ~metrics ~profile ~force:(Option.is_some qor_out) ~after
+      with_obs ~trace ~metrics ~profile
+        ~force:(Option.is_some qor_out || Option.is_some profile_out)
+        ~after
       @@ fun () ->
       let name, design = design_of ~strict ~file ~circuit in
       let flat = elaborate_checked design in
@@ -297,7 +380,18 @@ let place_cmd =
       List.iter print_diag flat_diags;
       if Guard.Validate.errors flat_diags <> [] then exit_invalid
       else begin
-        let t0 = Unix.gettimeofday () in
+        if Option.is_some profile_out then Obs.Sampler.start ();
+        (match progress with
+        | Some (oc, close_on_disable) -> Obs.Stream.enable ~close_on_disable oc
+        | None -> ());
+        Obs.Stream.run_start ~circuit:name ~seed:config.Hidap.Config.seed
+          ~jobs:config.Hidap.Config.jobs;
+        if want_perf then begin
+          Obs.Perf.reset Obs.Perf.global;
+          Obs.Perf.set_enabled true
+        end;
+        Parexec.reset_pool_stats ();
+        let t0 = Obs.Clock.now_s () in
         let session = ref None in
         (* Quality metrics are measured inside the supervised region:
            the cell-placement stage they drive has its own fault site
@@ -359,14 +453,31 @@ let place_cmd =
                 instances_reused = sm.Ckpt.Session.instances_reused })
             !session
         in
+        let wall_s = Obs.Clock.now_s () -. t0 in
+        if want_perf then Obs.Perf.set_enabled false;
+        let samples = if Obs.Sampler.running () then Obs.Sampler.stop () else [] in
+        (match profile_out with
+        | Some (path, oc) ->
+          List.iter
+            (fun l ->
+              output_string oc l;
+              output_char oc '\n')
+            (Obs.Sampler.to_collapsed_lines samples);
+          close_out oc;
+          Format.eprintf "wrote profile %s@." path
+        | None -> ());
+        if want_perf || samples <> [] then
+          perf_captured := Some (perf_info_of ~wall_s ~samples ());
+        (match (!perf_captured, perf_out) with
+        | Some p, Some _ -> write_output "perf" perf_out (perf_out_json p)
+        | _ -> ());
         captured := Some (name, flat, config, r, measured, degradations, ckpt_summary);
         List.iter
           (fun e -> Format.eprintf "degraded: %a@." Guard.Supervisor.pp_entry e)
           degradations;
         Format.printf "placed %d macros in %.2fs (lambda %.2f, overlap %.2f)@."
           (List.length r.Hidap.placements)
-          (Unix.gettimeofday () -. t0)
-          r.Hidap.lambda (Hidap.overlap_area r);
+          wall_s r.Hidap.lambda (Hidap.overlap_area r);
         List.iter
           (fun (p : Hidap.macro_placement) ->
             Format.printf "%s %.3f %.3f %.3f %.3f %s@."
@@ -404,7 +515,14 @@ let place_cmd =
           Format.printf "wrote %s@." path
         | None -> ());
         let audit = Guard.Audit.run ~flat ~die:r.Hidap.die ~placements in
-        if not (Guard.Audit.ok audit) then begin
+        let audit_ok = Guard.Audit.ok audit in
+        Obs.Stream.run_end
+          ~status:
+            (if not audit_ok then "failed"
+             else if degradations <> [] then "degraded"
+             else "ok");
+        Obs.Stream.disable ();
+        if not audit_ok then begin
           Guard.Audit.pp_summary Format.err_formatter audit;
           exit_audit
         end
@@ -443,7 +561,8 @@ let place_cmd =
   Cmd.v (Cmd.info "place" ~doc:"Run the HiDaP macro placement flow" ~exits)
     Term.(const run $ file_arg $ circuit_arg $ seed_arg $ lambda_arg $ jobs_arg $ svg_arg
           $ ascii_arg $ save_arg $ strict_arg $ budget_arg $ trace_arg $ metrics_arg
-          $ profile_arg $ qor_arg $ ckpt_dir_arg $ ckpt_every_arg $ resume_arg)
+          $ profile_arg $ qor_arg $ profile_out_arg $ perf_out_arg $ progress_file_arg
+          $ progress_fd_arg $ ckpt_dir_arg $ ckpt_every_arg $ resume_arg)
 
 (* ---- eval --------------------------------------------------------- *)
 
@@ -770,12 +889,15 @@ let report_cmd =
 
 (* ---- bench -------------------------------------------------------- *)
 
+let default_speed_baselines = Filename.concat "bench" "speed_baselines.json"
+
 let bench_cmd =
-  let run circuits baselines update jobs qor report_out =
+  let run circuits baselines update jobs qor report_out speed_out =
     let qor_out = Option.map (open_output ~what:"qor") qor in
+    let speed_out = Option.map (open_output ~what:"speed") speed_out in
     let names = String.split_on_char ',' circuits |> List.filter (fun s -> s <> "") in
-    let records =
-      List.concat_map
+    let per_circuit =
+      List.map
         (fun name ->
           match Circuitgen.Suite.find name with
           | None -> die_usage "unknown suite circuit %s (c1..c8)" name
@@ -787,13 +909,18 @@ let bench_cmd =
             in
             Obs.Metrics.reset Obs.Metrics.global;
             Obs.Metrics.set_enabled true;
+            Obs.Perf.reset Obs.Perf.global;
+            Obs.Perf.set_enabled true;
             Obs.Trace.start ();
             let res =
               Fun.protect
-                ~finally:(fun () -> Obs.Metrics.set_enabled false)
+                ~finally:(fun () ->
+                  Obs.Metrics.set_enabled false;
+                  Obs.Perf.set_enabled false)
                 (fun () -> Evalflow.run_all ~config ~name design)
             in
             let spans = Obs.Trace.finish () in
+            let sa_moves = Obs.Perf.get Obs.Perf.global Obs.Perf.sa_moves in
             let records =
               Qor.Record.of_eval ~circuit:name ~flat ~config ~spans
                 ~registry:Obs.Metrics.global res
@@ -801,10 +928,32 @@ let bench_cmd =
             Obs.Metrics.reset Obs.Metrics.global;
             Format.printf "bench %s: %d cells, %d macros, %d flows@." name
               res.Evalflow.cells res.Evalflow.macro_count (List.length records);
-            records)
+            (* Throughput of the HiDaP leg: its measured runtime against
+               the deterministic move count of the whole sweep. *)
+            let wall_s =
+              List.fold_left
+                (fun acc (r : Qor.Record.t) ->
+                  if r.Qor.Record.flow = "HiDaP" then
+                    acc +. r.Qor.Record.qm.Qor.Record.runtime_s
+                  else acc)
+                0.0 records
+            in
+            (records, Qor.Speed.entry ~circuit:name ~wall_s ~sa_moves))
         names
     in
+    let records = List.concat_map fst per_circuit in
+    let speed = { Qor.Speed.entries = List.map snd per_circuit } in
     write_output "qor" qor_out (Qor.Record.ledger_json records);
+    write_output "speed" speed_out (Qor.Speed.to_json speed);
+    (* Speed comparison against the committed per-circuit baseline:
+       report-only by design — wall-clock is machine-dependent, so it
+       informs but never gates. *)
+    if Sys.file_exists default_speed_baselines then begin
+      match Qor.Speed.load default_speed_baselines with
+      | Ok base ->
+        print_string (Qor.Speed.render (Qor.Speed.compare_to ~baseline:base speed))
+      | Error msg -> Format.eprintf "hidap: %s (speed comparison skipped)@." msg
+    end;
     let baselines_path = Option.value ~default:default_baselines baselines in
     if update then begin
       Qor.Baseline.write baselines_path (Qor.Baseline.of_records records);
@@ -846,11 +995,20 @@ let bench_cmd =
     Arg.(value & opt (some string) None & info [ "report" ] ~docv:"OUT.html"
            ~doc:"Also write a self-contained HTML report of the run.")
   in
+  let speed_out_arg =
+    Arg.(value & opt (some string) None & info [ "speed-out" ] ~docv:"OUT.json"
+           ~doc:(Printf.sprintf
+                   "Write per-circuit throughput (wall-clock, SA moves, \
+                    moves/sec) as a hidap-speed JSON document. When %s exists \
+                    a report-only comparison against it is printed (never a \
+                    gate: wall-clock is machine-dependent)."
+                   default_speed_baselines))
+  in
   Cmd.v
     (Cmd.info "bench"
        ~doc:"Run suite circuits through all flows and gate QoR against baselines")
     Term.(const run $ circuits_arg $ baselines_arg $ update_arg $ jobs_arg $ qor_arg
-          $ report_arg)
+          $ report_arg $ speed_out_arg)
 
 (* ---- ckpt --------------------------------------------------------- *)
 

@@ -37,6 +37,8 @@ type 'a result = {
           [initial_temp] was given) — so
           [moves + calibration_moves + 1] is the exact number of
           cost-function calls, the [+ 1] being the initial state *)
+  final_temperature : float;
+      (** temperature after the last completed plateau's cooling step *)
 }
 
 val calibration_samples : int
@@ -69,4 +71,10 @@ val minimize :
 (** Runs the schedule and returns the best solution seen. Deterministic
     given the rng state; [observer] (called once per plateau, after its
     moves) is outside the RNG path, so attaching one cannot change the
-    result. *)
+    result.
+
+    When {!Obs.Perf} is enabled the run bumps the ambient
+    [sa.moves]/[sa.accepts]/[sa.rejects] counters per move (a pair of
+    unchecked array increments — one branch per move when disabled)
+    and [sa.plateaus]/[cost.evals] once at the end. Counters never
+    touch the RNG, so enabling them cannot change the result. *)

@@ -90,7 +90,8 @@ let save_now t ~stage =
           let e = Store.save t.store ~stage t.state in
           t.written <- t.written + 1;
           Obs.Span.attr_int "seq" e.Store.seq;
-          Obs.Span.attr_int "instances" (List.length t.state.State.instances)));
+          Obs.Span.attr_int "instances" (List.length t.state.State.instances);
+          Obs.Stream.checkpoint ~seq:e.Store.seq ~file:e.Store.file));
   t.new_units <- 0
 
 let lookup_instance t ~nh ~n_blocks =

@@ -39,6 +39,8 @@ type context = {
   mutable out_top : instance_snapshot option;
   ht_rects : (int, Rect.t) Hashtbl.t;
   mutable sa_moves : int;
+  mutable inst_index : int;  (* completed-instance counter, preorder *)
+  inst_total : int option;  (* pre-counted when progress streaming *)
 }
 
 (* Representative flat cell of a Gseq node, used to locate it in HT.
@@ -171,6 +173,27 @@ let sa_observer ~depth =
         Obs.Metrics.sample "sa.plateau_temperature" p.Anneal.Sa.temperature)
   end
 
+(* Instance count of the recursion below [nh], mirroring the
+   decluster/recurse structure of [instance_body] without running any
+   placement. Only evaluated when progress streaming is on (to report
+   "instance i/n"); declustering consumes no RNG, so the pre-pass
+   cannot perturb the flow. *)
+let rec count_instances ctx ~nh =
+  let config = ctx.config in
+  let dc =
+    Hier.Decluster.run ctx.tree ~nh ~open_frac:config.Config.open_frac
+      ~min_frac:config.Config.min_frac
+  in
+  match dc.Hier.Decluster.hcb with
+  | [] -> 0
+  | hcb ->
+    List.fold_left
+      (fun acc ht ->
+        match Tree.macros_below ctx.tree ht with
+        | _ :: _ :: _ -> acc + count_instances ctx ~nh:ht
+        | _ -> acc)
+      1 hcb
+
 let rec instance ctx ~nh ~budget ~depth =
   Obs.Span.with_ ~name:"floorplan.level" (fun () -> instance_body ctx ~nh ~budget ~depth)
 
@@ -226,6 +249,7 @@ and instance_body ctx ~nh ~budget ~depth =
       | None -> None
       | Some session -> Ckpt.Session.lookup_instance session ~nh ~n_blocks
     in
+    ctx.inst_index <- ctx.inst_index + 1;
     let rects, inst_moves =
       match cached with
       | Some e ->
@@ -233,10 +257,21 @@ and instance_body ctx ~nh ~budget ~depth =
         Obs.Span.attr_int "ckpt_reused" 1;
         (e.Ckpt.State.rects, e.Ckpt.State.sa_moves)
       | None ->
+        let streaming = Obs.Stream.enabled () in
+        let t0 = if streaming then Obs.Clock.now_us () else 0.0 in
         let layout =
           Layout_gen.run ?observer:(sa_observer ~depth) ~rng:ctx.rng ~config ~blocks
             ~affinity ~fixed_pos ~budget ()
         in
+        if streaming then begin
+          let dur_s = (Obs.Clock.now_us () -. t0) /. 1e6 in
+          let moves = layout.Layout_gen.sa_moves in
+          Obs.Stream.sa_progress ~instance:ctx.inst_index ?instances:ctx.inst_total
+            ~temperature:layout.Layout_gen.final_temperature
+            ~best_cost:layout.Layout_gen.cost ~moves
+            ~moves_per_s:(if dur_s > 0.0 then float_of_int moves /. dur_s else 0.0)
+            ()
+        end;
         (match ctx.ckpt with
         | None -> ()
         | Some session ->
@@ -248,6 +283,7 @@ and instance_body ctx ~nh ~budget ~depth =
     ctx.sa_moves <- ctx.sa_moves + inst_moves;
     Obs.Span.attr_int "blocks" n_blocks;
     Obs.Span.attr_int "sa_moves" inst_moves;
+    Obs.Perf.add Obs.Perf.fp_instances 1;
     Obs.Metrics.counter "floorplan.instances" 1;
     Obs.Metrics.counter "floorplan.sa_moves" inst_moves;
     Obs.Metrics.sample "floorplan.block_count" (float_of_int n_blocks);
@@ -294,7 +330,14 @@ let run_body ~tree ~gseq ~sgamma ~ports ~config ~rng ?ckpt ~die () =
       out_levels = [];
       out_top = None;
       ht_rects = Hashtbl.create 64;
-      sa_moves = 0 }
+      sa_moves = 0;
+      inst_index = 0;
+      inst_total = None }
+  in
+  let ctx =
+    if Obs.Stream.enabled () then
+      { ctx with inst_total = Some (count_instances ctx ~nh:(Tree.root tree)) }
+    else ctx
   in
   (* Provisional positions: die center. *)
   List.iter

@@ -68,16 +68,31 @@ let place_body ~config ~die ?ckpt flat =
   Obs.Span.attr_int "seed" config.Config.seed;
   Obs.Span.attr_float "lambda" config.Config.lambda;
   let rng = Util.Rng.create config.Config.seed in
-  let tree = Obs.Span.with_ ~name:"hier.tree_build" (fun () -> Hier.Tree.build flat) in
-  let gseq =
-    Obs.Span.with_ ~name:"seqgraph.build" (fun () ->
-        Seqgraph.build ~bit_threshold:config.Config.bit_threshold flat)
+  (* Progress-stream stage brackets reuse the span names, so a live
+     consumer and a trace line up 1:1. Emission is write-only
+     telemetry: no RNG, no effect on the flow. *)
+  let stage = Obs.Stream.with_stage in
+  let tree =
+    stage "hier.tree_build" (fun () ->
+        Obs.Span.with_ ~name:"hier.tree_build" (fun () -> Hier.Tree.build flat))
   in
-  let sgamma = Shape_curves.generate tree ~config ~rng:(Util.Rng.split rng) in
-  let ports = Obs.Span.with_ ~name:"port_plan.make" (fun () -> Port_plan.make gseq ~die) in
+  let gseq =
+    stage "seqgraph.build" (fun () ->
+        Obs.Span.with_ ~name:"seqgraph.build" (fun () ->
+            Seqgraph.build ~bit_threshold:config.Config.bit_threshold flat))
+  in
+  let sgamma =
+    stage "shape_curves.generate" (fun () ->
+        Shape_curves.generate tree ~config ~rng:(Util.Rng.split rng))
+  in
+  let ports =
+    stage "port_plan.make" (fun () ->
+        Obs.Span.with_ ~name:"port_plan.make" (fun () -> Port_plan.make gseq ~die))
+  in
   let fp =
-    Floorplan.run ~tree ~gseq ~sgamma ~ports ~config ~rng:(Util.Rng.split rng) ?ckpt
-      ~die ()
+    stage "floorplan.run" (fun () ->
+        Floorplan.run ~tree ~gseq ~sgamma ~ports ~config ~rng:(Util.Rng.split rng)
+          ?ckpt ~die ())
   in
   Option.iter (fun s -> Ckpt.Session.stage_done s "floorplan") ckpt;
   (* The flipping stage is replayed from the checkpoint when a resumed
@@ -90,8 +105,9 @@ let place_body ~config ~die ?ckpt flat =
         gain = e.Ckpt.State.flip_gain }
     | None ->
       let flip =
-        Flipping.run ~tree ~gseq ~ports ~macros:fp.Floorplan.placed_macros
-          ~ht_rects:fp.Floorplan.ht_rects ~die ~config
+        stage "flipping.run" (fun () ->
+            Flipping.run ~tree ~gseq ~ports ~macros:fp.Floorplan.placed_macros
+              ~ht_rects:fp.Floorplan.ht_rects ~die ~config)
       in
       Option.iter
         (fun s ->

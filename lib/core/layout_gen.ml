@@ -7,6 +7,8 @@ type result = {
   wirelength_term : float;
   viol : Slicing.Layout.violations;
   sa_moves : int;
+  final_temperature : float;
+      (* of the winning annealing start; 0.0 when no search ran *)
 }
 
 (* Sparse list of affinity pairs that involve at least one block. *)
@@ -158,7 +160,8 @@ let run ?observer ~rng ~config ~blocks ~affinity ~fixed_pos ~budget () =
        so sweep objectives stay comparable across instance sizes. *)
     let s = make_scratch ~n_blocks ~budget in
     let cost, wl, viol = eval_into s (Slicing.Polish.initial ~n:1) in
-    { rects = Array.copy s.s_rects; cost; wirelength_term = wl; viol; sa_moves = 0 }
+    { rects = Array.copy s.s_rects; cost; wirelength_term = wl; viol; sa_moves = 0;
+      final_temperature = 0.0 }
   end
   else begin
     (* N independent annealing starts: the affinity-greedy chain, the
@@ -181,6 +184,9 @@ let run ?observer ~rng ~config ~blocks ~affinity ~fixed_pos ~budget () =
           :: List.init n_random (fun _ -> Slicing.Polish.initial_random rng ~n:n_blocks))
       in
       let n_starts = Array.length inits in
+      (* Every start beyond the first re-anneals the same instance from
+         a fresh calibrated temperature — the reheat counter. *)
+      Obs.Perf.add Obs.Perf.sa_reheats (n_starts - 1);
       let rngs = Array.init n_starts (fun _ -> Util.Rng.split rng) in
       let pool = Parexec.create ~jobs:config.Config.jobs () in
       let results =
@@ -209,17 +215,20 @@ let run ?observer ~rng ~config ~blocks ~affinity ~fixed_pos ~budget () =
           (fun acc (r : _ Anneal.Sa.result) -> acc + r.moves + r.calibration_moves)
           0 results
       in
-      (results.(!best_i).Anneal.Sa.best, sa_moves)
+      ( results.(!best_i).Anneal.Sa.best,
+        sa_moves,
+        results.(!best_i).Anneal.Sa.final_temperature )
     in
     (* When the annealing search dies — injected fault, exceeded budget
        — the instance keeps the affinity-greedy chain layout: legal by
        construction of the slicing evaluation, just not optimized. *)
-    let best_expr, sa_moves =
+    let best_expr, sa_moves, final_temperature =
       Guard.Supervisor.protect ~stage:"floorplan.sa"
-        ~fallback:(fun _ -> (chain_expr ~n_blocks ~order:chain, 0))
+        ~fallback:(fun _ -> (chain_expr ~n_blocks ~order:chain, 0, 0.0))
         search
     in
     let s = make_scratch ~n_blocks ~budget in
     let cost, wl, viol = eval_into s best_expr in
-    { rects = Array.copy s.s_rects; cost; wirelength_term = wl; viol; sa_moves }
+    { rects = Array.copy s.s_rects; cost; wirelength_term = wl; viol; sa_moves;
+      final_temperature }
   end

@@ -17,6 +17,9 @@ type result = {
   sa_moves : int;
       (** cost evaluations across every annealing start, including the
           initial-temperature calibration samples *)
+  final_temperature : float;
+      (** final plateau temperature of the winning annealing start
+          (0.0 when no search ran — single block or degraded) *)
 }
 
 val run :

@@ -105,7 +105,7 @@ let to_cp_macros placements =
     placements
 
 let run_flow_body kind ~config ~flat ~gseq ~ports ~die =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now_s () in
   let macros, lambda_used, sweep_trace =
     match kind with
     | IndEDA ->
@@ -161,7 +161,7 @@ let run_flow_body kind ~config ~flat ~gseq ~ports ~die =
         Some sw.Hidap.best.Hidap.lambda,
         sw.Hidap.sweep_trace )
   in
-  let runtime_s = Unix.gettimeofday () -. t0 in
+  let runtime_s = Obs.Clock.now_s () -. t0 in
   let metrics, cp = measure ~flat ~gseq ~ports ~die ~macros in
   Obs.Metrics.gauge
     (Printf.sprintf "evalflow.%s.wl_um" (flow_name kind))

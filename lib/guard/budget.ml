@@ -24,7 +24,9 @@ let check ~stage =
   for i = 0 to Array.length arr - 1 do
     let c = arr.(i) in
     if c.stage = stage then begin
-      let now = Unix.gettimeofday () in
+      (* Monotonic read: a wall-clock step backwards must not extend a
+         stage budget (and a step forward must not cut it short). *)
+      let now = Obs.Clock.now_s () in
       let dl = Atomic.get c.deadline in
       if Float.is_nan dl then
         (* First poll of the stage: publish the deadline. On a CAS race

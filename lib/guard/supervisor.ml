@@ -18,7 +18,10 @@ let record ~stage ~reason ~detail =
     let key = (stage, reason, detail) in
     let cur = Option.value ~default:0 (Hashtbl.find_opt table key) in
     Hashtbl.replace table key (cur + 1);
-    Mutex.unlock mutex
+    Mutex.unlock mutex;
+    (* Live feed: degradations surface on the progress stream the
+       moment they are recorded, not just in the end-of-run ledger. *)
+    Obs.Stream.degradation ~stage ~reason:(reason ^ ": " ^ detail)
   end
 
 let degraded () =

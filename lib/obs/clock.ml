@@ -3,17 +3,25 @@ let wall () = Unix.gettimeofday ()
 let source = ref wall
 
 (* Highest timestamp handed out so far; clamping makes the reported
-   clock monotone even when the source jumps backwards. *)
-let last = ref neg_infinity
+   clock monotone even when the source jumps backwards. The clamp is an
+   atomic so readings taken on worker domains (span capture, budget
+   checks, the sampling profiler) share one monotone frontier instead
+   of racing on a plain ref. *)
+let last = Atomic.make neg_infinity
 
 let set_source f =
   source := f;
-  last := neg_infinity
+  Atomic.set last neg_infinity
 
 let use_wall () = set_source wall
 
 let now_us () =
   let t = !source () *. 1e6 in
-  let t = if t > !last then t else !last in
-  last := t;
-  t
+  let rec clamp () =
+    let l = Atomic.get last in
+    if t > l then if Atomic.compare_and_set last l t then t else clamp ()
+    else l
+  in
+  clamp ()
+
+let now_s () = now_us () /. 1e6

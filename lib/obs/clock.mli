@@ -6,7 +6,15 @@
     tests can drive a deterministic virtual clock. *)
 
 val now_us : unit -> float
-(** Current monotonic timestamp in microseconds. *)
+(** Current monotonic timestamp in microseconds. Safe to call from any
+    domain: the monotone clamp is shared atomically, so no domain ever
+    observes the clock going backwards relative to another. *)
+
+val now_s : unit -> float
+(** [now_us () /. 1e6] — for code that keeps elapsed time in seconds.
+    All timing paths (stage totals, budgets, speed measurements) should
+    read this instead of [Unix.gettimeofday] so they cannot go
+    backwards under wall-clock adjustment. *)
 
 val set_source : (unit -> float) -> unit
 (** Replace the raw time source (a function returning seconds). Resets

@@ -1,6 +1,22 @@
+(* Raw-sample storage is capped by a deterministic reservoir
+   (Algorithm R, capacity [reservoir_capacity]) so long runs cannot
+   grow memory without bound: count/sum/min/max stay exact, the binned
+   histogram stays exact, and percentiles are computed from the
+   retained subsample. The reservoir RNG is seeded from the metric
+   name, so the retained set depends only on the observation sequence
+   — never on scheduling — which keeps merged registries identical for
+   every job count. *)
+let reservoir_capacity = 512
+
 type hist = {
-  mutable samples : float list;  (* reverse observation order *)
+  res : float array;  (* res.(0 .. filled-1) are the retained samples *)
+  mutable filled : int;
+  mutable offered : int;  (* observations offered to the reservoir *)
   mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  rng : Util.Rng.t;  (* reservoir replacement stream, seeded by name *)
   bin_width : float;
   bins : Util.Histogram.t;
 }
@@ -55,17 +71,47 @@ let bin_of ~bin_width x =
   let b = int_of_float (floor (x /. bin_width)) in
   if b < 0 then 0 else b
 
+let get_hist t name ~bin_width =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Hist h) -> h
+  | Some _ | None ->
+    let h =
+      { res = Array.make reservoir_capacity 0.0;
+        filled = 0;
+        offered = 0;
+        count = 0;
+        sum = 0.0;
+        min_v = infinity;
+        max_v = neg_infinity;
+        rng = Util.Rng.create (Hashtbl.hash name);
+        bin_width;
+        bins = Util.Histogram.create () }
+    in
+    Hashtbl.replace t.tbl name (Hist h);
+    h
+
+(* Algorithm R: the i-th offered sample replaces a uniformly chosen
+   slot with probability capacity/i once the reservoir is full. *)
+let offer h x =
+  h.offered <- h.offered + 1;
+  if h.filled < reservoir_capacity then begin
+    h.res.(h.filled) <- x;
+    h.filled <- h.filled + 1
+  end
+  else begin
+    let j = Util.Rng.int h.rng h.offered in
+    if j < reservoir_capacity then h.res.(j) <- x
+  end
+
+let retained h = Array.to_list (Array.sub h.res 0 h.filled)
+
 let observe ?(bin_width = 1.0) t name x =
-  let h =
-    match Hashtbl.find_opt t.tbl name with
-    | Some (Hist h) -> h
-    | Some _ | None ->
-      let h = { samples = []; count = 0; bin_width; bins = Util.Histogram.create () } in
-      Hashtbl.replace t.tbl name (Hist h);
-      h
-  in
-  h.samples <- x :: h.samples;
+  let h = get_hist t name ~bin_width in
+  offer h x;
   h.count <- h.count + 1;
+  h.sum <- h.sum +. x;
+  if x < h.min_v then h.min_v <- x;
+  if x > h.max_v then h.max_v <- x;
   Util.Histogram.add h.bins ~bin:(bin_of ~bin_width:h.bin_width x) ~weight:1.0
 
 let push_series t name x y =
@@ -96,7 +142,7 @@ let gauge_value t name =
 
 let hist_samples t name =
   match Hashtbl.find_opt t.tbl name with
-  | Some (Hist h) -> List.rev h.samples
+  | Some (Hist h) -> retained h
   | _ -> []
 
 let hist_bins t name =
@@ -113,7 +159,20 @@ let merge_into dst src =
     | Counter r -> incr_counter dst name !r
     | Gauge r -> set_gauge dst name !r
     | Hist h ->
-      List.iter (fun x -> observe ~bin_width:h.bin_width dst name x) (List.rev h.samples)
+      let d = get_hist dst name ~bin_width:h.bin_width in
+      (* Exact aggregates merge exactly; only the retained subsample is
+         re-offered to the destination reservoir (in slot order, so the
+         result depends only on the merge order — task order). *)
+      d.count <- d.count + h.count;
+      d.sum <- d.sum +. h.sum;
+      if h.min_v < d.min_v then d.min_v <- h.min_v;
+      if h.max_v > d.max_v then d.max_v <- h.max_v;
+      List.iter
+        (fun (bin, weight) -> Util.Histogram.add d.bins ~bin ~weight)
+        (Util.Histogram.bins h.bins);
+      for i = 0 to h.filled - 1 do
+        offer d h.res.(i)
+      done
     | Series r -> List.iter (fun (x, y) -> push_series dst name x y) (List.rev !r)
   in
   Hashtbl.iter copy_into src.tbl
@@ -151,18 +210,20 @@ let percentile xs ~p =
 
 let hist_percentile t name ~p =
   match Hashtbl.find_opt t.tbl name with
-  | Some (Hist h) -> percentile_opt h.samples ~p
+  | Some (Hist h) -> percentile_opt (retained h) ~p
   | _ -> None
 
 let hist_json h =
-  let samples = List.rev h.samples in
+  let samples = retained h in
+  (* count/mean/min/max are exact even past the reservoir capacity;
+     the percentiles are estimates from the retained subsample. *)
   let stats =
     match samples with
     | [] -> []
     | _ ->
-      [ ("mean", Jsonx.Float (Util.Stat.mean samples));
-        ("min", Jsonx.Float (Util.Stat.minimum samples));
-        ("max", Jsonx.Float (Util.Stat.maximum samples));
+      [ ("mean", Jsonx.Float (h.sum /. float_of_int h.count));
+        ("min", Jsonx.Float h.min_v);
+        ("max", Jsonx.Float h.max_v);
         ("p50", Jsonx.Float (percentile samples ~p:50.0));
         ("p90", Jsonx.Float (percentile samples ~p:90.0));
         ("p99", Jsonx.Float (percentile samples ~p:99.0)) ]

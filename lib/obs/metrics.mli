@@ -1,11 +1,23 @@
 (** Metrics registry: named counters, gauges, float histograms and
     (x, y) series.
 
-    Histograms keep both the raw samples (for exact percentiles via
-    {!percentile} and summary statistics via [Util.Stat]) and a binned
+    Histograms keep a {e capped} raw-sample view plus a binned
     [Util.Histogram.t] view (bin = [floor (x / bin_width)]) that is
     cheap to merge and export. Series are append-only ordered point
     lists, used for convergence curves where sample order matters.
+
+    {b Reservoir convention.} Raw-sample storage is bounded by
+    {!reservoir_capacity}: the first [capacity] observations are kept
+    exactly (and in observation order); past that, Algorithm R keeps a
+    uniform subsample, replacing slots via a dedicated RNG seeded from
+    the metric {e name}. Count, mean, min, max and the binned view
+    remain exact at any count; percentiles ({!hist_percentile},
+    [to_json]'s p50/p90/p99) are computed from the retained subsample
+    and become estimates once a histogram exceeds the capacity. Because
+    the replacement stream is seeded by name and consumed in
+    observation order (and merges re-offer retained samples in task
+    order), the retained set is a deterministic function of the
+    observation sequence — never of wall-clock or scheduling.
 
     The gated shorthands ([counter], [gauge], [sample], [series]) write
     to the calling domain's {e ambient} registry — [global] unless
@@ -22,6 +34,9 @@
     changed by — the parallel schedule. *)
 
 type t
+
+val reservoir_capacity : int
+(** Retained raw samples per histogram (512). *)
 
 val create : unit -> t
 
@@ -71,15 +86,20 @@ val counter_value : t -> string -> int option
 val gauge_value : t -> string -> float option
 
 val hist_samples : t -> string -> float list
-(** Raw samples in observation order ([] when absent). *)
+(** Retained raw samples ([] when absent). Up to
+    {!reservoir_capacity} observations this is exactly the observation
+    sequence in order; beyond that it is the reservoir subsample in
+    slot order. *)
 
 val hist_bins : t -> string -> Util.Histogram.t option
 val series_points : t -> string -> (float * float) list
 
 val merge : t -> t -> t
 (** Fresh registry combining both: counters add, gauges take the right
-    value, histograms pool samples and merge bins, series concatenate
-    (left points first). On a kind clash the right side wins. *)
+    value, histograms merge exactly (count/sum/min/max/bins) and
+    re-offer the right side's retained samples to the left reservoir,
+    series concatenate (left points first). On a kind clash the right
+    side wins. *)
 
 val merge_into : t -> t -> unit
 (** [merge_into dst src] folds [src] into [dst] in place, with the same
@@ -98,10 +118,12 @@ val percentile : float list -> p:float -> float
     same single-sample convention. *)
 
 val hist_percentile : t -> string -> p:float -> float option
-(** Percentile of a named histogram's raw samples; [None] when the
-    name is absent, not a histogram, or the histogram is empty. *)
+(** Percentile of a named histogram's retained samples (exact below
+    {!reservoir_capacity} observations, an estimate above); [None]
+    when the name is absent, not a histogram, or the histogram is
+    empty. *)
 
 val to_json : t -> Jsonx.t
 (** [{"counters": {...}, "gauges": {...}, "histograms": {...},
-    "series": {...}}] with per-histogram count/mean/min/max/p50/p90/p99
-    and the binned view. *)
+    "series": {...}}] with per-histogram count/mean/min/max (exact)
+    and p50/p90/p99 (from the reservoir) plus the binned view. *)

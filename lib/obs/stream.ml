@@ -1,0 +1,137 @@
+(* Versioned NDJSON progress event stream.
+
+   One JSON object per line, every line self-describing:
+   {"schema":"hidap-progress","version":1,"event":...,"t_us":...}.
+   Emission is gated on one atomic flag and serialized with a mutex so
+   worker domains can report concurrently; the stream is write-only
+   telemetry and never touches any RNG, so enabling it cannot change a
+   placement (DESIGN.md §9/§12). *)
+
+let schema = "hidap-progress"
+
+let version = 1
+
+type sink = {
+  oc : out_channel;
+  lock : Mutex.t;
+  close_oc : bool;
+  hb_stop : bool Atomic.t;
+  mutable hb : unit Domain.t option;
+}
+
+let enabled_flag = Atomic.make false
+
+let enabled () = Atomic.get enabled_flag
+
+let current : sink option ref = ref None
+
+let emit event fields =
+  if enabled () then
+    match !current with
+    | None -> ()
+    | Some s ->
+      let line =
+        Jsonx.to_string ~compact:true
+          (Jsonx.Obj
+             (( ("schema", Jsonx.String schema)
+              :: ("version", Jsonx.Int version)
+              :: ("event", Jsonx.String event)
+              :: ("t_us", Jsonx.Float (Clock.now_us ()))
+              :: fields )))
+      in
+      Mutex.lock s.lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock s.lock)
+        (fun () ->
+          output_string s.oc line;
+          output_char s.oc '\n';
+          flush s.oc)
+
+let heartbeat () = emit "heartbeat" []
+
+let interruptible_sleep stop s =
+  let chunk = 0.05 in
+  let rec go left =
+    if left > 0.0 && not (Atomic.get stop) then begin
+      Unix.sleepf (min chunk left);
+      go (left -. chunk)
+    end
+  in
+  go s
+
+let enable ?(heartbeat_s = 1.0) ?(close_on_disable = false) oc =
+  if not (enabled ()) then begin
+    let s =
+      { oc; lock = Mutex.create (); close_oc = close_on_disable;
+        hb_stop = Atomic.make false; hb = None }
+    in
+    current := Some s;
+    Atomic.set enabled_flag true;
+    if heartbeat_s > 0.0 then
+      s.hb <-
+        Some
+          (Domain.spawn (fun () ->
+               while not (Atomic.get s.hb_stop) do
+                 heartbeat ();
+                 interruptible_sleep s.hb_stop heartbeat_s
+               done))
+  end
+
+let disable () =
+  match !current with
+  | None -> ()
+  | Some s ->
+    Atomic.set s.hb_stop true;
+    Option.iter Domain.join s.hb;
+    Atomic.set enabled_flag false;
+    current := None;
+    flush s.oc;
+    if s.close_oc then close_out s.oc
+
+(* ---- event helpers ------------------------------------------------ *)
+
+let run_start ~circuit ~seed ~jobs =
+  emit "run-start"
+    [ ("circuit", Jsonx.String circuit); ("seed", Jsonx.Int seed);
+      ("jobs", Jsonx.Int jobs) ]
+
+let run_end ~status = emit "run-end" [ ("status", Jsonx.String status) ]
+
+let stage_start name = emit "stage-start" [ ("stage", Jsonx.String name) ]
+
+let stage_end name ~dur_us ~ok =
+  emit "stage-end"
+    [ ("stage", Jsonx.String name); ("dur_us", Jsonx.Float dur_us);
+      ("ok", Jsonx.Bool ok) ]
+
+let with_stage name f =
+  if not (enabled ()) then f ()
+  else begin
+    stage_start name;
+    let t0 = Clock.now_us () in
+    match f () with
+    | v ->
+      stage_end name ~dur_us:(Clock.now_us () -. t0) ~ok:true;
+      v
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      stage_end name ~dur_us:(Clock.now_us () -. t0) ~ok:false;
+      Printexc.raise_with_backtrace e bt
+  end
+
+let sa_progress ~instance ?instances ~temperature ~best_cost ~moves ~moves_per_s () =
+  emit "sa-progress"
+    [ ("instance", Jsonx.Int instance);
+      ( "instances",
+        match instances with Some n -> Jsonx.Int n | None -> Jsonx.Null );
+      ("temperature", Jsonx.Float temperature);
+      ("best_cost", Jsonx.Float best_cost);
+      ("moves", Jsonx.Int moves);
+      ("moves_per_s", Jsonx.Float moves_per_s) ]
+
+let checkpoint ~seq ~file =
+  emit "checkpoint" [ ("seq", Jsonx.Int seq); ("file", Jsonx.String file) ]
+
+let degradation ~stage ~reason =
+  emit "degradation"
+    [ ("stage", Jsonx.String stage); ("reason", Jsonx.String reason) ]

@@ -23,9 +23,59 @@ let jobs t = t.jobs
    a sequential loop instead of spawning domains from a worker. *)
 let in_task : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
-type ('b, 'reg, 'span) slot =
+(* ---- pool utilization accounting ----------------------------------
+
+   Per worker slot (0 = the calling domain, 1.. = spawned domains):
+   tasks claimed, tasks stolen (claimed by a spawned domain rather than
+   the caller) and busy wall-time inside task bodies. Idle time is the
+   remainder against the accumulated pool-open wall time. The numbers
+   are timing observations — inherently schedule-dependent — so they
+   are surfaced here and in the QoR record's perf section, never
+   through [Obs.Metrics] (whose output is schedule-independent) or
+   [Obs.Perf] (whose merged counts are identical for every job
+   count). Nested sequential maps are not recorded: their busy time is
+   already inside the enclosing task's. *)
+
+type worker_stats = { tasks : int; steals : int; busy_us : float }
+
+type pool_stats = { workers : worker_stats array; wall_us : float; maps : int }
+
+let max_workers = 64
+
+let stats_lock = Mutex.create ()
+
+let g_tasks = Array.make max_workers 0
+let g_steals = Array.make max_workers 0
+let g_busy = Array.make max_workers 0.0
+let g_wall = ref 0.0
+let g_maps = ref 0
+
+let reset_pool_stats () =
+  Mutex.lock stats_lock;
+  Array.fill g_tasks 0 max_workers 0;
+  Array.fill g_steals 0 max_workers 0;
+  Array.fill g_busy 0 max_workers 0.0;
+  g_wall := 0.0;
+  g_maps := 0;
+  Mutex.unlock stats_lock
+
+let pool_stats () =
+  Mutex.lock stats_lock;
+  let hi = ref 0 in
+  for w = 0 to max_workers - 1 do
+    if g_tasks.(w) > 0 then hi := w + 1
+  done;
+  let workers =
+    Array.init !hi (fun w ->
+        { tasks = g_tasks.(w); steals = g_steals.(w); busy_us = g_busy.(w) })
+  in
+  let st = { workers; wall_us = !g_wall; maps = !g_maps } in
+  Mutex.unlock stats_lock;
+  st
+
+type ('b, 'reg, 'span, 'perf) slot =
   | Pending
-  | Done of 'b * 'reg option * 'span list
+  | Done of 'b * 'reg option * 'span list * 'perf option
   | Failed of exn * Printexc.raw_backtrace
 
 let map t f xs =
@@ -33,9 +83,11 @@ let map t f xs =
   if n = 0 then [||]
   else begin
     (* Sinks are sampled once, on the calling domain: worker domains
-       have no recorder of their own, and the atomic metrics flag must
-       not flip telemetry on for some tasks and off for others. *)
+       have no recorder of their own, and the atomic telemetry flags
+       must not flip collection on for some tasks and off for
+       others. *)
     let metrics_on = Obs.Metrics.enabled () in
+    let perf_on = Obs.Perf.enabled () in
     let tracing = Obs.Span.enabled () in
     let slots = Array.make n Pending in
     let run_task i =
@@ -43,48 +95,79 @@ let map t f xs =
       Domain.DLS.set in_task true;
       (match
          let reg = if metrics_on then Some (Obs.Metrics.create ()) else None in
+         let perf = if perf_on then Some (Obs.Perf.create ()) else None in
          let body () = f xs.(i) in
+         let in_perf () =
+           match perf with
+           | Some p -> Obs.Perf.with_ambient p body
+           | None -> body ()
+         in
          let in_registry () =
            match reg with
-           | Some r -> Obs.Metrics.with_ambient r body
-           | None -> body ()
+           | Some r -> Obs.Metrics.with_ambient r in_perf
+           | None -> in_perf ()
          in
          let v, spans =
            if tracing then Obs.Span.capture in_registry else (in_registry (), [])
          in
-         (v, reg, spans)
+         (v, reg, spans, perf)
        with
-      | v, reg, spans -> slots.(i) <- Done (v, reg, spans)
+      | v, reg, spans, perf -> slots.(i) <- Done (v, reg, spans, perf)
       | exception e ->
         let bt = Printexc.get_raw_backtrace () in
         slots.(i) <- Failed (e, bt));
       Domain.DLS.set in_task saved
     in
-    let workers = min t.jobs n in
-    if workers <= 1 || Domain.DLS.get in_task then
-      for i = 0 to n - 1 do
-        run_task i
-      done
+    let nested = Domain.DLS.get in_task in
+    let workers = if nested then 1 else min t.jobs n in
+    let tasks_w = Array.make workers 0 in
+    let busy_w = Array.make workers 0.0 in
+    let map_t0 = Obs.Clock.now_us () in
+    let next = Atomic.make 0 in
+    let run_worker w =
+      Obs.Span.with_publish_slot (fun () ->
+          let rec loop () =
+            let i = Atomic.fetch_and_add next 1 in
+            if i < n then begin
+              let t0 = Obs.Clock.now_us () in
+              run_task i;
+              busy_w.(w) <- busy_w.(w) +. (Obs.Clock.now_us () -. t0);
+              tasks_w.(w) <- tasks_w.(w) + 1;
+              loop ()
+            end
+          in
+          loop ())
+    in
+    if workers <= 1 then run_worker 0
     else begin
-      let next = Atomic.make 0 in
-      let rec worker () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          run_task i;
-          worker ()
-        end
+      let spawned =
+        Array.init (workers - 1) (fun w -> Domain.spawn (fun () -> run_worker (w + 1)))
       in
-      let spawned = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
-      worker ();
+      run_worker 0;
       Array.iter Domain.join spawned
+    end;
+    if not nested then begin
+      let wall = Obs.Clock.now_us () -. map_t0 in
+      Mutex.lock stats_lock;
+      for w = 0 to workers - 1 do
+        g_tasks.(w) <- g_tasks.(w) + tasks_w.(w);
+        if w > 0 then g_steals.(w) <- g_steals.(w) + tasks_w.(w);
+        g_busy.(w) <- g_busy.(w) +. busy_w.(w)
+      done;
+      g_wall := !g_wall +. wall;
+      incr g_maps;
+      Mutex.unlock stats_lock
     end;
     (* Join: fold per-task telemetry back in task order — the merged
        collections depend only on the tasks, never on the schedule. *)
     Array.iter
       (function
-        | Done (_, reg, spans) ->
+        | Done (_, reg, spans, perf) ->
           (match reg with
           | Some r -> Obs.Metrics.merge_into (Obs.Metrics.ambient ()) r
+          | None -> ());
+          (match perf with
+          | Some p -> Obs.Perf.merge_into (Obs.Perf.ambient ()) p
           | None -> ());
           Obs.Span.graft spans
         | Pending | Failed _ -> ())
@@ -96,7 +179,7 @@ let map t f xs =
       slots;
     Array.map
       (function
-        | Done (v, _, _) -> v
+        | Done (v, _, _, _) -> v
         | Pending | Failed _ -> assert false)
       slots
   end

@@ -11,12 +11,13 @@
     - the first exception {e by task index} (not by wall-clock) is
       re-raised with its backtrace;
     - telemetry is domain-safe and deterministic: each task runs with
-      its own fresh {!Obs.Metrics} ambient registry and its own
-      {!Obs.Span} recorder (only when the respective sink is enabled),
-      and the per-task collections are merged back into the caller's
-      collectors in task order at the join point. Enabling telemetry
-      never changes the tasks' trajectory, and the merged telemetry is
-      the same for any job count.
+      its own fresh {!Obs.Metrics} ambient registry, its own
+      {!Obs.Perf} counter array and its own {!Obs.Span} recorder (each
+      only when the respective sink is enabled), and the per-task
+      collections are merged back into the caller's collectors in task
+      order at the join point. Enabling telemetry never changes the
+      tasks' trajectory, and the merged telemetry is the same for any
+      job count.
 
     Nested [map] calls from inside a task run sequentially on the
     worker (still with per-task telemetry isolation), so a pool used at
@@ -47,3 +48,36 @@ val map : t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map t f xs] applies [f] to every element of [xs], running up to
     [jobs t] tasks concurrently, and returns the results in input
     order. See the module description for the determinism contract. *)
+
+(** {1 Pool utilization}
+
+    Busy/idle/steal accounting, aggregated across every top-level
+    [map] call since the last {!reset_pool_stats}. These are timing
+    observations — inherently schedule-dependent — so they are
+    surfaced here (and in the QoR record's perf section) rather than
+    through {!Obs.Metrics}, whose exported registry is
+    schedule-independent. Collection is always on; the cost is two
+    monotonic clock reads per task. *)
+
+type worker_stats = {
+  tasks : int;  (** tasks claimed by this worker slot *)
+  steals : int;
+      (** tasks claimed by a spawned domain (slot > 0) — the shared
+          work-stealing index serves the calling domain first, so
+          every spawned-domain claim is a steal *)
+  busy_us : float;  (** wall-time spent inside task bodies *)
+}
+
+type pool_stats = {
+  workers : worker_stats array;
+      (** slot 0 is the calling domain, 1.. the spawned domains;
+          trimmed to the highest slot that ran a task *)
+  wall_us : float;  (** accumulated pool-open wall time *)
+  maps : int;  (** top-level [map] calls accounted *)
+}
+(** Idle time of a slot is [wall_us - busy_us]; pool utilization is
+    [sum busy / (slots * wall_us)]. *)
+
+val pool_stats : unit -> pool_stats
+
+val reset_pool_stats : unit -> unit

@@ -185,6 +185,149 @@ let gc_table buf = function
          g.Obs.Gcstats.heap_words);
     Buffer.add_string buf "</table>\n"
 
+(* ---- perf panel: pool utilization + flamegraph -------------------- *)
+
+(* Collapsed-stack lines folded into a frame tree. Children keep first-
+   appearance order, which is deterministic because the profile list is
+   sorted by stack string. *)
+type frame = {
+  fr_name : string;
+  mutable fr_total : int;
+  mutable fr_children : frame list;  (* reversed during build *)
+}
+
+let frame_tree profile =
+  let root = { fr_name = ""; fr_total = 0; fr_children = [] } in
+  List.iter
+    (fun (stack, n) ->
+      root.fr_total <- root.fr_total + n;
+      let frames = String.split_on_char ';' stack in
+      let node = ref root in
+      List.iter
+        (fun name ->
+          let child =
+            match List.find_opt (fun c -> c.fr_name = name) !node.fr_children with
+            | Some c -> c
+            | None ->
+              let c = { fr_name = name; fr_total = 0; fr_children = [] } in
+              !node.fr_children <- !node.fr_children @ [ c ];
+              c
+          in
+          child.fr_total <- child.fr_total + n;
+          node := child)
+        frames)
+    profile;
+  root
+
+let flamegraph_svg profile =
+  let root = frame_tree profile in
+  if root.fr_total = 0 then "<p class=\"meta\">(no profile samples)</p>"
+  else begin
+    let width = 700.0 and row_h = 17 in
+    let rec depth_of f =
+      1 + List.fold_left (fun acc c -> max acc (depth_of c)) 0 f.fr_children
+    in
+    let height = (depth_of root - 1) * row_h in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<svg width=\"%.0f\" height=\"%d\" viewBox=\"0 0 %.0f %d\" \
+          font-family=\"monospace\" font-size=\"11\">\n"
+         width (max height row_h) width (max height row_h));
+    let palette = [| "#d9822b"; "#e0a458"; "#c96f2e"; "#e8b478"; "#d08f4a" |] in
+    let rec emit f ~x ~depth =
+      let y = depth * row_h in
+      let w = width *. float_of_int f.fr_total /. float_of_int root.fr_total in
+      if f.fr_name <> "" && w >= 0.5 then begin
+        let fill =
+          if f.fr_name = "(idle)" then "#d4d8e0"
+          else palette.(Hashtbl.hash f.fr_name mod Array.length palette)
+        in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<g><rect x=\"%.1f\" y=\"%d\" width=\"%.1f\" height=\"%d\" fill=\"%s\" \
+              stroke=\"#fff\" stroke-width=\"0.5\"/><title>%s (%d samples, %.1f%%)</title>"
+             x y w (row_h - 1) fill (escape f.fr_name) f.fr_total
+             (100.0 *. float_of_int f.fr_total /. float_of_int root.fr_total));
+        if w > 40.0 then
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<text x=\"%.1f\" y=\"%d\" fill=\"#222\">%s</text>"
+               (x +. 3.0) (y + row_h - 5)
+               (escape f.fr_name));
+        Buffer.add_string buf "</g>\n"
+      end;
+      let cx = ref x in
+      List.iter
+        (fun c ->
+          emit c ~x:!cx ~depth:(if f.fr_name = "" then depth else depth + 1);
+          cx := !cx +. (width *. float_of_int c.fr_total /. float_of_int root.fr_total))
+        f.fr_children
+    in
+    emit root ~x:0.0 ~depth:0;
+    Buffer.add_string buf "</svg>";
+    Buffer.contents buf
+  end
+
+let perf_section buf (r : Record.t) =
+  match r.Record.perf with
+  | None -> ()
+  | Some p ->
+    Buffer.add_string buf "<h3>Performance</h3>\n";
+    Buffer.add_string buf "<div class=\"tiles\">\n";
+    if p.Record.perf_moves_per_s > 0.0 then
+      tile buf ~label:"SA moves/s" ~value:(fmt_f 0 p.Record.perf_moves_per_s);
+    if p.Record.perf_wall_s > 0.0 then
+      tile buf ~label:"place wall (s)" ~value:(fmt_f 2 p.Record.perf_wall_s);
+    Buffer.add_string buf "</div>\n";
+    if p.Record.perf_counters <> [] then begin
+      Buffer.add_string buf "<table><tr>";
+      List.iter
+        (fun (k, _) ->
+          Buffer.add_string buf (Printf.sprintf "<th>%s</th>" (escape k)))
+        p.Record.perf_counters;
+      Buffer.add_string buf "</tr><tr>";
+      List.iter
+        (fun (_, v) -> Buffer.add_string buf (Printf.sprintf "<td>%d</td>" v))
+        p.Record.perf_counters;
+      Buffer.add_string buf "</tr></table>\n"
+    end;
+    (match p.Record.pool_workers with
+    | [] -> ()
+    | workers ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<h3>Pool utilization <span class=\"meta\">(%d map%s, wall %s ms — \
+            schedule-dependent, informational only)</span></h3>\n"
+           p.Record.pool_maps
+           (if p.Record.pool_maps = 1 then "" else "s")
+           (fmt_f 1 (p.Record.pool_wall_us /. 1e3)));
+      Buffer.add_string buf
+        "<table><tr><th class=\"name\">domain</th><th>tasks</th><th>steals</th>\
+         <th>busy ms</th><th class=\"name\" style=\"width:22em\">busy</th></tr>\n";
+      let wall = Float.max p.Record.pool_wall_us 1e-9 in
+      List.iteri
+        (fun i (w : Record.pool_worker) ->
+          let pct = Float.min 100.0 (100.0 *. w.Record.pw_busy_us /. wall) in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<tr><td class=\"name\">%s</td><td>%d</td><td>%d</td><td>%s</td>\
+                <td class=\"name\"><span class=\"bar\" style=\"width:%.1f%%\"></span> \
+                %.0f%%</td></tr>\n"
+               (if i = 0 then "caller" else Printf.sprintf "worker %d" i)
+               w.Record.pw_tasks w.Record.pw_steals
+               (fmt_f 1 (w.Record.pw_busy_us /. 1e3))
+               pct pct))
+        workers;
+      Buffer.add_string buf "</table>\n");
+    if p.Record.profile <> [] then begin
+      Buffer.add_string buf
+        "<h3>Sampled profile <span class=\"meta\">(wall-clock span samples, \
+         collapsed-stack)</span></h3>\n";
+      Buffer.add_string buf (flamegraph_svg p.Record.profile);
+      Buffer.add_string buf "\n"
+    end
+
 let record_section buf ?baseline (r : Record.t) =
   Buffer.add_string buf
     (Printf.sprintf "<h2>%s &middot; %s</h2>\n" (escape r.Record.circuit)
@@ -232,6 +375,7 @@ let record_section buf ?baseline (r : Record.t) =
        (sparkline r.Record.sa_curve) r.Record.sa_moves);
   Buffer.add_string buf "<h3>Stage wall-clock</h3>\n";
   stage_bars buf r.Record.stages;
+  perf_section buf r;
   gc_table buf r.Record.gc
 
 let render ?baseline ~title records =

@@ -40,6 +40,22 @@ type qmetrics = {
   dataflow_cost : float;
 }
 
+type pool_worker = {
+  pw_tasks : int;
+  pw_steals : int;
+  pw_busy_us : float;
+}
+
+type perf_info = {
+  perf_counters : (string * int) list;
+  perf_moves_per_s : float;
+  perf_wall_s : float;
+  pool_workers : pool_worker list;
+  pool_wall_us : float;
+  pool_maps : int;
+  profile : (string * int) list;  (* collapsed stacks *)
+}
+
 type t = {
   rec_version : int;
   circuit : string;
@@ -59,6 +75,7 @@ type t = {
   levels : level list;
   degradations : Guard.Supervisor.entry list;
   ckpt : ckpt_info option;
+  perf : perf_info option;
 }
 
 (* ---- derived quantities ------------------------------------------- *)
@@ -117,7 +134,7 @@ let gc_of registry =
 (* ---- constructors ------------------------------------------------- *)
 
 let of_place ~circuit ~flat ~(config : Hidap.Config.t) ?spans ?registry
-    ?(degradations = []) ?measured ?ckpt (r : Hidap.result) =
+    ?(degradations = []) ?measured ?ckpt ?perf (r : Hidap.result) =
   let macros =
     List.map
       (fun (p : Hidap.macro_placement) ->
@@ -181,7 +198,8 @@ let of_place ~circuit ~flat ~(config : Hidap.Config.t) ?spans ?registry
             level_macros = l.Hidap.Floorplan.macro_count })
         r.Hidap.levels;
     degradations;
-    ckpt }
+    ckpt;
+    perf }
 
 let of_eval ~circuit ~flat ~(config : Hidap.Config.t) ?spans ?registry
     ?(degradations = []) (res : Evalflow.circuit_result) =
@@ -232,7 +250,8 @@ let of_eval ~circuit ~flat ~(config : Hidap.Config.t) ?spans ?registry
         macros;
         levels = [];
         degradations = (if is_hidap then degradations else []);
-        ckpt = None })
+        ckpt = None;
+        perf = None })
     res.Evalflow.runs
 
 (* ---- JSON ---------------------------------------------------------- *)
@@ -267,6 +286,31 @@ let points_of_json j =
     in
     let pts = List.filter_map pt items in
     if List.length pts = List.length items then Some pts else None
+
+let perf_info_json p =
+  Jsonx.Obj
+    [ ( "counters",
+        Jsonx.Obj (List.map (fun (k, v) -> (k, Jsonx.Int v)) p.perf_counters) );
+      ("moves_per_s", Jsonx.Float p.perf_moves_per_s);
+      ("wall_s", Jsonx.Float p.perf_wall_s);
+      ( "pool",
+        Jsonx.Obj
+          [ ( "workers",
+              Jsonx.List
+                (List.map
+                   (fun w ->
+                     Jsonx.Obj
+                       [ ("tasks", Jsonx.Int w.pw_tasks);
+                         ("steals", Jsonx.Int w.pw_steals);
+                         ("busy_us", Jsonx.Float w.pw_busy_us) ])
+                   p.pool_workers) );
+            ("wall_us", Jsonx.Float p.pool_wall_us);
+            ("maps", Jsonx.Int p.pool_maps) ] );
+      ( "profile",
+        Jsonx.List
+          (List.map
+             (fun (stack, n) -> Jsonx.List [ Jsonx.String stack; Jsonx.Int n ])
+             p.profile) ) ]
 
 let to_json t =
   Jsonx.Obj
@@ -334,7 +378,9 @@ let to_json t =
                 | Some f -> Jsonx.String f
                 | None -> Jsonx.Null );
               ("snapshots_written", Jsonx.Int c.snapshots_written);
-              ("instances_reused", Jsonx.Int c.instances_reused) ] ) ]
+              ("instances_reused", Jsonx.Int c.instances_reused) ] );
+      ( "perf",
+        match t.perf with None -> Jsonx.Null | Some p -> perf_info_json p ) ]
 
 let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
 
@@ -467,6 +513,67 @@ let of_json j =
           | _ -> None)
         | _ -> None
       in
+      let perf =
+        match Jsonx.member "perf" j with
+        | Some (Jsonx.Obj _ as p) ->
+          let counters =
+            match Jsonx.member "counters" p with
+            | Some (Jsonx.Obj fields) ->
+              List.filter_map
+                (fun (k, v) -> Option.map (fun n -> (k, n)) (Jsonx.to_int_opt v))
+                fields
+            | _ -> []
+          in
+          let f name =
+            Option.value ~default:0.0
+              (Option.bind (Jsonx.member name p) Jsonx.to_float_opt)
+          in
+          let pool = Jsonx.member "pool" p in
+          let pool_workers =
+            match Option.bind (Option.bind pool (Jsonx.member "workers")) Jsonx.to_list_opt with
+            | None -> []
+            | Some items ->
+              List.filter_map
+                (fun w ->
+                  match
+                    ( Option.bind (Jsonx.member "tasks" w) Jsonx.to_int_opt,
+                      Option.bind (Jsonx.member "steals" w) Jsonx.to_int_opt,
+                      Option.bind (Jsonx.member "busy_us" w) Jsonx.to_float_opt )
+                  with
+                  | Some pw_tasks, Some pw_steals, Some pw_busy_us ->
+                    Some { pw_tasks; pw_steals; pw_busy_us }
+                  | _ -> None)
+                items
+          in
+          let profile =
+            match Option.bind (Jsonx.member "profile" p) Jsonx.to_list_opt with
+            | None -> []
+            | Some items ->
+              List.filter_map
+                (function
+                  | Jsonx.List [ stack; n ] ->
+                    (match (Jsonx.to_string_opt stack, Jsonx.to_int_opt n) with
+                    | Some s, Some n -> Some (s, n)
+                    | _ -> None)
+                  | _ -> None)
+                items
+          in
+          Some
+            { perf_counters = counters;
+              perf_moves_per_s = f "moves_per_s";
+              perf_wall_s = f "wall_s";
+              pool_workers;
+              pool_wall_us =
+                Option.value ~default:0.0
+                  (Option.bind (Option.bind pool (Jsonx.member "wall_us"))
+                     Jsonx.to_float_opt);
+              pool_maps =
+                Option.value ~default:0
+                  (Option.bind (Option.bind pool (Jsonx.member "maps"))
+                     Jsonx.to_int_opt);
+              profile }
+        | _ -> None
+      in
       Ok
         { rec_version = v;
           circuit;
@@ -485,7 +592,8 @@ let of_json j =
           macros;
           levels;
           degradations;
-          ckpt }
+          ckpt;
+          perf }
 
 (* ---- ledger files -------------------------------------------------- *)
 

@@ -58,6 +58,26 @@ type qmetrics = {
           when no top snapshot was available (eval-path records) *)
 }
 
+type pool_worker = {
+  pw_tasks : int;  (** tasks executed by this worker *)
+  pw_steals : int;  (** tasks taken from the shared queue (0 for the caller) *)
+  pw_busy_us : float;  (** wall-clock spent inside task bodies *)
+}
+
+type perf_info = {
+  perf_counters : (string * int) list;
+      (** merged {!Obs.Perf} counters, deterministic across job counts *)
+  perf_moves_per_s : float;  (** sa.moves / wall_s; 0 when wall_s = 0 *)
+  perf_wall_s : float;  (** wall-clock of the placement flow *)
+  pool_workers : pool_worker list;
+      (** per-domain {!Parexec.pool_stats} utilization (schedule-dependent,
+          reported verbatim — never merged into deterministic channels) *)
+  pool_wall_us : float;
+  pool_maps : int;
+  profile : (string * int) list;
+      (** collapsed-stack profile lines from {!Obs.Sampler}: (stack, samples) *)
+}
+
 type t = {
   rec_version : int;
   circuit : string;
@@ -85,6 +105,10 @@ type t = {
   ckpt : ckpt_info option;
       (** checkpoint/resume summary; [None] when the run did not
           checkpoint (including every pre-v2 record) *)
+  perf : perf_info option;
+      (** hot-path performance section (perf counters, pool utilization,
+          sampled profile); [None] when the run was not instrumented.
+          Added as a backward-compatible field — no version bump. *)
 }
 
 val of_place :
@@ -96,6 +120,7 @@ val of_place :
   ?degradations:Guard.Supervisor.entry list ->
   ?measured:Evalflow.metrics ->
   ?ckpt:ckpt_info ->
+  ?perf:perf_info ->
   Hidap.result ->
   t
 (** Record a [Hidap.place] run. Quality metrics are measured with the
@@ -117,6 +142,10 @@ val of_eval :
 (** One record per flow of an {!Evalflow.run_all} result, each carrying
     its macro displacement against the other flows. Trace/metrics
     attachments go to the HiDaP record. *)
+
+val perf_info_json : perf_info -> Obs.Jsonx.t
+(** The ["perf"] sub-object of {!to_json}, exposed for standalone
+    [--perf-out] documents. *)
 
 val to_json : t -> Obs.Jsonx.t
 

@@ -1,0 +1,116 @@
+module Jsonx = Obs.Jsonx
+
+let schema = "hidap-speed"
+
+let version = 1
+
+type entry = {
+  circuit : string;
+  wall_s : float;
+  sa_moves : int;
+  moves_per_s : float;
+}
+
+type t = { entries : entry list }
+
+let entry ~circuit ~wall_s ~sa_moves =
+  { circuit;
+    wall_s;
+    sa_moves;
+    moves_per_s = (if wall_s > 0.0 then float_of_int sa_moves /. wall_s else 0.0) }
+
+let find t circuit = List.find_opt (fun e -> e.circuit = circuit) t.entries
+
+(* ---- JSON ---------------------------------------------------------- *)
+
+let entry_json e =
+  Jsonx.Obj
+    [ ("circuit", Jsonx.String e.circuit);
+      ("wall_s", Jsonx.Float e.wall_s);
+      ("sa_moves", Jsonx.Int e.sa_moves);
+      ("moves_per_s", Jsonx.Float e.moves_per_s) ]
+
+let to_json t =
+  Jsonx.Obj
+    [ ("schema", Jsonx.String schema);
+      ("version", Jsonx.Int version);
+      ("entries", Jsonx.List (List.map entry_json t.entries)) ]
+
+let entry_of_json e =
+  match
+    ( Option.bind (Jsonx.member "circuit" e) Jsonx.to_string_opt,
+      Option.bind (Jsonx.member "wall_s" e) Jsonx.to_float_opt,
+      Option.bind (Jsonx.member "sa_moves" e) Jsonx.to_int_opt )
+  with
+  | Some circuit, Some wall_s, Some sa_moves ->
+    Some
+      { circuit;
+        wall_s;
+        sa_moves;
+        moves_per_s =
+          Option.value
+            ~default:(if wall_s > 0.0 then float_of_int sa_moves /. wall_s else 0.0)
+            (Option.bind (Jsonx.member "moves_per_s" e) Jsonx.to_float_opt) }
+  | _ -> None
+
+let of_json j =
+  match Jsonx.member "schema" j with
+  | Some (Jsonx.String s) when s = schema ->
+    let entries =
+      match Option.bind (Jsonx.member "entries" j) Jsonx.to_list_opt with
+      | None -> []
+      | Some items -> List.filter_map entry_of_json items
+    in
+    Ok { entries }
+  | _ -> Error "not a hidap-speed document"
+
+let write path t = Jsonx.write_file path (to_json t)
+
+let load path =
+  match Jsonx.parse_file path with
+  | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+  | Ok j ->
+    (match of_json j with
+    | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+    | Ok _ as ok -> ok)
+
+(* ---- report-only comparison ---------------------------------------- *)
+
+type delta = {
+  d_circuit : string;
+  base : entry option;  (** [None] when the baseline lacks this circuit *)
+  cur : entry;
+}
+
+let compare_to ~baseline current =
+  List.map (fun cur -> { d_circuit = cur.circuit; base = find baseline cur.circuit; cur })
+    current.entries
+
+(* Wall-clock is machine-dependent, so the comparison is informational
+   only — it never produces a verdict and must never gate a run. *)
+let render deltas =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-10s %12s %12s %10s %14s %14s %10s\n" "circuit" "base wall_s"
+       "cur wall_s" "Δ wall" "base moves/s" "cur moves/s" "Δ mv/s");
+  List.iter
+    (fun d ->
+      match d.base with
+      | None ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-10s %12s %12.3f %10s %14s %14.0f %10s\n" d.d_circuit "-"
+             d.cur.wall_s "-" "-" d.cur.moves_per_s "(no baseline)")
+      | Some b ->
+        let pct cur base =
+          if base > 0.0 then Printf.sprintf "%+.1f%%" (100.0 *. ((cur /. base) -. 1.0))
+          else "-"
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%-10s %12.3f %12.3f %10s %14.0f %14.0f %10s\n" d.d_circuit
+             b.wall_s d.cur.wall_s
+             (pct d.cur.wall_s b.wall_s)
+             b.moves_per_s d.cur.moves_per_s
+             (pct d.cur.moves_per_s b.moves_per_s)))
+    deltas;
+  Buffer.add_string buf "(speed comparison is report-only: wall-clock is machine-dependent)\n";
+  Buffer.contents buf

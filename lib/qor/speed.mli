@@ -1,0 +1,52 @@
+(** Schema-versioned speed records and the report-only speed comparison.
+
+    One ["hidap-speed"] document holds per-circuit throughput of a run:
+    wall-clock of the placement flow, total SA moves (a deterministic
+    work measure from {!Obs.Perf}), and the derived moves/sec. The same
+    document format serves as the committed baseline file
+    ([bench/speed_baselines.json]).
+
+    Unlike {!Baseline}, the comparison here is {e report-only}: wall
+    clock is machine-dependent, so deltas are printed for humans and CI
+    job summaries but never produce a gating verdict. *)
+
+val schema : string
+(** ["hidap-speed"]. *)
+
+val version : int
+(** Current schema version (1). *)
+
+type entry = {
+  circuit : string;
+  wall_s : float;  (** wall-clock of the placement flow, seconds *)
+  sa_moves : int;  (** deterministic SA move count ([sa.moves] perf counter) *)
+  moves_per_s : float;  (** [sa_moves / wall_s]; 0 when [wall_s = 0] *)
+}
+
+type t = { entries : entry list }
+
+val entry : circuit:string -> wall_s:float -> sa_moves:int -> entry
+(** Builds an entry, deriving [moves_per_s]. *)
+
+val find : t -> string -> entry option
+
+val to_json : t -> Obs.Jsonx.t
+
+val of_json : Obs.Jsonx.t -> (t, string) result
+
+val write : string -> t -> unit
+
+val load : string -> (t, string) result
+
+type delta = {
+  d_circuit : string;
+  base : entry option;  (** [None] when the baseline lacks this circuit *)
+  cur : entry;
+}
+
+val compare_to : baseline:t -> t -> delta list
+(** One delta per current entry, in current order. *)
+
+val render : delta list -> string
+(** Human-readable comparison table. Informational only — callers must
+    not turn it into an exit code. *)

@@ -273,6 +273,142 @@ let test_place_determinism_under_tracing () =
     | _ -> false);
   Alcotest.(check bool) "at least 8 named metrics" true (n_metrics >= 8)
 
+(* Perf counters are merged in task order at every join point, so the
+   merged totals — and the placement itself — must be bit-identical for
+   every job count (DESIGN.md §9/§12). *)
+let test_perf_merge_determinism () =
+  let flat = Netlist.Flat.elaborate (Circuitgen.Suite.fig1_design ()) in
+  let run jobs =
+    let config = { Hidap.Config.default with Hidap.Config.jobs } in
+    Obs.Perf.reset Obs.Perf.global;
+    Obs.Perf.set_enabled true;
+    Fun.protect
+      ~finally:(fun () -> Obs.Perf.set_enabled false)
+      (fun () ->
+        let r = Hidap.place ~config flat in
+        let counts = Obs.Perf.to_assoc Obs.Perf.global in
+        Obs.Perf.reset Obs.Perf.global;
+        (r, counts))
+  in
+  let base, counts1 = run 1 in
+  List.iter
+    (fun jobs ->
+      let r, counts = run jobs in
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d placement identical to jobs=1" jobs)
+        true
+        (r.Hidap.placements = base.Hidap.placements);
+      Alcotest.(check (list (pair string int)))
+        (Printf.sprintf "jobs=%d merged counters identical to jobs=1" jobs)
+        counts1 counts)
+    [ 2; 4 ];
+  Alcotest.(check bool) "sa.moves counted" true
+    (List.assoc "sa.moves" counts1 > 0);
+  Alcotest.(check int) "moves split into accepts + rejects"
+    (List.assoc "sa.moves" counts1)
+    (List.assoc "sa.accepts" counts1 + List.assoc "sa.rejects" counts1);
+  Alcotest.(check bool) "instances counted" true
+    (List.assoc "floorplan.instances" counts1 > 0)
+
+(* The sampler's collapsed-stack output: root-first stacks joined with
+   ';', "(idle)" for an empty stack, sorted buckets, positive counts. *)
+let test_sampler_collapsed_stacks () =
+  Alcotest.(check string) "empty stack is idle" "(idle)" (Obs.Sampler.collapse []);
+  Alcotest.(check string) "innermost-first input collapses root-first"
+    "root;mid;leaf"
+    (Obs.Sampler.collapse [ "leaf"; "mid"; "root" ]);
+  Alcotest.(check (list string)) "one line per bucket"
+    [ "hidap.place;floorplan.run 41"; "(idle) 3" ]
+    (Obs.Sampler.to_collapsed_lines
+       [ ("hidap.place;floorplan.run", 41); ("(idle)", 3) ]);
+  (* live run: sample deterministically via sample_now inside a nested
+     span, plus stop's forced final sample outside any span *)
+  Trace.start ();
+  Obs.Sampler.start ~interval_ms:1000.0 ();
+  let samples =
+    Fun.protect
+      ~finally:(fun () -> ignore (Trace.finish ()))
+      (fun () ->
+        Span.with_ ~name:"outer" (fun () ->
+            Span.with_ ~name:"inner" (fun () -> Obs.Sampler.sample_now ()));
+        Obs.Sampler.stop ())
+  in
+  Alcotest.(check bool) "sampler stopped" false (Obs.Sampler.running ());
+  Alcotest.(check bool) "captured samples" true (samples <> []);
+  let stacks = List.map fst samples in
+  Alcotest.(check (list string)) "buckets sorted by stack"
+    (List.sort compare stacks) stacks;
+  List.iter
+    (fun (stack, n) ->
+      Alcotest.(check bool) (stack ^ ": positive count") true (n > 0);
+      Alcotest.(check bool) (stack ^ ": no empty frames") true
+        (stack <> ""
+        && List.for_all
+             (fun f -> f <> "")
+             (String.split_on_char ';' stack)))
+    samples;
+  Alcotest.(check bool) "sample_now saw the nested stack" true
+    (List.mem_assoc "outer;inner" samples)
+
+(* Every progress line must parse back through Jsonx with the standard
+   envelope and the documented per-event fields (DESIGN.md §12). *)
+let test_stream_ndjson_roundtrip () =
+  let path = Filename.temp_file "hidap_progress" ".ndjson" in
+  Obs.Stream.enable ~heartbeat_s:0.0 ~close_on_disable:true (open_out path);
+  Obs.Stream.run_start ~circuit:"c1" ~seed:42 ~jobs:2;
+  Obs.Stream.stage_start "floorplan";
+  Obs.Stream.sa_progress ~instance:1 ~instances:11 ~temperature:0.5
+    ~best_cost:123.25 ~moves:1000 ~moves_per_s:2.5e5 ();
+  Obs.Stream.stage_end "floorplan" ~dur_us:1.5e6 ~ok:true;
+  Obs.Stream.checkpoint ~seq:3 ~file:"ckpt/000003.snap";
+  Obs.Stream.degradation ~stage:"cellplace" ~reason:"budget exceeded";
+  Obs.Stream.run_end ~status:"ok";
+  Obs.Stream.disable ();
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  let events =
+    List.rev_map
+      (fun line ->
+        match Jsonx.parse line with
+        | Error msg -> Alcotest.failf "unparseable line %S: %s" line msg
+        | Ok j ->
+          Alcotest.(check bool) "envelope schema" true
+            (Jsonx.member "schema" j
+            = Some (Jsonx.String Obs.Stream.schema));
+          Alcotest.(check bool) "envelope version" true
+            (Jsonx.member "version" j = Some (Jsonx.Int Obs.Stream.version));
+          Alcotest.(check bool) "envelope timestamp" true
+            (match Jsonx.member "t_us" j with
+            | Some t -> Jsonx.to_float_opt t <> None
+            | None -> false);
+          (match Jsonx.member "event" j with
+          | Some (Jsonx.String e) -> (e, j)
+          | _ -> Alcotest.failf "line without event: %S" line))
+      !lines
+  in
+  Alcotest.(check (list string)) "event order"
+    [ "run-start"; "stage-start"; "sa-progress"; "stage-end"; "checkpoint";
+      "degradation"; "run-end" ]
+    (List.map fst events);
+  let sa = List.assoc "sa-progress" events in
+  List.iter
+    (fun (field, v) ->
+      Alcotest.(check bool) ("sa-progress " ^ field) true
+        (Jsonx.member field sa = Some v))
+    [ ("instance", Jsonx.Int 1); ("instances", Jsonx.Int 11);
+      ("moves", Jsonx.Int 1000); ("best_cost", Jsonx.Float 123.25) ];
+  Alcotest.(check bool) "run-end status" true
+    (Jsonx.member "status" (List.assoc "run-end" events)
+    = Some (Jsonx.String "ok"));
+  Alcotest.(check bool) "stream detached" false (Obs.Stream.enabled ())
+
 let suite =
   [ ( "obs",
       [ Alcotest.test_case "span nesting and timing" `Quick test_span_nesting;
@@ -289,5 +425,11 @@ let suite =
         Alcotest.test_case "registry merge" `Quick test_registry_merge;
         Alcotest.test_case "global registry gating" `Quick test_global_gating;
         Alcotest.test_case "sa plateau observer" `Quick test_sa_observer;
+        Alcotest.test_case "sampler collapsed stacks" `Quick
+          test_sampler_collapsed_stacks;
+        Alcotest.test_case "progress stream NDJSON round-trip" `Quick
+          test_stream_ndjson_roundtrip;
+        Alcotest.test_case "perf counter merge determinism" `Slow
+          test_perf_merge_determinism;
         Alcotest.test_case "tracing preserves determinism" `Slow
           test_place_determinism_under_tracing ] ) ]

@@ -168,6 +168,17 @@ let sample_record () =
       Some
         { Record.resumed_from = Some "snap-000004.ckpt"; snapshots_written = 2;
           instances_reused = 5 };
+    perf =
+      Some
+        { Record.perf_counters = [ ("sa.moves", 21312); ("sa.accepts", 9000) ];
+          perf_moves_per_s = 5014.6;
+          perf_wall_s = 4.25;
+          pool_workers =
+            [ { Record.pw_tasks = 3; pw_steals = 0; pw_busy_us = 1.0e6 };
+              { Record.pw_tasks = 4; pw_steals = 4; pw_busy_us = 1.1e6 } ];
+          pool_wall_us = 2.0e6;
+          pool_maps = 2;
+          profile = [ ("hidap.place;floorplan.run", 41); ("(idle)", 3) ] };
   }
 
 let test_record_roundtrip () =
@@ -198,7 +209,8 @@ let test_record_roundtrip () =
     Alcotest.(check int) "ht_id kept" 3 (List.nth r'.Record.levels 1).Record.ht_id;
     Alcotest.(check bool) "displacement kept" true
       (r'.Record.displacement = r.Record.displacement);
-    Alcotest.(check bool) "ckpt kept" true (r'.Record.ckpt = r.Record.ckpt)
+    Alcotest.(check bool) "ckpt kept" true (r'.Record.ckpt = r.Record.ckpt);
+    Alcotest.(check bool) "perf kept" true (r'.Record.perf = r.Record.perf)
 
 let test_record_versioning () =
   let r = sample_record () in
