@@ -82,6 +82,7 @@ let tables_2_3 () =
         Obs.Metrics.set_enabled true;
         Obs.Perf.reset Obs.Perf.global;
         Obs.Perf.set_enabled true;
+        let gc_before = Obs.Gcstats.snapshot () in
         Obs.Trace.start ();
         let res =
           Fun.protect
@@ -91,6 +92,9 @@ let tables_2_3 () =
             (fun () -> Evalflow.run_all ~name:c.Circuitgen.Suite.cname design)
         in
         let spans = Obs.Trace.finish () in
+        let gc_delta =
+          Obs.Gcstats.diff ~before:gc_before ~after:(Obs.Gcstats.snapshot ())
+        in
         let sa_moves = Obs.Perf.get Obs.Perf.global Obs.Perf.sa_moves in
         let records =
           Qor.Record.of_eval ~circuit:c.Circuitgen.Suite.cname ~flat
@@ -116,7 +120,12 @@ let tables_2_3 () =
               else acc)
             0.0 res.Evalflow.runs
         in
-        ((c, flat, res), Qor.Speed.entry ~circuit:c.Circuitgen.Suite.cname ~wall_s ~sa_moves))
+        ( (c, flat, res),
+          (* Peak RSS is process-wide and monotone: each entry records
+             the high-water mark up to and including its circuit. *)
+          Qor.Speed.entry ~peak_rss_kb:(Obs.Gcstats.peak_rss_kb ())
+            ~major_words:gc_delta.Obs.Gcstats.major_words
+            ~circuit:c.Circuitgen.Suite.cname ~wall_s ~sa_moves () ))
       (circuits ())
   in
   let results, speed = (List.map fst results, List.map snd results) in
@@ -705,11 +714,15 @@ let speed_table (speed : Qor.Speed.entry list) =
   printf "%s@." (T.section "Speed: placement throughput per circuit");
   printf "%s@."
     (T.render
-       ~header:[ "circuit"; "wall(s)"; "sa_moves"; "moves/s" ]
+       ~header:[ "circuit"; "wall(s)"; "sa_moves"; "moves/s"; "peak_rss(MB)"; "major_Mw" ]
        (List.map
           (fun (e : Qor.Speed.entry) ->
             [ e.Qor.Speed.circuit; T.fmt_f 2 e.Qor.Speed.wall_s;
-              string_of_int e.Qor.Speed.sa_moves; T.fmt_f 0 e.Qor.Speed.moves_per_s ])
+              string_of_int e.Qor.Speed.sa_moves; T.fmt_f 0 e.Qor.Speed.moves_per_s;
+              (if e.Qor.Speed.peak_rss_kb > 0 then
+                 T.fmt_f 1 (float_of_int e.Qor.Speed.peak_rss_kb /. 1024.0)
+               else "-");
+              T.fmt_f 1 (e.Qor.Speed.major_words /. 1e6) ])
           speed));
   if Sys.file_exists speed_baselines_path then begin
     match Qor.Speed.load speed_baselines_path with
@@ -754,6 +767,79 @@ let overhead_check () =
     failwith
       (Printf.sprintf "perf-counter overhead %.2f%% exceeds the 2%% budget" overhead_pct);
   overhead_pct
+
+(* Attribution must be free: enabling the metrics layer — which turns
+   on the per-plateau term observer and the best-eval capture in the SA
+   cost closure — has to place bit-identically to a bare run on c1/c5
+   at jobs 1/2, inside the same ≤2% wall-clock budget as the perf
+   counters (min-of-3 on c5, same absolute floor). *)
+let attribution_check () =
+  printf "%s@."
+    (T.section "Cost-term attribution: determinism (c1/c5, jobs 1/2) + overhead (c5)");
+  let place_with ~metrics ~jobs flat =
+    let config = { Hidap.Config.default with Hidap.Config.jobs } in
+    if metrics then begin
+      Obs.Metrics.reset Obs.Metrics.global;
+      Obs.Metrics.set_enabled true
+    end;
+    Fun.protect
+      ~finally:(fun () ->
+        if metrics then begin
+          Obs.Metrics.set_enabled false;
+          Obs.Metrics.reset Obs.Metrics.global
+        end)
+      (fun () -> Hidap.place ~config flat)
+  in
+  let same (a : Hidap.result) (b : Hidap.result) =
+    List.length a.Hidap.placements = List.length b.Hidap.placements
+    && List.for_all2
+         (fun (x : Hidap.macro_placement) (y : Hidap.macro_placement) ->
+           x.Hidap.fid = y.Hidap.fid
+           && x.Hidap.orient = y.Hidap.orient
+           && x.Hidap.rect = y.Hidap.rect)
+         a.Hidap.placements b.Hidap.placements
+  in
+  List.iter
+    (fun cname ->
+      let c =
+        match Circuitgen.Suite.find cname with Some c -> c | None -> assert false
+      in
+      let flat = Flat.elaborate (Circuitgen.Gen.generate c.Circuitgen.Suite.params) in
+      List.iter
+        (fun jobs ->
+          let plain = place_with ~metrics:false ~jobs flat in
+          let attributed = place_with ~metrics:true ~jobs flat in
+          let ok = same plain attributed in
+          printf "  %s jobs=%d: attribution-enabled placement identical: %b@." cname
+            jobs ok;
+          if not ok then
+            failwith
+              (Printf.sprintf "attribution changed the %s placement at jobs=%d" cname
+                 jobs))
+        [ 1; 2 ])
+    [ "c1"; "c5" ];
+  let c = match Circuitgen.Suite.find "c5" with Some c -> c | None -> assert false in
+  let flat = Flat.elaborate (Circuitgen.Gen.generate c.Circuitgen.Suite.params) in
+  let time ~metrics =
+    let one () =
+      let t0 = Obs.Clock.now_s () in
+      let (_ : Hidap.result) = place_with ~metrics ~jobs:1 flat in
+      Obs.Clock.now_s () -. t0
+    in
+    let a = one () in
+    let b = one () in
+    let c = one () in
+    Float.min a (Float.min b c)
+  in
+  let disabled_s = time ~metrics:false in
+  let enabled_s = time ~metrics:true in
+  let pct = 100.0 *. ((enabled_s /. disabled_s) -. 1.0) in
+  printf "  c5 wall: bare %.3fs, attributed %.3fs (%+.2f%%, budget 2%%)@." disabled_s
+    enabled_s pct;
+  if enabled_s > (disabled_s *. 1.02) +. 0.01 then
+    failwith
+      (Printf.sprintf "attribution overhead %.2f%% exceeds the 2%% budget" pct);
+  pct
 
 (* ------------------------------------------------------------------ *)
 (* Parallel annealing: floorplan-stage speedup and determinism (c5)    *)
@@ -890,7 +976,7 @@ let bechamel_benches () =
 (* the perf trajectory accumulates across commits (BENCH_<date>.json). *)
 (* ------------------------------------------------------------------ *)
 
-let suite_summary results ~speed ~overhead_pct ~elapsed_s =
+let suite_summary results ~speed ~overhead_pct ~attribution_pct ~elapsed_s =
   let module J = Obs.Jsonx in
   let tm = Unix.localtime (Unix.time ()) in
   let date =
@@ -940,6 +1026,7 @@ let suite_summary results ~speed ~overhead_pct ~elapsed_s =
         ( "speed",
           J.Obj
             [ ("counter_overhead_pct", J.Float overhead_pct);
+              ("attribution_overhead_pct", J.Float attribution_pct);
               ( "circuits",
                 J.Obj
                   (List.map
@@ -948,7 +1035,9 @@ let suite_summary results ~speed ~overhead_pct ~elapsed_s =
                          J.Obj
                            [ ("wall_s", J.Float e.Qor.Speed.wall_s);
                              ("sa_moves", J.Int e.Qor.Speed.sa_moves);
-                             ("moves_per_s", J.Float e.Qor.Speed.moves_per_s) ] ))
+                             ("moves_per_s", J.Float e.Qor.Speed.moves_per_s);
+                             ("peak_rss_kb", J.Int e.Qor.Speed.peak_rss_kb);
+                             ("major_words", J.Float e.Qor.Speed.major_words) ] ))
                      speed) ) ] );
         ("circuits", J.Obj per_circuit) ]
   in
@@ -973,8 +1062,9 @@ let () =
   observability ();
   speed_table speed;
   let overhead_pct = overhead_check () in
+  let attribution_pct = attribution_check () in
   parallel_speedup ();
   bechamel_benches ();
   let elapsed_s = Obs.Clock.now_s () -. t0 in
-  suite_summary results ~speed ~overhead_pct ~elapsed_s;
+  suite_summary results ~speed ~overhead_pct ~attribution_pct ~elapsed_s;
   printf "@.total bench time: %.1fs@." elapsed_s

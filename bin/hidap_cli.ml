@@ -8,6 +8,8 @@
      gen    -c NAME -o FILE    emit a synthetic suite circuit as HNL
      view   FILE.hnl           evaluate and render a saved placement
      report LEDGER|DIR         self-contained HTML report from QoR ledgers
+     explain RUN.json          attribute a run's cost to terms/blocks/pairs
+     diff   A.json B.json      compare two runs term by term, macro by macro
      bench                     run suite circuits, gate against baselines
      ckpt   ls|inspect|gc DIR  inspect and maintain checkpoint directories *)
 
@@ -197,9 +199,10 @@ let perf_out_arg =
 
 let progress_file_arg =
   Arg.(value & opt (some string) None & info [ "progress-file" ] ~docv:"OUT.ndjson"
-         ~doc:"Stream live progress events (NDJSON, schema hidap-progress v1: \
-               heartbeat, stage start/end, per-instance SA progress, \
-               checkpoints, degradations) to a file. See DESIGN.md section 12.")
+         ~doc:"Stream live progress events (NDJSON, schema hidap-progress v2: \
+               heartbeat, stage start/end, per-instance SA progress with \
+               cost-term breakdowns, checkpoints, degradations) to a file. \
+               See DESIGN.md section 12.")
 
 let progress_fd_arg =
   Arg.(value & opt (some int) None & info [ "progress-fd" ] ~docv:"N"
@@ -214,7 +217,9 @@ let open_output ~what path =
   match open_out path with
   | oc -> (path, oc)
   | exception Sys_error msg ->
-    Format.eprintf "hidap: cannot open %s output: %s@." what msg;
+    print_diag
+      (Guard.Diag.error ~code:"bad-output-path" ~stage:"cli"
+         (Printf.sprintf "cannot open %s output: %s" what msg));
     exit exit_usage
 
 let write_output what out json =
@@ -887,6 +892,263 @@ let report_cmd =
     (Cmd.info "report" ~doc:"Render QoR ledgers as self-contained HTML run reports")
     Term.(const run $ input_arg $ output_arg $ baselines_arg)
 
+(* ---- explain / diff ----------------------------------------------- *)
+
+(* Both commands read QoR ledgers written by `place --qor` (one record)
+   or `eval --qor` (one per flow); the HiDaP record is the one carrying
+   the attribution section, so prefer it. *)
+let load_run path =
+  match Qor.Record.load_ledger path with
+  | Error msg ->
+    Format.eprintf "hidap: %s@." msg;
+    exit exit_invalid
+  | Ok [] ->
+    Format.eprintf "hidap: %s: empty ledger@." path;
+    exit exit_invalid
+  | Ok records ->
+    (match
+       List.find_opt (fun r -> r.Qor.Record.cost_breakdown <> None) records
+     with
+    | Some r -> r
+    | None -> List.hd records)
+
+let top_arg =
+  Arg.(value & opt int 10 & info [ "top" ] ~docv:"K"
+         ~doc:"How many blocks / affinity pairs to show (default 10).")
+
+let take k l =
+  let rec go k = function
+    | [] -> []
+    | _ when k <= 0 -> []
+    | x :: rest -> x :: go (k - 1) rest
+  in
+  go k l
+
+let pct_of ~total v = if total <> 0.0 then 100.0 *. v /. total else 0.0
+
+let term_value cb name =
+  Option.value ~default:0.0 (List.assoc_opt name cb.Qor.Record.cb_terms)
+
+let explain_cmd =
+  let run input top heatmap =
+    let r = load_run input in
+    match r.Qor.Record.cost_breakdown with
+    | None ->
+      Format.eprintf
+        "hidap: %s carries no cost_breakdown section (eval-path record, a top \
+         instance replayed from a checkpoint, or a pre-v3 record); re-run \
+         'hidap place --qor' to attribute the cost@."
+        input;
+      exit exit_invalid
+    | Some cb ->
+      Format.printf "%s · %s · seed %d · total cost %.6g@." r.Qor.Record.circuit
+        r.Qor.Record.flow r.Qor.Record.seed cb.Qor.Record.cb_total;
+      let total = cb.Qor.Record.cb_total in
+      print_string
+        (Report.Table.render ~header:[ "term"; "value"; "share" ]
+           (List.map
+              (fun (name, v) ->
+                [ name; Report.Table.fmt_f 6 v;
+                  Report.Table.fmt_f 2 (pct_of ~total v) ^ "%" ])
+              cb.Qor.Record.cb_terms));
+      (match cb.Qor.Record.cb_blocks with
+      | [] -> ()
+      | blocks ->
+        let wl_term = term_value cb "wirelength" in
+        Format.printf "top %d blocks by wirelength share:@." top;
+        print_string
+          (Report.Table.render
+             ~header:[ "block"; "wl"; "wl%"; "at_shift"; "am_def"; "macro_def" ]
+             (take top
+                (List.sort
+                   (fun (a : Qor.Record.block_contrib) b ->
+                     compare b.Qor.Record.bc_wl a.Qor.Record.bc_wl)
+                   blocks)
+                |> List.map (fun (b : Qor.Record.block_contrib) ->
+                       [ b.Qor.Record.bc_name;
+                         Report.Table.fmt_f 2 b.Qor.Record.bc_wl;
+                         Report.Table.fmt_f 1 (pct_of ~total:wl_term b.Qor.Record.bc_wl)
+                         ^ "%";
+                         Report.Table.fmt_f 2 b.Qor.Record.bc_at_shift;
+                         Report.Table.fmt_f 2 b.Qor.Record.bc_am_deficit;
+                         Report.Table.fmt_f 2 b.Qor.Record.bc_macro_deficit ]))));
+      (match cb.Qor.Record.cb_pairs with
+      | [] -> ()
+      | pairs ->
+        let wl_term = term_value cb "wirelength" in
+        Format.printf "top %d affinity pairs by wirelength contribution:@." top;
+        print_string
+          (Report.Table.render ~header:[ "a"; "b"; "weight"; "wl"; "wl%" ]
+             (take top
+                (List.sort
+                   (fun (a : Qor.Record.pair_contrib) b ->
+                     compare b.Qor.Record.pair_wl a.Qor.Record.pair_wl)
+                   pairs)
+                |> List.map (fun (p : Qor.Record.pair_contrib) ->
+                       [ p.Qor.Record.pair_a; p.Qor.Record.pair_b;
+                         Report.Table.fmt_f 3 p.Qor.Record.pair_weight;
+                         Report.Table.fmt_f 2 p.Qor.Record.pair_wl;
+                         Report.Table.fmt_f 1 (pct_of ~total:wl_term p.Qor.Record.pair_wl)
+                         ^ "%" ]))));
+      match heatmap with
+      | None -> ()
+      | Some path ->
+        let labels, values = Qor.Html.contribution_matrix cb in
+        Viz.Svg.write_file path (Viz.Svg.contribution_heatmap ~labels ~values ());
+        Format.printf "wrote %s@." path
+  in
+  let input_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"RUN.json"
+           ~doc:"QoR ledger written by 'place --qor' (or 'eval --qor').")
+  in
+  let heatmap_arg =
+    Arg.(value & opt (some string) None & info [ "heatmap" ] ~docv:"OUT.svg"
+           ~doc:"Write the affinity-pair wirelength contributions as a labelled \
+                 heat-map SVG.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Attribute a run's cost to terms, blocks and affinity pairs" ~exits)
+    Term.(const run $ input_arg $ top_arg $ heatmap_arg)
+
+let diff_cmd =
+  let run input_a input_b top =
+    let ra = load_run input_a and rb = load_run input_b in
+    Format.printf "A %s: %s · %s · seed %d · WL %.4g um@." input_a
+      ra.Qor.Record.circuit ra.Qor.Record.flow ra.Qor.Record.seed
+      ra.Qor.Record.qm.Qor.Record.wl_um;
+    Format.printf "B %s: %s · %s · seed %d · WL %.4g um@." input_b
+      rb.Qor.Record.circuit rb.Qor.Record.flow rb.Qor.Record.seed
+      rb.Qor.Record.qm.Qor.Record.wl_um;
+    (match (ra.Qor.Record.cost_breakdown, rb.Qor.Record.cost_breakdown) with
+    | Some ca, Some cbb ->
+      Format.printf "cost %.6g -> %.6g (%+.2f%%)@." ca.Qor.Record.cb_total
+        cbb.Qor.Record.cb_total
+        (if ca.Qor.Record.cb_total <> 0.0 then
+           100.0 *. ((cbb.Qor.Record.cb_total /. ca.Qor.Record.cb_total) -. 1.0)
+         else 0.0);
+      let names =
+        List.map fst ca.Qor.Record.cb_terms
+        @ List.filter
+            (fun n -> not (List.mem_assoc n ca.Qor.Record.cb_terms))
+            (List.map fst cbb.Qor.Record.cb_terms)
+      in
+      print_string
+        (Report.Table.render ~header:[ "term"; "A"; "B"; "delta"; "delta%" ]
+           (List.map
+              (fun name ->
+                let a = term_value ca name and b = term_value cbb name in
+                [ name; Report.Table.fmt_f 6 a; Report.Table.fmt_f 6 b;
+                  Report.Table.fmt_f 6 (b -. a);
+                  (if a <> 0.0 then
+                     Report.Table.fmt_f 2 (100.0 *. ((b /. a) -. 1.0)) ^ "%"
+                   else "-") ])
+              names));
+      (* per-pair wl deltas, matched on the unordered endpoint names *)
+      let key (p : Qor.Record.pair_contrib) =
+        if p.Qor.Record.pair_a <= p.Qor.Record.pair_b then
+          (p.Qor.Record.pair_a, p.Qor.Record.pair_b)
+        else (p.Qor.Record.pair_b, p.Qor.Record.pair_a)
+      in
+      let tbl = Hashtbl.create 64 in
+      List.iter
+        (fun p ->
+          let k = key p in
+          let wa, _ = try Hashtbl.find tbl k with Not_found -> (0.0, 0.0) in
+          Hashtbl.replace tbl k (wa +. p.Qor.Record.pair_wl, 0.0))
+        ca.Qor.Record.cb_pairs;
+      List.iter
+        (fun p ->
+          let k = key p in
+          let wa, wb = try Hashtbl.find tbl k with Not_found -> (0.0, 0.0) in
+          Hashtbl.replace tbl k (wa, wb +. p.Qor.Record.pair_wl))
+        cbb.Qor.Record.cb_pairs;
+      let deltas =
+        Hashtbl.fold (fun (a, b) (wa, wb) acc -> ((a, b), wa, wb) :: acc) tbl []
+        |> List.sort (fun (ka, wa, wba) (kb, wb2, wbb) ->
+               match
+                 compare (abs_float (wbb -. wb2)) (abs_float (wba -. wa))
+               with
+               | 0 -> compare ka kb
+               | c -> c)
+      in
+      (match deltas with
+      | [] -> ()
+      | _ ->
+        Format.printf "top %d affinity pairs by |wl delta|:@." top;
+        print_string
+          (Report.Table.render ~header:[ "a"; "b"; "A wl"; "B wl"; "delta" ]
+             (take top deltas
+              |> List.map (fun ((a, b), wa, wb) ->
+                     [ a; b; Report.Table.fmt_f 2 wa; Report.Table.fmt_f 2 wb;
+                       Report.Table.fmt_f 2 (wb -. wa) ]))))
+    | _ ->
+      let missing =
+        match (ra.Qor.Record.cost_breakdown, rb.Qor.Record.cost_breakdown) with
+        | None, None -> "both runs"
+        | None, _ -> input_a
+        | _ -> input_b
+      in
+      Format.printf
+        "(no cost_breakdown in %s; term and pair deltas skipped — macro \
+         displacement below)@."
+        missing);
+    (* per-macro displacement, always available from the geometry *)
+    let moved =
+      List.filter_map
+        (fun (ma : Qor.Record.macro) ->
+          List.find_opt
+            (fun (mb : Qor.Record.macro) ->
+              mb.Qor.Record.macro_name = ma.Qor.Record.macro_name)
+            rb.Qor.Record.macros
+          |> Option.map (fun (mb : Qor.Record.macro) ->
+                 let d =
+                   Geom.Point.euclidean
+                     (Geom.Rect.center ma.Qor.Record.macro_rect)
+                     (Geom.Rect.center mb.Qor.Record.macro_rect)
+                 in
+                 (ma, mb, d)))
+        ra.Qor.Record.macros
+    in
+    (match moved with
+    | [] -> Format.printf "(no common macros between the two runs)@."
+    | _ ->
+      let n = List.length moved in
+      let mean = List.fold_left (fun acc (_, _, d) -> acc +. d) 0.0 moved /. float_of_int n in
+      Format.printf "macro displacement: %d common macro(s), mean %.2f um@." n mean;
+      Format.printf "top %d macros by displacement:@." top;
+      print_string
+        (Report.Table.render
+           ~header:[ "macro"; "disp(um)"; "A orient"; "B orient" ]
+           (take top
+              (List.sort (fun (_, _, da) (_, _, db) -> compare db da) moved)
+            |> List.map
+                 (fun ((ma : Qor.Record.macro), (mb : Qor.Record.macro), d) ->
+                   [ ma.Qor.Record.macro_name; Report.Table.fmt_f 2 d;
+                     Geom.Orientation.to_string ma.Qor.Record.orient;
+                     (let oa = Geom.Orientation.to_string ma.Qor.Record.orient
+                      and ob = Geom.Orientation.to_string mb.Qor.Record.orient in
+                      if oa = ob then ob else ob ^ " *") ]))));
+    let unmatched =
+      List.length ra.Qor.Record.macros + List.length rb.Qor.Record.macros
+      - (2 * List.length moved)
+    in
+    if unmatched > 0 then
+      Format.printf "(%d macro(s) present in only one run)@." unmatched
+  in
+  let input_a_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"RUN_A.json"
+           ~doc:"Baseline run's QoR ledger.")
+  in
+  let input_b_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"RUN_B.json"
+           ~doc:"Candidate run's QoR ledger.")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Compare two runs term by term and macro by macro" ~exits)
+    Term.(const run $ input_a_arg $ input_b_arg $ top_arg)
+
 (* ---- bench -------------------------------------------------------- *)
 
 let default_speed_baselines = Filename.concat "bench" "speed_baselines.json"
@@ -911,6 +1173,7 @@ let bench_cmd =
             Obs.Metrics.set_enabled true;
             Obs.Perf.reset Obs.Perf.global;
             Obs.Perf.set_enabled true;
+            let gc_before = Obs.Gcstats.snapshot () in
             Obs.Trace.start ();
             let res =
               Fun.protect
@@ -920,6 +1183,9 @@ let bench_cmd =
                 (fun () -> Evalflow.run_all ~config ~name design)
             in
             let spans = Obs.Trace.finish () in
+            let gc_delta =
+              Obs.Gcstats.diff ~before:gc_before ~after:(Obs.Gcstats.snapshot ())
+            in
             let sa_moves = Obs.Perf.get Obs.Perf.global Obs.Perf.sa_moves in
             let records =
               Qor.Record.of_eval ~circuit:name ~flat ~config ~spans
@@ -938,7 +1204,12 @@ let bench_cmd =
                   else acc)
                 0.0 records
             in
-            (records, Qor.Speed.entry ~circuit:name ~wall_s ~sa_moves))
+            ( records,
+              (* Peak RSS is process-wide and monotone: in a multi-circuit
+                 run each entry records the high-water mark so far. *)
+              Qor.Speed.entry ~peak_rss_kb:(Obs.Gcstats.peak_rss_kb ())
+                ~major_words:gc_delta.Obs.Gcstats.major_words ~circuit:name ~wall_s
+                ~sa_moves () ))
         names
     in
     let records = List.concat_map fst per_circuit in
@@ -1120,4 +1391,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ stats_cmd; place_cmd; eval_cmd; check_cmd; gen_cmd; view_cmd; report_cmd;
-            bench_cmd; ckpt_cmd ]))
+            explain_cmd; diff_cmd; bench_cmd; ckpt_cmd ]))

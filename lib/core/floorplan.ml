@@ -14,6 +14,14 @@ type instance_snapshot = {
   inst_blocks : Block.t array;
   inst_affinity : float array array;
   inst_rects : Rect.t array;
+  inst_fixed_names : string array;
+      (* sequential-graph names of the fixed endpoints, indexed like the
+         affinity columns past the blocks *)
+  inst_cost : float option;
+  inst_breakdown : Layout_gen.breakdown option;
+  inst_attribution : Layout_gen.attribution option;
+      (* None when the instance was replayed from a checkpoint: the
+         snapshot stores rectangles, not the layout evaluation *)
 }
 
 type t = {
@@ -173,6 +181,27 @@ let sa_observer ~depth =
         Obs.Metrics.sample "sa.plateau_temperature" p.Anneal.Sa.temperature)
   end
 
+(* Per-plateau cost-term trajectories, keyed by recursion depth like
+   [sa_observer]. Series names are pre-rendered so the per-plateau work
+   is five registry appends; the observer runs outside the SA RNG path
+   (Anneal.Sa) so enabling it cannot change a placement. *)
+let sa_term_observer ~depth =
+  if not (Obs.Metrics.enabled ()) then None
+  else begin
+    let names =
+      List.map
+        (fun t -> Printf.sprintf "sa.term.%s.level%d" t depth)
+        Layout_gen.term_names
+    in
+    Some
+      (fun (p : Anneal.Sa.plateau) (b : Layout_gen.breakdown) ->
+        let x = float_of_int p.Anneal.Sa.total_moves in
+        List.iter2
+          (fun name (_, v) -> Obs.Metrics.series name ~x ~y:v)
+          names
+          (Layout_gen.breakdown_terms b))
+  end
+
 (* Instance count of the recursion below [nh], mirroring the
    decluster/recurse structure of [instance_body] without running any
    placement. Only evaluated when progress streaming is on (to report
@@ -250,17 +279,18 @@ and instance_body ctx ~nh ~budget ~depth =
       | Some session -> Ckpt.Session.lookup_instance session ~nh ~n_blocks
     in
     ctx.inst_index <- ctx.inst_index + 1;
-    let rects, inst_moves =
+    let rects, inst_moves, layout_opt =
       match cached with
       | Some e ->
         Util.Rng.set_state ctx.rng e.Ckpt.State.rng_after;
         Obs.Span.attr_int "ckpt_reused" 1;
-        (e.Ckpt.State.rects, e.Ckpt.State.sa_moves)
+        (e.Ckpt.State.rects, e.Ckpt.State.sa_moves, None)
       | None ->
         let streaming = Obs.Stream.enabled () in
         let t0 = if streaming then Obs.Clock.now_us () else 0.0 in
         let layout =
-          Layout_gen.run ?observer:(sa_observer ~depth) ~rng:ctx.rng ~config ~blocks
+          Layout_gen.run ?observer:(sa_observer ~depth)
+            ?term_observer:(sa_term_observer ~depth) ~rng:ctx.rng ~config ~blocks
             ~affinity ~fixed_pos ~budget ()
         in
         if streaming then begin
@@ -268,7 +298,9 @@ and instance_body ctx ~nh ~budget ~depth =
           let moves = layout.Layout_gen.sa_moves in
           Obs.Stream.sa_progress ~instance:ctx.inst_index ?instances:ctx.inst_total
             ~temperature:layout.Layout_gen.final_temperature
-            ~best_cost:layout.Layout_gen.cost ~moves
+            ~best_cost:layout.Layout_gen.cost
+            ~cost_terms:(Layout_gen.breakdown_terms layout.Layout_gen.breakdown)
+            ~moves
             ~moves_per_s:(if dur_s > 0.0 then float_of_int moves /. dur_s else 0.0)
             ()
         end;
@@ -278,7 +310,7 @@ and instance_body ctx ~nh ~budget ~depth =
           Ckpt.Session.instance_done session ~nh ~depth ~n_blocks
             ~rects:layout.Layout_gen.rects ~sa_moves:layout.Layout_gen.sa_moves
             ~rng_after:(Util.Rng.state ctx.rng));
-        (layout.Layout_gen.rects, layout.Layout_gen.sa_moves)
+        (layout.Layout_gen.rects, layout.Layout_gen.sa_moves, Some layout)
     in
     ctx.sa_moves <- ctx.sa_moves + inst_moves;
     Obs.Span.attr_int "blocks" n_blocks;
@@ -304,7 +336,21 @@ and instance_body ctx ~nh ~budget ~depth =
       ctx.out_top <-
         Some
           { inst_blocks = blocks; inst_affinity = affinity;
-            inst_rects = Array.copy rects };
+            inst_rects = Array.copy rects;
+            inst_fixed_names =
+              Array.map
+                (fun gid -> ctx.gseq.Seqgraph.nodes.(gid).Seqgraph.name)
+                fixed;
+            inst_cost =
+              Option.map (fun (l : Layout_gen.result) -> l.Layout_gen.cost) layout_opt;
+            inst_breakdown =
+              Option.map
+                (fun (l : Layout_gen.result) -> l.Layout_gen.breakdown)
+                layout_opt;
+            inst_attribution =
+              Option.map
+                (fun (l : Layout_gen.result) -> l.Layout_gen.attribution)
+                layout_opt };
     (* Recurse / fix. *)
     Array.iteri
       (fun bi (b : Block.t) ->

@@ -18,8 +18,18 @@ type instance_snapshot = {
   inst_blocks : Block.t array;
   inst_affinity : float array array;
   inst_rects : Geom.Rect.t array;
+  inst_fixed_names : string array;
+      (** sequential-graph names of the fixed endpoints, indexed like
+          the affinity columns past the blocks *)
+  inst_cost : float option;
+  inst_breakdown : Layout_gen.breakdown option;
+  inst_attribution : Layout_gen.attribution option;
+      (** cost, named terms and per-pair/per-block attribution of the
+          top layout; [None] when the instance was replayed from a
+          checkpoint (snapshots store rectangles, not evaluations) *)
 }
-(** The top-level instance, kept for visualization (paper Fig. 9d). *)
+(** The top-level instance, kept for visualization (paper Fig. 9d) and
+    cost attribution (DESIGN.md §13). *)
 
 type t = {
   placed_macros : (int * Geom.Rect.t * Geom.Orientation.t) list;

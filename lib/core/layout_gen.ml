@@ -1,15 +1,80 @@
 module Rect = Geom.Rect
 module Point = Geom.Point
 
+type breakdown = {
+  bd_wirelength : float;
+  bd_at_penalty : float;
+  bd_am_penalty : float;
+  bd_macro_penalty : float;
+  bd_residual : float;
+}
+
+type pair_contrib = {
+  pc_i : int;
+  pc_j : int;
+  pc_weight : float;
+  pc_wl : float;
+}
+
+type attribution = {
+  attr_pairs : pair_contrib array;
+  attr_leaf_viol : Slicing.Layout.violations array;
+}
+
 type result = {
   rects : Rect.t array;
   cost : float;
   wirelength_term : float;
   viol : Slicing.Layout.violations;
+  breakdown : breakdown;
+  attribution : attribution;
   sa_moves : int;
   final_temperature : float;
       (* of the winning annealing start; 0.0 when no search ran *)
 }
+
+let term_names = [ "wirelength"; "at_penalty"; "am_penalty"; "macro_penalty"; "residual" ]
+
+let breakdown_terms b =
+  [ ("wirelength", b.bd_wirelength);
+    ("at_penalty", b.bd_at_penalty);
+    ("am_penalty", b.bd_am_penalty);
+    ("macro_penalty", b.bd_macro_penalty);
+    ("residual", b.bd_residual) ]
+
+(* The documented reconstruction order. [breakdown_of] computes the
+   residual against exactly this left-to-right sum, so the total is the
+   annealer's scalar bit for bit. *)
+let breakdown_total b =
+  (((b.bd_wirelength +. b.bd_at_penalty) +. b.bd_am_penalty) +. b.bd_macro_penalty)
+  +. b.bd_residual
+
+(* Named decomposition of the scalar the annealer minimizes. The cost is
+   [base * (1 + at + am + macro)] with [base] the wirelength (or the 1.0
+   legality bias when the affinity matrix is empty), so distributing
+   [base] gives one named product per penalty term. The four products
+   agree with [cost] to a few ulps, which keeps [cost /. sum] within
+   [1/2, 2]; by Sterbenz's lemma [cost -. sum] is then computed exactly
+   and adding it back reproduces [cost] bit for bit — the invariant the
+   attribution property test asserts. *)
+let breakdown_of ~cost ~wirelength ~viol ~(config : Config.t) ~budget ~n_pairs =
+  let scale v = v /. max 1e-9 (Rect.area budget) in
+  let base = if n_pairs = 0 then 1.0 else wirelength in
+  let bd_wirelength = base in
+  let bd_at_penalty =
+    base *. (config.Config.at_weight *. scale viol.Slicing.Layout.at_shift)
+  in
+  let bd_am_penalty =
+    base *. (config.Config.am_weight *. scale viol.Slicing.Layout.am_deficit)
+  in
+  let bd_macro_penalty =
+    base *. (config.Config.macro_weight *. scale viol.Slicing.Layout.macro_deficit)
+  in
+  let partial =
+    ((bd_wirelength +. bd_at_penalty) +. bd_am_penalty) +. bd_macro_penalty
+  in
+  { bd_wirelength; bd_at_penalty; bd_am_penalty; bd_macro_penalty;
+    bd_residual = cost -. partial }
 
 (* Sparse list of affinity pairs that involve at least one block. *)
 let affinity_pairs ~n_blocks ~n_endpoints affinity =
@@ -94,6 +159,53 @@ let evaluate_into s ~leaves ~budget ~pairs ~fixed_pos ~config ~n_blocks expr =
          cost !wl budget.Rect.w budget.Rect.h);
   (cost, !wl, viol)
 
+(* Full evaluation of one expression: the scalar cost plus its named
+   breakdown and the post-hoc per-pair / per-leaf attribution. Runs once
+   per placed instance (never inside the SA move loop), so it can afford
+   the extra slicing-tree walk of [evaluate_attributed]. *)
+let result_of_expr ~leaves ~budget ~pairs ~fixed_pos ~(config : Config.t) ~n_blocks
+    ~sa_moves ~final_temperature expr =
+  let s = make_scratch ~n_blocks ~budget in
+  let cost, wl, viol =
+    evaluate_into s ~leaves ~budget ~pairs ~fixed_pos ~config ~n_blocks expr
+  in
+  let breakdown =
+    breakdown_of ~cost ~wirelength:wl ~viol ~config ~budget
+      ~n_pairs:(Array.length pairs)
+  in
+  (* Per-pair wirelength: replay the [evaluate_into] loop term by term.
+     Same pairs array, same order, same positions, same float products —
+     folding the contributions reproduces [wirelength_term] bit for
+     bit. *)
+  let pos i = if i < n_blocks then s.s_centers.(i) else fixed_pos.(i - n_blocks) in
+  let attr_pairs =
+    Array.map
+      (fun (i, j, w) ->
+        { pc_i = i; pc_j = j; pc_weight = w; pc_wl = w *. Point.manhattan (pos i) (pos j) })
+      pairs
+  in
+  (* Per-leaf violations, with the single-block budget adjustment of
+     [evaluate_into] mirrored onto the lone leaf so the attribution
+     covers the same total as [viol]. *)
+  let _, attr_leaf_viol = Slicing.Layout.evaluate_attributed expr ~leaves ~budget in
+  if n_blocks = 1 && Array.length attr_leaf_viol > 0 then
+    attr_leaf_viol.(0) <-
+      { attr_leaf_viol.(0) with
+        Slicing.Layout.am_deficit =
+          attr_leaf_viol.(0).Slicing.Layout.am_deficit
+          +. max 0.0 (leaves.(0).Slicing.Layout.area_min -. Rect.area budget) };
+  { rects = Array.copy s.s_rects; cost; wirelength_term = wl; viol; breakdown;
+    attribution = { attr_pairs; attr_leaf_viol }; sa_moves; final_temperature }
+
+let eval_expr ~config ~blocks ~affinity ~fixed_pos ~budget expr =
+  let n_blocks = Array.length blocks in
+  let leaves = Array.map Block.to_leaf blocks in
+  let pairs =
+    affinity_pairs ~n_blocks ~n_endpoints:(Array.length affinity) affinity
+  in
+  result_of_expr ~leaves ~budget ~pairs ~fixed_pos ~config ~n_blocks ~sa_moves:0
+    ~final_temperature:0.0 expr
+
 (* The alternating-operator chain skeleton with operand values taken
    from [order]. *)
 let chain_expr ~n_blocks ~order =
@@ -144,7 +256,7 @@ let greedy_chain ~affinity ~n_blocks ~n_endpoints =
   done;
   Array.of_list (List.rev !order)
 
-let run ?observer ~rng ~config ~blocks ~affinity ~fixed_pos ~budget () =
+let run ?observer ?term_observer ~rng ~config ~blocks ~affinity ~fixed_pos ~budget () =
   let n_blocks = Array.length blocks in
   assert (n_blocks >= 1);
   let leaves = Array.map Block.to_leaf blocks in
@@ -154,15 +266,12 @@ let run ?observer ~rng ~config ~blocks ~affinity ~fixed_pos ~budget () =
   let eval_into s expr =
     evaluate_into s ~leaves ~budget ~pairs ~fixed_pos ~config ~n_blocks expr
   in
-  if n_blocks = 1 then begin
+  if n_blocks = 1 then
     (* No search needed, but the cost must grade budget violations and
        wirelength to fixed endpoints exactly like the multi-block path,
        so sweep objectives stay comparable across instance sizes. *)
-    let s = make_scratch ~n_blocks ~budget in
-    let cost, wl, viol = eval_into s (Slicing.Polish.initial ~n:1) in
-    { rects = Array.copy s.s_rects; cost; wirelength_term = wl; viol; sa_moves = 0;
-      final_temperature = 0.0 }
-  end
+    result_of_expr ~leaves ~budget ~pairs ~fixed_pos ~config ~n_blocks ~sa_moves:0
+      ~final_temperature:0.0 (Slicing.Polish.initial ~n:1)
   else begin
     (* N independent annealing starts: the affinity-greedy chain, the
        reversed chain and sa_starts - 2 random shuffles. Initial
@@ -193,14 +302,45 @@ let run ?observer ~rng ~config ~blocks ~affinity ~fixed_pos ~budget () =
         Parexec.map pool
           (fun i ->
             let s = make_scratch ~n_blocks ~budget in
-            let cost expr =
-              Guard.Budget.check ~stage:"floorplan";
-              let c, _, _ = eval_into s expr in
-              c
-            in
-            Anneal.Sa.minimize ~rng:rngs.(i) ~init:inits.(i) ~cost
-              ~neighbor:(fun rng e -> Slicing.Polish.perturb rng e)
-              ~params:config.Config.layout_sa ?observer ())
+            match term_observer with
+            | None ->
+              let cost expr =
+                Guard.Budget.check ~stage:"floorplan";
+                let c, _, _ = eval_into s expr in
+                c
+              in
+              Anneal.Sa.minimize ~rng:rngs.(i) ~init:inits.(i) ~cost
+                ~neighbor:(fun rng e -> Slicing.Polish.perturb rng e)
+                ~params:config.Config.layout_sa ?observer ()
+            | Some on_terms ->
+              (* Telemetry-only side channel: the cost closure remembers
+                 the cheapest evaluation this start has seen (calibration
+                 samples included), and each plateau reports its named
+                 breakdown. The closure returns the identical scalar and
+                 the observer runs outside the RNG path, so trajectories
+                 and placements are unchanged (DESIGN.md §9). *)
+              let best = ref infinity in
+              let best_wl = ref 0.0 in
+              let best_viol = ref Slicing.Layout.no_violations in
+              let cost expr =
+                Guard.Budget.check ~stage:"floorplan";
+                let c, wl, viol = eval_into s expr in
+                if not (!best <= c) then begin
+                  best := c;
+                  best_wl := wl;
+                  best_viol := viol
+                end;
+                c
+              in
+              let observer' p =
+                (match observer with None -> () | Some f -> f p);
+                on_terms p
+                  (breakdown_of ~cost:!best ~wirelength:!best_wl ~viol:!best_viol
+                     ~config ~budget ~n_pairs:(Array.length pairs))
+              in
+              Anneal.Sa.minimize ~rng:rngs.(i) ~init:inits.(i) ~cost
+                ~neighbor:(fun rng e -> Slicing.Polish.perturb rng e)
+                ~params:config.Config.layout_sa ~observer:observer' ())
           (Array.init n_starts Fun.id)
       in
       (* Deterministic reduction: minimum best cost, ties to the lowest
@@ -227,8 +367,7 @@ let run ?observer ~rng ~config ~blocks ~affinity ~fixed_pos ~budget () =
         ~fallback:(fun _ -> (chain_expr ~n_blocks ~order:chain, 0, 0.0))
         search
     in
-    let s = make_scratch ~n_blocks ~budget in
-    let cost, wl, viol = eval_into s best_expr in
-    { rects = Array.copy s.s_rects; cost; wirelength_term = wl; viol; sa_moves;
-      final_temperature }
+    result_of_expr ~leaves ~budget ~pairs ~fixed_pos ~config ~n_blocks ~sa_moves
+      ~final_temperature best_expr
   end
+

@@ -7,13 +7,67 @@
     pairs range over (block, block) and (block, fixed endpoint); fixed
     endpoints (ports, external macros) contribute with their fixed
     positions. The penalty grades target-area, minimum-area and
-    macro-area violations of the top-down area-budgeted layout. *)
+    macro-area violations of the top-down area-budgeted layout.
+
+    {1 Cost terms}
+
+    Every evaluated cost also carries a named decomposition (DESIGN.md
+    §13): [wirelength] (the affinity-weighted distance sum, or the 1.0
+    legality bias when no pairs exist), one penalty product per
+    violation grade ([at_penalty]/[am_penalty]/[macro_penalty]) and a
+    [residual] closing the float-rounding gap, such that
+    {!breakdown_total} reproduces the annealer's scalar bit for bit.
+    The decomposition is computed outside the SA move loop from the
+    already-evaluated scalar, so it cannot perturb placements. *)
+
+type breakdown = {
+  bd_wirelength : float;
+      (** the [base] factor: wirelength sum, or 1.0 with no pairs *)
+  bd_at_penalty : float;  (** [base * at_weight * normalized at_shift] *)
+  bd_am_penalty : float;  (** [base * am_weight * normalized am_deficit] *)
+  bd_macro_penalty : float;
+      (** [base * macro_weight * normalized macro_deficit] *)
+  bd_residual : float;
+      (** [cost - (((wirelength + at) + am) + macro)], exact by
+          Sterbenz's lemma since the partial sum is within 2x of the
+          cost *)
+}
+
+val term_names : string list
+(** The five term names, in the canonical (summation) order. *)
+
+val breakdown_terms : breakdown -> (string * float) list
+(** Name/value pairs in {!term_names} order. *)
+
+val breakdown_total : breakdown -> float
+(** Left-to-right sum of the five terms — bit-identical to the [cost]
+    the breakdown was computed from. *)
+
+type pair_contrib = {
+  pc_i : int;  (** block index *)
+  pc_j : int;  (** block index, or fixed endpoint for [j >= n_blocks] *)
+  pc_weight : float;  (** affinity weight *)
+  pc_wl : float;  (** [weight * manhattan distance] — this pair's share *)
+}
+
+type attribution = {
+  attr_pairs : pair_contrib array;
+      (** one entry per affinity pair, in evaluation order; folding
+          [pc_wl] left to right reproduces [wirelength_term] bit for
+          bit *)
+  attr_leaf_viol : Slicing.Layout.violations array;
+      (** per block index: that block's share of [viol] (see
+          {!Slicing.Layout.evaluate_attributed}; sums reconcile up to a
+          rounding residual) *)
+}
 
 type result = {
   rects : Geom.Rect.t array;  (** per block index *)
   cost : float;
   wirelength_term : float;  (** cost without the penalty factor *)
   viol : Slicing.Layout.violations;
+  breakdown : breakdown;  (** named terms summing bit-exactly to [cost] *)
+  attribution : attribution;  (** per-pair and per-block shares *)
   sa_moves : int;
       (** cost evaluations across every annealing start, including the
           initial-temperature calibration samples *)
@@ -22,8 +76,34 @@ type result = {
           (0.0 when no search ran — single block or degraded) *)
 }
 
+val breakdown_of :
+  cost:float ->
+  wirelength:float ->
+  viol:Slicing.Layout.violations ->
+  config:Config.t ->
+  budget:Geom.Rect.t ->
+  n_pairs:int ->
+  breakdown
+(** Decompose an evaluated cost into named terms. [viol] is the
+    (unnormalized) violation total the cost was computed from, including
+    the single-block budget adjustment. *)
+
+val eval_expr :
+  config:Config.t ->
+  blocks:Block.t array ->
+  affinity:float array array ->
+  fixed_pos:Geom.Point.t array ->
+  budget:Geom.Rect.t ->
+  Slicing.Polish.t ->
+  result
+(** Evaluate one slicing expression without any search: the same cost,
+    breakdown and attribution a {!run} returning this expression would
+    produce, with [sa_moves = 0] and [final_temperature = 0.0]. Exposed
+    for tests and tools that need to re-attribute a known layout. *)
+
 val run :
   ?observer:(Anneal.Sa.plateau -> unit) ->
+  ?term_observer:(Anneal.Sa.plateau -> breakdown -> unit) ->
   rng:Util.Rng.t ->
   config:Config.t ->
   blocks:Block.t array ->
@@ -42,4 +122,9 @@ val run :
     minimum cost with ties to the lowest start index, so the outcome is
     bit-identical for every job count. [observer] receives per-plateau
     convergence snapshots from every start (it runs on worker domains;
-    the telemetry shorthands it may call are domain-safe). *)
+    the telemetry shorthands it may call are domain-safe).
+    [term_observer] additionally receives, per plateau, the named
+    breakdown of the cheapest evaluation that start's cost closure has
+    seen so far (calibration samples included, so it can lead the
+    annealer's accepted best). Both observers run outside the RNG path:
+    enabling them never changes a placement. *)

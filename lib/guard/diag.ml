@@ -46,7 +46,11 @@ let codes =
      "checkpoint directory cannot be created, opened or written");
     ("ckpt-mismatch", "error",
      "the resumed snapshot was written by a different run (circuit, seed, lambda, \
-      sa_starts or netlist size differ)") ]
+      sa_starts or netlist size differ)");
+    ("bad-output-path", "error",
+     "a telemetry output path (--trace, --metrics, --qor, --profile-out, \
+      --perf-out, --progress-file) cannot be opened for writing; checked before \
+      the run starts so a long run never silently loses its telemetry") ]
 
 let make ~code ~severity ~stage ?loc message = { code; severity; stage; loc; message }
 

@@ -24,6 +24,12 @@ val allocated_words : snapshot -> float
 (** Total words allocated: minor + major - promoted (promoted words
     would otherwise be counted twice). *)
 
+val peak_rss_kb : unit -> int
+(** Peak resident set size of this process in kilobytes (the kernel's
+    VmHWM high-water mark from [/proc/self/status]); 0 when it cannot
+    be read (non-Linux). A whole-process, monotone measure — unlike the
+    GC words it includes code, stacks and C allocations. *)
+
 val diff : before:snapshot -> after:snapshot -> snapshot
 (** Work done between two snapshots; [heap_words]/[top_heap_words] are
     taken from [after]. *)

@@ -9,7 +9,9 @@
 
 let schema = "hidap-progress"
 
-let version = 1
+(* v2: sa-progress gained a [cost_terms] object (the named breakdown of
+   [best_cost], DESIGN.md §13). Purely field-additive over v1. *)
+let version = 2
 
 type sink = {
   oc : out_channel;
@@ -119,13 +121,19 @@ let with_stage name f =
       Printexc.raise_with_backtrace e bt
   end
 
-let sa_progress ~instance ?instances ~temperature ~best_cost ~moves ~moves_per_s () =
+let sa_progress ~instance ?instances ~temperature ~best_cost ?cost_terms ~moves
+    ~moves_per_s () =
   emit "sa-progress"
     [ ("instance", Jsonx.Int instance);
       ( "instances",
         match instances with Some n -> Jsonx.Int n | None -> Jsonx.Null );
       ("temperature", Jsonx.Float temperature);
       ("best_cost", Jsonx.Float best_cost);
+      ( "cost_terms",
+        match cost_terms with
+        | None -> Jsonx.Null
+        | Some terms ->
+          Jsonx.Obj (List.map (fun (name, v) -> (name, Jsonx.Float v)) terms) );
       ("moves", Jsonx.Int moves);
       ("moves_per_s", Jsonx.Float moves_per_s) ]
 

@@ -6,7 +6,7 @@
     without interleaving. Every line is self-describing:
 
     {v
-    {"schema":"hidap-progress","version":1,"event":"...","t_us":...}
+    {"schema":"hidap-progress","version":2,"event":"...","t_us":...}
     v}
 
     The full event vocabulary and field tables are specified in
@@ -22,6 +22,9 @@ val schema : string
 (** ["hidap-progress"] *)
 
 val version : int
+(** 2 — v2 added the field-additive [cost_terms] object to
+    [sa-progress] (a v1 reader that ignores unknown fields parses every
+    v2 line unchanged). *)
 
 val enabled : unit -> bool
 
@@ -62,14 +65,16 @@ val sa_progress :
   ?instances:int ->
   temperature:float ->
   best_cost:float ->
+  ?cost_terms:(string * float) list ->
   moves:int ->
   moves_per_s:float ->
   unit ->
   unit
 (** Per completed floorplan instance: 1-based [instance] counter,
     total [instances] when known (emitted as [null] otherwise), final
-    plateau temperature, best cost, SA moves spent and the instance's
-    moves/second. *)
+    plateau temperature, best cost, its named term breakdown
+    ([cost_terms], an object of term name -> value, [null] when not
+    supplied), SA moves spent and the instance's moves/second. *)
 
 val checkpoint : seq:int -> file:string -> unit
 

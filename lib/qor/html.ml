@@ -328,6 +328,104 @@ let perf_section buf (r : Record.t) =
       Buffer.add_string buf "\n"
     end
 
+(* ---- cost-term attribution (DESIGN.md §13) ------------------------ *)
+
+(* Per-pair wl shares folded into a symmetric block × block matrix.
+   Endpoints that are not top-level blocks (fixed siblings, port
+   groups) are aggregated under one "fixed" row/column. *)
+let contribution_matrix (cb : Record.cost_breakdown) =
+  let block_names = List.map (fun b -> b.Record.bc_name) cb.Record.cb_blocks in
+  let has_fixed =
+    List.exists
+      (fun p ->
+        (not (List.mem p.Record.pair_a block_names))
+        || not (List.mem p.Record.pair_b block_names))
+      cb.Record.cb_pairs
+  in
+  let labels =
+    Array.of_list (if has_fixed then block_names @ [ "fixed" ] else block_names)
+  in
+  let n = Array.length labels in
+  let index name =
+    let rec go i = function
+      | [] -> n - 1 (* the "fixed" slot *)
+      | b :: rest -> if b = name then i else go (i + 1) rest
+    in
+    go 0 block_names
+  in
+  let values = Array.make_matrix n n 0.0 in
+  List.iter
+    (fun p ->
+      let i = index p.Record.pair_a and j = index p.Record.pair_b in
+      values.(i).(j) <- values.(i).(j) +. p.Record.pair_wl;
+      if i <> j then values.(j).(i) <- values.(j).(i) +. p.Record.pair_wl)
+    cb.Record.cb_pairs;
+  (labels, values)
+
+let breakdown_section buf (r : Record.t) =
+  match r.Record.cost_breakdown with
+  | None -> ()
+  | Some cb ->
+    Buffer.add_string buf
+      "<h3>Cost breakdown <span class=\"meta\">(terms sum to the SA scalar \
+       bit-exactly)</span></h3>\n";
+    Buffer.add_string buf
+      "<table><tr><th class=\"name\">term</th><th>value</th><th>share</th>\
+       <th class=\"name\">trajectory</th></tr>\n";
+    let total = if cb.Record.cb_total <> 0.0 then cb.Record.cb_total else 1.0 in
+    List.iter
+      (fun (name, v) ->
+        let curve =
+          match List.assoc_opt name cb.Record.cb_term_curves with
+          | Some pts when List.length pts > 1 -> sparkline ~w:160 ~h:32 pts
+          | _ -> "<span class=\"meta\">-</span>"
+        in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<tr><td class=\"name\">%s</td><td>%s</td><td>%.2f%%</td>\
+              <td class=\"name\">%s</td></tr>\n"
+             (escape name) (fmt_f 4 v)
+             (100.0 *. v /. total)
+             curve))
+      cb.Record.cb_terms;
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<tr><td class=\"name\">total</td><td>%s</td><td>100.00%%</td><td></td></tr>\n\
+          </table>\n"
+         (fmt_f 4 cb.Record.cb_total));
+    (match cb.Record.cb_blocks with
+    | [] -> ()
+    | blocks ->
+      Buffer.add_string buf
+        "<h3>Per-block attribution <span class=\"meta\">(raw, unnormalized \
+         charges)</span></h3>\n";
+      Buffer.add_string buf
+        "<table><tr><th class=\"name\">block</th><th>wl share</th><th>at shift</th>\
+         <th>am deficit</th><th>macro deficit</th></tr>\n";
+      let sorted =
+        List.sort (fun a b -> compare b.Record.bc_wl a.Record.bc_wl) blocks
+      in
+      List.iter
+        (fun b ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<tr><td class=\"name\">%s</td><td>%s</td><td>%s</td><td>%s</td>\
+                <td>%s</td></tr>\n"
+               (escape b.Record.bc_name) (fmt_f 2 b.Record.bc_wl)
+               (fmt_f 2 b.Record.bc_at_shift)
+               (fmt_f 2 b.Record.bc_am_deficit)
+               (fmt_f 2 b.Record.bc_macro_deficit)))
+        sorted;
+      Buffer.add_string buf "</table>\n");
+    if cb.Record.cb_pairs <> [] then begin
+      let labels, values = contribution_matrix cb in
+      Buffer.add_string buf
+        "<h3>Affinity wirelength contributions <span class=\"meta\">(weight &times; \
+         distance per pair; hover for values)</span></h3>\n";
+      Buffer.add_string buf (Viz.Svg.contribution_heatmap ~labels ~values ());
+      Buffer.add_string buf "\n"
+    end
+
 let record_section buf ?baseline (r : Record.t) =
   Buffer.add_string buf
     (Printf.sprintf "<h2>%s &middot; %s</h2>\n" (escape r.Record.circuit)
@@ -373,6 +471,7 @@ let record_section buf ?baseline (r : Record.t) =
     (Printf.sprintf "<h3>SA convergence</h3>\n<p>%s <span class=\"meta\">%d moves, \
                      acceptance rate per plateau</span></p>\n"
        (sparkline r.Record.sa_curve) r.Record.sa_moves);
+  breakdown_section buf r;
   Buffer.add_string buf "<h3>Stage wall-clock</h3>\n";
   stage_bars buf r.Record.stages;
   perf_section buf r;

@@ -8,6 +8,13 @@
     One report per ledger; everything is inlined so the file can be
     archived or attached to CI artifacts as-is. *)
 
+val contribution_matrix :
+  Record.cost_breakdown -> string array * float array array
+(** Per-pair wirelength shares folded into a symmetric block-by-block
+    matrix [(labels, values)] for {!Viz.Svg.contribution_heatmap}.
+    Endpoints that are not top-level blocks (fixed siblings, port
+    groups) aggregate under one trailing ["fixed"] row/column. *)
+
 val render : ?baseline:Baseline.t -> title:string -> Record.t list -> string
 
 val write_file : string -> string -> unit

@@ -4,7 +4,9 @@ module Point = Geom.Point
 
 let schema = "hidap-qor"
 
-let version = 2
+(* v3 adds the optional cost_breakdown section (exact cost-term
+   attribution); v1/v2 records read back with [cost_breakdown = None]. *)
+let version = 3
 
 type ckpt_info = {
   resumed_from : string option;
@@ -56,6 +58,32 @@ type perf_info = {
   profile : (string * int) list;  (* collapsed stacks *)
 }
 
+type pair_contrib = {
+  pair_a : string;
+  pair_b : string;
+  pair_weight : float;
+  pair_wl : float;  (* weight * manhattan distance *)
+}
+
+type block_contrib = {
+  bc_name : string;
+  bc_wl : float;  (* sum of pair_wl over incident affinity pairs *)
+  bc_at_shift : float;
+  bc_am_deficit : float;
+  bc_macro_deficit : float;
+}
+
+type cost_breakdown = {
+  cb_total : float;
+  cb_terms : (string * float) list;
+      (* Layout_gen.term_names order; ordered left-to-right sum
+         reproduces cb_total bit for bit *)
+  cb_pairs : pair_contrib list;  (* affinity-loop order, not sorted *)
+  cb_blocks : block_contrib list;
+  cb_term_curves : (string * (float * float) list) list;
+      (* per-term best-cost trajectories: (total_moves, term value) *)
+}
+
 type t = {
   rec_version : int;
   circuit : string;
@@ -76,6 +104,7 @@ type t = {
   degradations : Guard.Supervisor.entry list;
   ckpt : ckpt_info option;
   perf : perf_info option;
+  cost_breakdown : cost_breakdown option;
 }
 
 (* ---- derived quantities ------------------------------------------- *)
@@ -102,6 +131,79 @@ let sa_curve_of registry =
   match registry with
   | None -> []
   | Some reg -> Obs.Metrics.series_points reg "sa.curve.level0"
+
+let term_curves_of registry =
+  match registry with
+  | None -> []
+  | Some reg ->
+    List.filter_map
+      (fun t ->
+        match Obs.Metrics.series_points reg (Printf.sprintf "sa.term.%s.level0" t) with
+        | [] -> None
+        | pts -> Some (t, pts))
+      Hidap.Layout_gen.term_names
+
+(* The exact-attribution section, from the top-level instance snapshot.
+   None when the top instance was replayed from a checkpoint (no layout
+   was re-evaluated) or the run predates attribution. *)
+let cost_breakdown_of_top registry (top : Hidap.Floorplan.instance_snapshot option) =
+  match top with
+  | None -> None
+  | Some top ->
+    (match
+       ( top.Hidap.Floorplan.inst_cost,
+         top.Hidap.Floorplan.inst_breakdown,
+         top.Hidap.Floorplan.inst_attribution )
+     with
+    | Some cost, Some bd, Some attr ->
+      let blocks = top.Hidap.Floorplan.inst_blocks in
+      let fixed = top.Hidap.Floorplan.inst_fixed_names in
+      let n_blocks = Array.length blocks in
+      let endpoint i =
+        if i < n_blocks then blocks.(i).Hidap.Block.name
+        else if i - n_blocks < Array.length fixed then fixed.(i - n_blocks)
+        else "fixed"
+      in
+      let pairs =
+        Array.to_list
+          (Array.map
+             (fun (p : Hidap.Layout_gen.pair_contrib) ->
+               { pair_a = endpoint p.Hidap.Layout_gen.pc_i;
+                 pair_b = endpoint p.Hidap.Layout_gen.pc_j;
+                 pair_weight = p.Hidap.Layout_gen.pc_weight;
+                 pair_wl = p.Hidap.Layout_gen.pc_wl })
+             attr.Hidap.Layout_gen.attr_pairs)
+      in
+      let wl_of = Array.make (max 1 n_blocks) 0.0 in
+      Array.iter
+        (fun (p : Hidap.Layout_gen.pair_contrib) ->
+          let add i =
+            if i >= 0 && i < n_blocks then wl_of.(i) <- wl_of.(i) +. p.Hidap.Layout_gen.pc_wl
+          in
+          add p.Hidap.Layout_gen.pc_i;
+          add p.Hidap.Layout_gen.pc_j)
+        attr.Hidap.Layout_gen.attr_pairs;
+      let viols = attr.Hidap.Layout_gen.attr_leaf_viol in
+      let cb_blocks =
+        List.init n_blocks (fun i ->
+            let v =
+              if i < Array.length viols then viols.(i)
+              else
+                { Slicing.Layout.at_shift = 0.0; am_deficit = 0.0; macro_deficit = 0.0 }
+            in
+            { bc_name = blocks.(i).Hidap.Block.name;
+              bc_wl = wl_of.(i);
+              bc_at_shift = v.Slicing.Layout.at_shift;
+              bc_am_deficit = v.Slicing.Layout.am_deficit;
+              bc_macro_deficit = v.Slicing.Layout.macro_deficit })
+      in
+      Some
+        { cb_total = cost;
+          cb_terms = Hidap.Layout_gen.breakdown_terms bd;
+          cb_pairs = pairs;
+          cb_blocks;
+          cb_term_curves = term_curves_of registry }
+    | _ -> None)
 
 let stages_of spans =
   match spans with
@@ -199,7 +301,8 @@ let of_place ~circuit ~flat ~(config : Hidap.Config.t) ?spans ?registry
         r.Hidap.levels;
     degradations;
     ckpt;
-    perf }
+    perf;
+    cost_breakdown = cost_breakdown_of_top registry r.Hidap.top }
 
 let of_eval ~circuit ~flat ~(config : Hidap.Config.t) ?spans ?registry
     ?(degradations = []) (res : Evalflow.circuit_result) =
@@ -251,7 +354,10 @@ let of_eval ~circuit ~flat ~(config : Hidap.Config.t) ?spans ?registry
         levels = [];
         degradations = (if is_hidap then degradations else []);
         ckpt = None;
-        perf = None })
+        perf = None;
+        (* Evalflow keeps only macro placements per flow, not the top
+           instance snapshot, so eval-path records carry no breakdown. *)
+        cost_breakdown = None })
     res.Evalflow.runs
 
 (* ---- JSON ---------------------------------------------------------- *)
@@ -380,7 +486,47 @@ let to_json t =
               ("snapshots_written", Jsonx.Int c.snapshots_written);
               ("instances_reused", Jsonx.Int c.instances_reused) ] );
       ( "perf",
-        match t.perf with None -> Jsonx.Null | Some p -> perf_info_json p ) ]
+        match t.perf with None -> Jsonx.Null | Some p -> perf_info_json p );
+      ( "cost_breakdown",
+        match t.cost_breakdown with
+        | None -> Jsonx.Null
+        | Some cb ->
+          Jsonx.Obj
+            [ ("total", Jsonx.Float cb.cb_total);
+              ( "terms",
+                (* ordered list, not an object: the left-to-right sum is
+                   part of the contract (reproduces total bit for bit) *)
+                Jsonx.List
+                  (List.map
+                     (fun (name, value) ->
+                       Jsonx.Obj
+                         [ ("name", Jsonx.String name); ("value", Jsonx.Float value) ])
+                     cb.cb_terms) );
+              ( "pairs",
+                Jsonx.List
+                  (List.map
+                     (fun p ->
+                       Jsonx.Obj
+                         [ ("a", Jsonx.String p.pair_a);
+                           ("b", Jsonx.String p.pair_b);
+                           ("weight", Jsonx.Float p.pair_weight);
+                           ("wl", Jsonx.Float p.pair_wl) ])
+                     cb.cb_pairs) );
+              ( "blocks",
+                Jsonx.List
+                  (List.map
+                     (fun b ->
+                       Jsonx.Obj
+                         [ ("name", Jsonx.String b.bc_name);
+                           ("wl", Jsonx.Float b.bc_wl);
+                           ("at_shift", Jsonx.Float b.bc_at_shift);
+                           ("am_deficit", Jsonx.Float b.bc_am_deficit);
+                           ("macro_deficit", Jsonx.Float b.bc_macro_deficit) ])
+                     cb.cb_blocks) );
+              ( "term_curves",
+                Jsonx.Obj
+                  (List.map (fun (name, pts) -> (name, points_json pts)) cb.cb_term_curves)
+              ) ] ) ]
 
 let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
 
@@ -574,6 +720,73 @@ let of_json j =
               profile }
         | _ -> None
       in
+      let cost_breakdown =
+        match Jsonx.member "cost_breakdown" j with
+        | Some (Jsonx.Obj _ as cb) ->
+          (match Option.bind (Jsonx.member "total" cb) Jsonx.to_float_opt with
+          | None -> None
+          | Some cb_total ->
+            let cb_terms =
+              match Option.bind (Jsonx.member "terms" cb) Jsonx.to_list_opt with
+              | None -> []
+              | Some items ->
+                List.filter_map
+                  (fun t ->
+                    match
+                      ( Option.bind (Jsonx.member "name" t) Jsonx.to_string_opt,
+                        Option.bind (Jsonx.member "value" t) Jsonx.to_float_opt )
+                    with
+                    | Some n, Some v -> Some (n, v)
+                    | _ -> None)
+                  items
+            in
+            let cb_pairs =
+              match Option.bind (Jsonx.member "pairs" cb) Jsonx.to_list_opt with
+              | None -> []
+              | Some items ->
+                List.filter_map
+                  (fun p ->
+                    match
+                      ( Option.bind (Jsonx.member "a" p) Jsonx.to_string_opt,
+                        Option.bind (Jsonx.member "b" p) Jsonx.to_string_opt,
+                        Option.bind (Jsonx.member "weight" p) Jsonx.to_float_opt,
+                        Option.bind (Jsonx.member "wl" p) Jsonx.to_float_opt )
+                    with
+                    | Some pair_a, Some pair_b, Some pair_weight, Some pair_wl ->
+                      Some { pair_a; pair_b; pair_weight; pair_wl }
+                    | _ -> None)
+                  items
+            in
+            let cb_blocks =
+              match Option.bind (Jsonx.member "blocks" cb) Jsonx.to_list_opt with
+              | None -> []
+              | Some items ->
+                List.filter_map
+                  (fun b ->
+                    let f name =
+                      Option.bind (Jsonx.member name b) Jsonx.to_float_opt
+                    in
+                    match
+                      ( Option.bind (Jsonx.member "name" b) Jsonx.to_string_opt,
+                        f "wl", f "at_shift", f "am_deficit", f "macro_deficit" )
+                    with
+                    | Some bc_name, Some bc_wl, Some bc_at_shift, Some bc_am_deficit,
+                      Some bc_macro_deficit ->
+                      Some { bc_name; bc_wl; bc_at_shift; bc_am_deficit; bc_macro_deficit }
+                    | _ -> None)
+                  items
+            in
+            let cb_term_curves =
+              match Jsonx.member "term_curves" cb with
+              | Some (Jsonx.Obj fields) ->
+                List.filter_map
+                  (fun (k, v) -> Option.map (fun pts -> (k, pts)) (points_of_json v))
+                  fields
+              | _ -> []
+            in
+            Some { cb_total; cb_terms; cb_pairs; cb_blocks; cb_term_curves })
+        | _ -> None
+      in
       Ok
         { rec_version = v;
           circuit;
@@ -593,7 +806,8 @@ let of_json j =
           levels;
           degradations;
           ckpt;
-          perf }
+          perf;
+          cost_breakdown }
 
 (* ---- ledger files -------------------------------------------------- *)
 

@@ -17,8 +17,10 @@ val schema : string
 (** ["hidap-qor"], the [schema] tag of every record. *)
 
 val version : int
-(** Current schema version (2). Version 2 adds the optional [ckpt]
-    resume summary; version-1 records read back with [ckpt = None]. *)
+(** Current schema version (3). Version 2 added the optional [ckpt]
+    resume summary; version 3 adds the optional [cost_breakdown]
+    attribution section. Older records read back with the
+    corresponding fields [None]. *)
 
 type ckpt_info = {
   resumed_from : string option;
@@ -78,6 +80,38 @@ type perf_info = {
       (** collapsed-stack profile lines from {!Obs.Sampler}: (stack, samples) *)
 }
 
+type pair_contrib = {
+  pair_a : string;  (** endpoint name (block, or fixed sibling/port group) *)
+  pair_b : string;
+  pair_weight : float;  (** affinity weight *)
+  pair_wl : float;  (** [weight * manhattan distance] — this pair's share *)
+}
+
+type block_contrib = {
+  bc_name : string;
+  bc_wl : float;  (** sum of [pair_wl] over incident affinity pairs *)
+  bc_at_shift : float;  (** raw (unnormalized) target-area shift charged here *)
+  bc_am_deficit : float;  (** raw minimum-area deficit charged here *)
+  bc_macro_deficit : float;  (** raw macro-fit deficit charged here *)
+}
+
+type cost_breakdown = {
+  cb_total : float;  (** the annealer's accepted scalar cost *)
+  cb_terms : (string * float) list;
+      (** named terms in {!Hidap.Layout_gen.term_names} order; summing
+          left to right reproduces [cb_total] bit for bit *)
+  cb_pairs : pair_contrib list;
+      (** per-affinity-pair wirelength shares, in evaluation (loop)
+          order — folding [pair_wl] left to right reproduces the
+          wirelength term bit for bit; sort at display time *)
+  cb_blocks : block_contrib list;  (** one entry per top-level block *)
+  cb_term_curves : (string * (float * float) list) list;
+      (** per-term best-cost trajectories from the top-level SA:
+          (total_moves, term value); empty when not instrumented *)
+}
+(** Exact cost-term attribution of the top-level floorplan instance
+    (DESIGN.md §13). *)
+
 type t = {
   rec_version : int;
   circuit : string;
@@ -109,6 +143,10 @@ type t = {
       (** hot-path performance section (perf counters, pool utilization,
           sampled profile); [None] when the run was not instrumented.
           Added as a backward-compatible field — no version bump. *)
+  cost_breakdown : cost_breakdown option;
+      (** exact cost-term attribution of the top-level instance (v3);
+          [None] for eval-path records, runs whose top instance was
+          replayed from a checkpoint, and every pre-v3 record *)
 }
 
 val of_place :

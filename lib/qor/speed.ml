@@ -9,15 +9,19 @@ type entry = {
   wall_s : float;
   sa_moves : int;
   moves_per_s : float;
+  peak_rss_kb : int;
+  major_words : float;
 }
 
 type t = { entries : entry list }
 
-let entry ~circuit ~wall_s ~sa_moves =
+let entry ?(peak_rss_kb = 0) ?(major_words = 0.0) ~circuit ~wall_s ~sa_moves () =
   { circuit;
     wall_s;
     sa_moves;
-    moves_per_s = (if wall_s > 0.0 then float_of_int sa_moves /. wall_s else 0.0) }
+    moves_per_s = (if wall_s > 0.0 then float_of_int sa_moves /. wall_s else 0.0);
+    peak_rss_kb;
+    major_words }
 
 let find t circuit = List.find_opt (fun e -> e.circuit = circuit) t.entries
 
@@ -28,7 +32,9 @@ let entry_json e =
     [ ("circuit", Jsonx.String e.circuit);
       ("wall_s", Jsonx.Float e.wall_s);
       ("sa_moves", Jsonx.Int e.sa_moves);
-      ("moves_per_s", Jsonx.Float e.moves_per_s) ]
+      ("moves_per_s", Jsonx.Float e.moves_per_s);
+      ("peak_rss_kb", Jsonx.Int e.peak_rss_kb);
+      ("major_words", Jsonx.Float e.major_words) ]
 
 let to_json t =
   Jsonx.Obj
@@ -50,7 +56,14 @@ let entry_of_json e =
         moves_per_s =
           Option.value
             ~default:(if wall_s > 0.0 then float_of_int sa_moves /. wall_s else 0.0)
-            (Option.bind (Jsonx.member "moves_per_s" e) Jsonx.to_float_opt) }
+            (Option.bind (Jsonx.member "moves_per_s" e) Jsonx.to_float_opt);
+        (* both absent from pre-memory-column documents: 0 = unmeasured *)
+        peak_rss_kb =
+          Option.value ~default:0
+            (Option.bind (Jsonx.member "peak_rss_kb" e) Jsonx.to_int_opt);
+        major_words =
+          Option.value ~default:0.0
+            (Option.bind (Jsonx.member "major_words" e) Jsonx.to_float_opt) }
   | _ -> None
 
 let of_json j =
@@ -88,29 +101,34 @@ let compare_to ~baseline current =
 
 (* Wall-clock is machine-dependent, so the comparison is informational
    only — it never produces a verdict and must never gate a run. *)
+let rss_mb kb = if kb > 0 then Printf.sprintf "%.1f" (float_of_int kb /. 1024.0) else "-"
+
 let render deltas =
   let buf = Buffer.create 512 in
   Buffer.add_string buf
-    (Printf.sprintf "%-10s %12s %12s %10s %14s %14s %10s\n" "circuit" "base wall_s"
-       "cur wall_s" "Δ wall" "base moves/s" "cur moves/s" "Δ mv/s");
+    (Printf.sprintf "%-10s %12s %12s %10s %14s %14s %10s %10s %10s\n" "circuit"
+       "base wall_s" "cur wall_s" "Δ wall" "base moves/s" "cur moves/s" "Δ mv/s"
+       "base rssMB" "cur rssMB");
   List.iter
     (fun d ->
       match d.base with
       | None ->
         Buffer.add_string buf
-          (Printf.sprintf "%-10s %12s %12.3f %10s %14s %14.0f %10s\n" d.d_circuit "-"
-             d.cur.wall_s "-" "-" d.cur.moves_per_s "(no baseline)")
+          (Printf.sprintf "%-10s %12s %12.3f %10s %14s %14.0f %10s %10s %10s\n"
+             d.d_circuit "-" d.cur.wall_s "-" "-" d.cur.moves_per_s "(no baseline)" "-"
+             (rss_mb d.cur.peak_rss_kb))
       | Some b ->
         let pct cur base =
           if base > 0.0 then Printf.sprintf "%+.1f%%" (100.0 *. ((cur /. base) -. 1.0))
           else "-"
         in
         Buffer.add_string buf
-          (Printf.sprintf "%-10s %12.3f %12.3f %10s %14.0f %14.0f %10s\n" d.d_circuit
-             b.wall_s d.cur.wall_s
+          (Printf.sprintf "%-10s %12.3f %12.3f %10s %14.0f %14.0f %10s %10s %10s\n"
+             d.d_circuit b.wall_s d.cur.wall_s
              (pct d.cur.wall_s b.wall_s)
              b.moves_per_s d.cur.moves_per_s
-             (pct d.cur.moves_per_s b.moves_per_s)))
+             (pct d.cur.moves_per_s b.moves_per_s)
+             (rss_mb b.peak_rss_kb) (rss_mb d.cur.peak_rss_kb)))
     deltas;
   Buffer.add_string buf "(speed comparison is report-only: wall-clock is machine-dependent)\n";
   Buffer.contents buf

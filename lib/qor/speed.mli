@@ -21,12 +21,27 @@ type entry = {
   wall_s : float;  (** wall-clock of the placement flow, seconds *)
   sa_moves : int;  (** deterministic SA move count ([sa.moves] perf counter) *)
   moves_per_s : float;  (** [sa_moves / wall_s]; 0 when [wall_s = 0] *)
+  peak_rss_kb : int;
+      (** process peak RSS ({!Obs.Gcstats.peak_rss_kb}); 0 = unmeasured.
+          Whole-process and monotone, so multi-circuit suites measure
+          the high-water mark up to that circuit. *)
+  major_words : float;
+      (** major-heap words allocated during the flow
+          ({!Obs.Gcstats.snapshot} delta); 0 = unmeasured *)
 }
 
 type t = { entries : entry list }
 
-val entry : circuit:string -> wall_s:float -> sa_moves:int -> entry
-(** Builds an entry, deriving [moves_per_s]. *)
+val entry :
+  ?peak_rss_kb:int ->
+  ?major_words:float ->
+  circuit:string ->
+  wall_s:float ->
+  sa_moves:int ->
+  unit ->
+  entry
+(** Builds an entry, deriving [moves_per_s]. The memory fields default
+    to 0 (unmeasured). *)
 
 val find : t -> string -> entry option
 

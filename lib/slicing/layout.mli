@@ -39,6 +39,21 @@ val evaluate : Polish.t -> leaves:leaf array -> budget:Geom.Rect.t -> placement
     the operand indices of the expression. The returned rectangles
     partition the budget exactly (up to floating-point rounding). *)
 
+val evaluate_attributed :
+  Polish.t -> leaves:leaf array -> budget:Geom.Rect.t -> placement * violations array
+(** [evaluate] plus a per-leaf attribution of the violation total. The
+    returned placement is bit-identical to [evaluate]'s — the extra
+    accumulation never touches the shared float path. Slot [lid] of the
+    array holds the share of [placement.viol] charged to that leaf:
+    leaf macro-fit deficits go to the leaf itself; each internal node's
+    split violations go to its two subtrees (the exact per-side
+    minimum-area addends, the target shift split evenly, the macro
+    minima distributed by side) and a subtree's charge is spread over
+    its leaves proportionally to target area (equal split when the
+    subtree has no target area). The charges sum to the total only up
+    to float rounding; consumers reconcile with an explicit residual
+    (DESIGN.md §13). *)
+
 val tree_curve : Polish.t -> leaves:leaf array -> Shape.Curve.t
 (** Bottom-up composition of the leaf curves along the tree — the shape
     curve of the whole arrangement. *)

@@ -150,6 +150,70 @@ let density_heatmap grid ?(size = 512) () =
   Buffer.add_string buf "</svg>\n";
   Buffer.contents buf
 
+(* Labels come from user netlists, so escape them for XML. *)
+let xml_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let contribution_heatmap ~labels ~values ?(cell = 36) () =
+  let n = Array.length labels in
+  let margin = 110 in
+  let size = margin + (n * cell) in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (header ~w:size ~h:size);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<rect x=\"0\" y=\"0\" width=\"%d\" height=\"%d\" fill=\"#fafafa\"/>\n" size size);
+  if n > 0 then begin
+    let vmax =
+      Array.fold_left (fun acc row -> Array.fold_left max acc row) 1e-12 values
+    in
+    let fc = float_of_int cell in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        let v = Util.Stat.clamp ~lo:0.0 ~hi:1.0 (values.(i).(j) /. vmax) in
+        let shade = int_of_float (255.0 *. (1.0 -. (0.92 *. v))) in
+        let x = float_of_int (margin + (j * cell)) in
+        let y = float_of_int (margin + (i * cell)) in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" \
+              fill=\"rgb(%d,%d,255)\" stroke=\"#ddd\"><title>%s × %s: %.4g</title></rect>\n"
+             x y fc fc shade shade (xml_escape labels.(i)) (xml_escape labels.(j))
+             values.(i).(j))
+      done
+    done;
+    (* row labels on the left, column labels rotated on top *)
+    Array.iteri
+      (fun i label ->
+        let l = xml_escape label in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<text x=\"%d\" y=\"%.1f\" font-size=\"10\" fill=\"#222\" \
+              text-anchor=\"end\">%s</text>\n"
+             (margin - 6)
+             (float_of_int (margin + (i * cell)) +. (fc /. 2.0) +. 3.0)
+             l);
+        let cx = float_of_int (margin + (i * cell)) +. (fc /. 2.0) in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<text x=\"%.1f\" y=\"%d\" font-size=\"10\" fill=\"#222\" \
+              text-anchor=\"start\" transform=\"rotate(-60 %.1f %d)\">%s</text>\n"
+             cx (margin - 6) cx (margin - 6) l))
+      labels
+  end;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
 let write_file path contents =
   let oc = open_out path in
   output_string oc contents;

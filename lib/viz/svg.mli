@@ -48,5 +48,14 @@ val floorplan_levels :
 
 val density_heatmap : float array array -> ?size:int -> unit -> string
 
+val contribution_heatmap :
+  labels:string array -> values:float array array -> ?cell:int -> unit -> string
+(** Labelled symmetric-matrix heat map: cell [(i, j)] is shaded by
+    [values.(i).(j)] normalized to the matrix maximum, with row labels
+    on the left, rotated column labels on top and a hover tooltip per
+    cell. Used for per-pair affinity wirelength contributions
+    (DESIGN.md §13); labels are XML-escaped. [cell] is the cell edge in
+    pixels. *)
+
 val write_file : string -> string -> unit
 (** [write_file path contents]. *)

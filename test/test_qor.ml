@@ -179,6 +179,25 @@ let sample_record () =
           pool_wall_us = 2.0e6;
           pool_maps = 2;
           profile = [ ("hidap.place;floorplan.run", 41); ("(idle)", 3) ] };
+    cost_breakdown =
+      Some
+        { Record.cb_total = 1234.5;
+          cb_terms =
+            [ ("wirelength", 1200.0); ("at_penalty", 30.0); ("am_penalty", 4.0);
+              ("macro_penalty", 0.0); ("residual", 0.5) ];
+          cb_pairs =
+            [ { Record.pair_a = "gdf0"; pair_b = "gdf1"; pair_weight = 2.0;
+                pair_wl = 700.0 };
+              { Record.pair_a = "gdf1"; pair_b = "port:N"; pair_weight = 1.0;
+                pair_wl = 500.0 } ];
+          cb_blocks =
+            [ { Record.bc_name = "gdf0"; bc_wl = 700.0; bc_at_shift = 10.0;
+                bc_am_deficit = 0.0; bc_macro_deficit = 0.0 };
+              { Record.bc_name = "gdf1"; bc_wl = 1200.0; bc_at_shift = 5.0;
+                bc_am_deficit = 2.0; bc_macro_deficit = 0.0 } ];
+          cb_term_curves =
+            [ ("wirelength", [ (100.0, 1400.0); (200.0, 1200.0) ]);
+              ("am_penalty", [ (100.0, 9.0); (200.0, 4.0) ]) ] };
   }
 
 let test_record_roundtrip () =
@@ -210,7 +229,9 @@ let test_record_roundtrip () =
     Alcotest.(check bool) "displacement kept" true
       (r'.Record.displacement = r.Record.displacement);
     Alcotest.(check bool) "ckpt kept" true (r'.Record.ckpt = r.Record.ckpt);
-    Alcotest.(check bool) "perf kept" true (r'.Record.perf = r.Record.perf)
+    Alcotest.(check bool) "perf kept" true (r'.Record.perf = r.Record.perf);
+    Alcotest.(check bool) "cost_breakdown kept" true
+      (r'.Record.cost_breakdown = r.Record.cost_breakdown)
 
 let test_record_versioning () =
   let r = sample_record () in
@@ -233,9 +254,27 @@ let test_record_versioning () =
            fields)
     | _ -> assert false
   in
-  match Record.of_json newer with
+  (match Record.of_json newer with
   | Error _ -> ()
-  | Ok _ -> Alcotest.fail "newer schema version must be refused"
+  | Ok _ -> Alcotest.fail "newer schema version must be refused");
+  (* A v2 record (no cost_breakdown section) reads back with None. *)
+  let v2 =
+    match Record.to_json r with
+    | Jsonx.Obj fields ->
+      Jsonx.Obj
+        (List.filter_map
+           (fun (k, v) ->
+             if k = "cost_breakdown" then None
+             else if k = "version" then Some (k, Jsonx.Int 2)
+             else Some (k, v))
+           fields)
+    | _ -> assert false
+  in
+  match Record.of_json v2 with
+  | Error e -> Alcotest.failf "v2 record must still parse: %s" e
+  | Ok r' ->
+    Alcotest.(check bool) "v2 reads back without a breakdown" true
+      (r'.Record.cost_breakdown = None)
 
 let test_ledger_roundtrip () =
   let r = sample_record () in
