@@ -67,6 +67,23 @@ let calibrate ~rng ~cost ~neighbor ~target state c0 =
     max 1e-9 t
 
 let minimize ~rng ~init ~cost ~neighbor ?(params = default_params) ?observer () =
+  (* Calibration solves exp(-mean_up / t0) = target for t0, so the
+     target must lie strictly inside (0, 1): log 1.0 = 0 divides by
+     zero (the 1e-9 floor would silently quench the search), log of a
+     non-positive target is NaN, and a target above 1 gives a negative
+     temperature. Reject the parameter up front with a structured
+     diagnostic instead of annealing with a nonsense schedule. The
+     check is written to also catch NaN. *)
+  (match params.initial_temp with
+  | Some _ -> ()
+  | None ->
+    let a = params.initial_acceptance in
+    if not (a > 0.0 && a < 1.0) then
+      Guard.Diag.fail ~code:"bad-sa-acceptance" ~stage:"anneal"
+        (Printf.sprintf
+           "initial_acceptance %g is outside (0, 1): temperature calibration \
+            needs log(target) finite and negative"
+           a));
   let c0 = cost init in
   let t0, calibration_moves =
     match params.initial_temp with

@@ -16,6 +16,10 @@ type t = {
   flipping_passes : int;
   seed : int;
   sa_starts : int;
+  incremental_eval : bool;
+      (* evaluate SA moves incrementally (bit-identical to the full
+         evaluation; false forces the full path, e.g. for identity
+         checks and benchmarking) *)
   jobs : int;
   faults : Guard.Fault.spec list;
   budgets : (string * float) list;
@@ -39,6 +43,7 @@ let default =
     flipping_passes = 2;
     seed = 1;
     sa_starts = 4;
+    incremental_eval = true;
     jobs = Parexec.default_jobs ();
     faults = [];
     budgets = [] }

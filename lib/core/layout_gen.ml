@@ -76,12 +76,26 @@ let breakdown_of ~cost ~wirelength ~viol ~(config : Config.t) ~budget ~n_pairs =
   { bd_wirelength; bd_at_penalty; bd_am_penalty; bd_macro_penalty;
     bd_residual = cost -. partial }
 
-(* Sparse list of affinity pairs that involve at least one block. *)
+(* Sparse list of affinity pairs that involve at least one block. Only
+   the upper triangle is read, which is correct solely because the
+   matrix is symmetric — [Gdf.affinity_matrix] writes both mirrors of
+   every entry. An asymmetric matrix would silently drop its whole
+   lower-triangle weight here, so any disagreement across the diagonal
+   (including NaN, which never equals its mirror) is rejected with a
+   structured diagnostic instead of folded in: summing w_ij +. w_ji
+   would double every weight of the symmetric matrices the real flow
+   produces and shift every cost. *)
 let affinity_pairs ~n_blocks ~n_endpoints affinity =
   let pairs = ref [] in
   for i = 0 to n_blocks - 1 do
     for j = i + 1 to n_endpoints - 1 do
       let w = affinity.(i).(j) in
+      if w <> affinity.(j).(i) then
+        Guard.Diag.fail ~code:"asymmetric-affinity" ~stage:"floorplan"
+          (Printf.sprintf
+             "affinity matrix is asymmetric at (%d, %d): %g above the diagonal \
+              vs %g below; the pair scan reads only the upper triangle"
+             i j w affinity.(j).(i));
       if w > 1e-12 then pairs := (i, j, w) :: !pairs
     done
   done;
@@ -104,24 +118,14 @@ let make_scratch ~n_blocks ~budget =
     s_centers = Array.make n_blocks c;
     s_budget_center = c }
 
-(* Evaluate [expr] into [s.s_rects]/[s.s_centers] (valid until the next
-   call on the same scratch) and return (cost, wirelength, violations). *)
-let evaluate_into s ~leaves ~budget ~pairs ~fixed_pos ~config ~n_blocks expr =
-  let placement = Slicing.Layout.evaluate expr ~leaves ~budget in
-  Array.fill s.s_rects 0 n_blocks budget;
-  Array.fill s.s_centers 0 n_blocks s.s_budget_center;
-  List.iter
-    (fun (lid, r) ->
-      s.s_rects.(lid) <- r;
-      s.s_centers.(lid) <- Rect.center r)
-    placement.Slicing.Layout.rects;
-  let pos i = if i < n_blocks then s.s_centers.(i) else fixed_pos.(i - n_blocks) in
-  let wl = ref 0.0 in
-  Array.iter (fun (i, j, w) -> wl := !wl +. (w *. Point.manhattan (pos i) (pos j))) pairs;
+(* Assemble (cost, wirelength, violations) from the wirelength fold and
+   the raw violation totals. Shared verbatim by the full and the
+   incremental evaluation paths, so once their [wl]/[viol] inputs agree
+   bitwise the scalar the annealer sees does too. *)
+let finish_cost ~leaves ~budget ~n_pairs ~(config : Config.t) ~n_blocks ~wl viol =
   (* Normalize violation areas by the budget area so the penalty weights
      are scale-free. *)
   let scale v = v /. max 1e-9 (Rect.area budget) in
-  let viol = placement.Slicing.Layout.viol in
   (* A lone leaf never passes through [split_extent], which is where the
      multi-block path charges minimum-area deficits; charge its deficit
      against the whole budget here so a violating single block pays the
@@ -145,7 +149,7 @@ let evaluate_into s ~leaves ~budget ~pairs ~fixed_pos ~config ~n_blocks expr =
   in
   (* A tiny wirelength-free bias keeps annealing meaningful when the
      affinity matrix is empty: prefer legal layouts. *)
-  let base = if Array.length pairs = 0 then 1.0 else !wl in
+  let base = if n_pairs = 0 then 1.0 else wl in
   let cost = base *. (1.0 +. pen) in
   (* NaN poisoning must surface as a diagnostic, never reach the SA
      acceptance test: [nan < x] is silently false, so a poisoned cost
@@ -156,8 +160,121 @@ let evaluate_into s ~leaves ~budget ~pairs ~fixed_pos ~config ~n_blocks expr =
       (Printf.sprintf
          "layout cost is %g (wirelength %g, budget %gx%g): non-finite area or \
           position reached the annealer"
-         cost !wl budget.Rect.w budget.Rect.h);
-  (cost, !wl, viol)
+         cost wl budget.Rect.w budget.Rect.h);
+  (cost, wl, viol)
+
+(* Evaluate [expr] into [s.s_rects]/[s.s_centers] (valid until the next
+   call on the same scratch) and return (cost, wirelength, violations). *)
+let evaluate_into s ~leaves ~budget ~pairs ~fixed_pos ~config ~n_blocks expr =
+  let placement = Slicing.Layout.evaluate expr ~leaves ~budget in
+  Array.fill s.s_rects 0 n_blocks budget;
+  Array.fill s.s_centers 0 n_blocks s.s_budget_center;
+  List.iter
+    (fun (lid, r) ->
+      s.s_rects.(lid) <- r;
+      s.s_centers.(lid) <- Rect.center r)
+    placement.Slicing.Layout.rects;
+  let pos i = if i < n_blocks then s.s_centers.(i) else fixed_pos.(i - n_blocks) in
+  let wl = ref 0.0 in
+  Array.iter (fun (i, j, w) -> wl := !wl +. (w *. Point.manhattan (pos i) (pos j))) pairs;
+  finish_cost ~leaves ~budget ~n_pairs:(Array.length pairs) ~config ~n_blocks ~wl:!wl
+    placement.Slicing.Layout.viol
+
+(* ---- incremental evaluation ---------------------------------------- *)
+
+(* Per-start state for the incremental cost path (DESIGN.md section 14):
+   the [Slicing.Inc] tree evaluator plus flat pair tables. [ic_pc]
+   caches each pair's wirelength contribution; [ic_adj] lists, per
+   block, the pairs it participates in, so a move only recomputes the
+   contributions of pairs with a moved endpoint (fixed endpoints never
+   move). The total is still re-folded left to right over the whole
+   contribution array every evaluation: each entry is bitwise the term
+   the full path would compute, and the fold order is the full path's
+   pair order, so the sum — and hence the cost — is bit-identical. *)
+type inc = {
+  ic_state : Slicing.Inc.t;
+  ic_pi : int array;
+  ic_pj : int array;
+  ic_pw : float array;
+  ic_pc : float array;
+  ic_adj : int array array;
+  ic_fx : float array;   (* fixed endpoint coordinates, flattened *)
+  ic_fy : float array;
+}
+
+let make_inc ~table ~budget ~pairs ~fixed_pos ~n_blocks =
+  let np = Array.length pairs in
+  let pi = Array.make np 0 and pj = Array.make np 0 and pw = Array.make np 0.0 in
+  let deg = Array.make n_blocks 0 in
+  Array.iteri
+    (fun p (i, j, w) ->
+      pi.(p) <- i;
+      pj.(p) <- j;
+      pw.(p) <- w;
+      if i < n_blocks then deg.(i) <- deg.(i) + 1;
+      if j < n_blocks then deg.(j) <- deg.(j) + 1)
+    pairs;
+  let adj = Array.init n_blocks (fun i -> Array.make deg.(i) 0) in
+  let fill = Array.make n_blocks 0 in
+  Array.iteri
+    (fun p (i, j, _) ->
+      if i < n_blocks then begin
+        adj.(i).(fill.(i)) <- p;
+        fill.(i) <- fill.(i) + 1
+      end;
+      if j < n_blocks then begin
+        adj.(j).(fill.(j)) <- p;
+        fill.(j) <- fill.(j) + 1
+      end)
+    pairs;
+  { ic_state = Slicing.Inc.create ~table ~budget;
+    ic_pi = pi;
+    ic_pj = pj;
+    ic_pw = pw;
+    ic_pc = Array.make np 0.0;
+    ic_adj = adj;
+    ic_fx = Array.map (fun (p : Point.t) -> p.Point.x) fixed_pos;
+    ic_fy = Array.map (fun (p : Point.t) -> p.Point.y) fixed_pos }
+
+(* Incremental counterpart of [evaluate_into]: same contract, same
+   floats. Rects are read through [Slicing.Inc.rects inc.ic_state]. *)
+let evaluate_inc inc ~leaves ~budget ~config ~n_blocks expr =
+  let st = inc.ic_state in
+  let viol = Slicing.Inc.evaluate st expr in
+  let cx = Slicing.Inc.centers_x st and cy = Slicing.Inc.centers_y st in
+  let np = Array.length inc.ic_pc in
+  (* Refresh the contribution of one pair. Recomputing a pair twice
+     (both endpoints moved) just rewrites the same value, so the moved
+     list needs no deduplication. The arithmetic is [w *. Point.manhattan]
+     with the same operand order as the full path. *)
+  let update p =
+    let i = inc.ic_pi.(p) and j = inc.ic_pj.(p) in
+    let xi = if i < n_blocks then cx.(i) else inc.ic_fx.(i - n_blocks) in
+    let yi = if i < n_blocks then cy.(i) else inc.ic_fy.(i - n_blocks) in
+    let xj = if j < n_blocks then cx.(j) else inc.ic_fx.(j - n_blocks) in
+    let yj = if j < n_blocks then cy.(j) else inc.ic_fy.(j - n_blocks) in
+    inc.ic_pc.(p) <- inc.ic_pw.(p) *. (abs_float (xi -. xj) +. abs_float (yi -. yj))
+  in
+  if Slicing.Inc.full st then
+    for p = 0 to np - 1 do
+      update p
+    done
+  else begin
+    let moved = Slicing.Inc.moved st and n_moved = Slicing.Inc.n_moved st in
+    for m = 0 to n_moved - 1 do
+      let adj = inc.ic_adj.(moved.(m)) in
+      for a = 0 to Array.length adj - 1 do
+        update adj.(a)
+      done
+    done
+  end;
+  (* Canonical left-to-right re-fold in pair order (never resumed from
+     a partial sum: float addition is not associative). *)
+  let wl = ref 0.0 in
+  for p = 0 to np - 1 do
+    wl := !wl +. inc.ic_pc.(p)
+  done;
+  finish_cost ~leaves ~budget ~n_pairs:np ~config ~n_blocks ~wl:!wl viol
 
 (* Full evaluation of one expression: the scalar cost plus its named
    breakdown and the post-hoc per-pair / per-leaf attribution. Runs once
@@ -280,17 +397,28 @@ let run ?observer ?term_observer ~rng ~config ~blocks ~affinity ~fixed_pos ~budg
        and hence the reduced result — is independent of how the starts
        are scheduled across domains. *)
     let chain = greedy_chain ~affinity ~n_blocks ~n_endpoints in
+    let table = Slicing.Layout.leaf_table leaves in
     let search () =
       Guard.Fault.hit "floorplan.sa";
-      let rev_chain =
-        Array.init n_blocks (fun i -> chain.(n_blocks - 1 - i))
-      in
-      let n_random = max 0 (config.Config.sa_starts - 2) in
+      (* Honor the configured start count exactly: sa_starts = 1 runs
+         the affinity-greedy chain alone (it used to silently run the
+         reversed chain too), 2 adds the reversed chain, and anything
+         beyond fills up with random shuffles — the same construction
+         and RNG consumption as before for >= 2, so the default of 4
+         stays bit-identical. *)
+      let n_starts_cfg = max 1 config.Config.sa_starts in
       let inits =
-        Array.of_list
-          (chain_expr ~n_blocks ~order:chain
-          :: chain_expr ~n_blocks ~order:rev_chain
-          :: List.init n_random (fun _ -> Slicing.Polish.initial_random rng ~n:n_blocks))
+        if n_starts_cfg = 1 then [| chain_expr ~n_blocks ~order:chain |]
+        else begin
+          let rev_chain =
+            Array.init n_blocks (fun i -> chain.(n_blocks - 1 - i))
+          in
+          Array.of_list
+            (chain_expr ~n_blocks ~order:chain
+            :: chain_expr ~n_blocks ~order:rev_chain
+            :: List.init (n_starts_cfg - 2) (fun _ ->
+                   Slicing.Polish.initial_random rng ~n:n_blocks))
+        end
       in
       let n_starts = Array.length inits in
       (* Every start beyond the first re-anneals the same instance from
@@ -301,12 +429,27 @@ let run ?observer ?term_observer ~rng ~config ~blocks ~affinity ~fixed_pos ~budg
       let results =
         Parexec.map pool
           (fun i ->
-            let s = make_scratch ~n_blocks ~budget in
+            (* Each start owns its evaluation state (incremental or
+               scratch), so the parallel starts share nothing mutable.
+               Both paths return bit-identical (cost, wl, viol) — the
+               incremental property suite and the bench/CI identity
+               checks hold them together — so the flag never changes a
+               placement, only the time to reach it. *)
+            let eval_expr =
+              if config.Config.incremental_eval then begin
+                let inc = make_inc ~table ~budget ~pairs ~fixed_pos ~n_blocks in
+                fun expr -> evaluate_inc inc ~leaves ~budget ~config ~n_blocks expr
+              end
+              else begin
+                let s = make_scratch ~n_blocks ~budget in
+                fun expr -> eval_into s expr
+              end
+            in
             match term_observer with
             | None ->
               let cost expr =
                 Guard.Budget.check ~stage:"floorplan";
-                let c, _, _ = eval_into s expr in
+                let c, _, _ = eval_expr expr in
                 c
               in
               Anneal.Sa.minimize ~rng:rngs.(i) ~init:inits.(i) ~cost
@@ -324,7 +467,7 @@ let run ?observer ?term_observer ~rng ~config ~blocks ~affinity ~fixed_pos ~budg
               let best_viol = ref Slicing.Layout.no_violations in
               let cost expr =
                 Guard.Budget.check ~stage:"floorplan";
-                let c, wl, viol = eval_into s expr in
+                let c, wl, viol = eval_expr expr in
                 if not (!best <= c) then begin
                   best := c;
                   best_wl := wl;

@@ -42,6 +42,17 @@ let codes =
     ("non-finite-cost", "error",
      "a floorplan candidate evaluated to NaN/inf cost (caught before SA acceptance, \
       where `NaN < x` would silently reject forever)");
+    ("bad-leaf-table", "error",
+     "a floorplan instance's leaf lids are not exactly 0..n-1 (duplicate or \
+      out-of-range lid), or an expression operand references a missing leaf");
+    ("asymmetric-affinity", "error",
+     "the affinity matrix disagrees across the diagonal (or holds NaN); the \
+      pair scan reads only the upper triangle, so asymmetric weight would be \
+      silently dropped");
+    ("bad-sa-acceptance", "error",
+     "annealing initial_acceptance outside (0, 1): temperature calibration \
+      would divide by log(target) = 0 (silent quench) or produce NaN/negative \
+      temperatures");
     ("ckpt-io", "error",
      "checkpoint directory cannot be created, opened or written");
     ("ckpt-mismatch", "error",

@@ -84,19 +84,55 @@ let min_area t =
   | None -> 0.0
   | Some (w, h) -> w *. h
 
-let compose_with f a b =
+(* The h/v compositions dominate the SA hot path, so they use the
+   classical staircase merge instead of [compose_with]'s cartesian
+   product + sort. Both inputs are strict staircases (widths strictly
+   increasing, heights strictly decreasing), so starting from the
+   narrowest pair and advancing the curve holding the current maximum
+   height enumerates exactly the undominated combinations, already in
+   increasing-width order: advancing the other curve could not lower the
+   max but would widen the sum, and any skipped pair keeps the height of
+   some emitted point at a larger width. The emitted floats are the same
+   [w1 +. w2] / [max h1 h2] the product would produce, so the result is
+   bit for bit [pareto] of the full product (the shape property suite
+   asserts this against the cartesian reference). *)
+let compose_h a b =
   match (a, b) with
   | Unconstrained, c | c, Unconstrained -> c
   | Staircase pa, Staircase pb ->
-    let pts = ref [] in
-    Array.iter
-      (fun p1 -> Array.iter (fun p2 -> pts := f p1 p2 :: !pts) pb)
-      pa;
-    of_points !pts
+    let n1 = Array.length pa and n2 = Array.length pb in
+    let out = Array.make (n1 + n2) pa.(0) in
+    let k = ref 0 and i = ref 0 and j = ref 0 in
+    while !i < n1 && !j < n2 do
+      let w1, h1 = pa.(!i) and w2, h2 = pb.(!j) in
+      out.(!k) <- (w1 +. w2, max h1 h2);
+      incr k;
+      if h1 > h2 then incr i else if h2 > h1 then incr j else (incr i; incr j)
+    done;
+    Staircase (Array.sub out 0 !k)
 
-let compose_h = compose_with (fun (w1, h1) (w2, h2) -> (w1 +. w2, max h1 h2))
-
-let compose_v = compose_with (fun (w1, h1) (w2, h2) -> (max w1 w2, h1 +. h2))
+(* Same merge transposed: width plays height's role, so the walk starts
+   from the widest (lowest) pair and retreats the curve holding the
+   current maximum width, emitting in decreasing-width order; the output
+   is reversed back into staircase order. *)
+let compose_v a b =
+  match (a, b) with
+  | Unconstrained, c | c, Unconstrained -> c
+  | Staircase pa, Staircase pb ->
+    let n1 = Array.length pa and n2 = Array.length pb in
+    let out = Array.make (n1 + n2) pa.(0) in
+    let k = ref 0 and i = ref (n1 - 1) and j = ref (n2 - 1) in
+    while !i >= 0 && !j >= 0 do
+      let w1, h1 = pa.(!i) and w2, h2 = pb.(!j) in
+      out.(!k) <- (max w1 w2, h1 +. h2);
+      incr k;
+      if w1 > w2 then decr i else if w2 > w1 then decr j else (decr i; decr j)
+    done;
+    let res = Array.make !k out.(0) in
+    for m = 0 to !k - 1 do
+      res.(m) <- out.(!k - 1 - m)
+    done;
+    Staircase res
 
 let compose_best a b =
   match (compose_h a b, compose_v a b) with

@@ -37,18 +37,49 @@ let at_of = function Leaf l -> l.area_target | Node n -> n.at
 
 let max_curve_points = 24
 
-let build_tree expr ~leaves =
+(* Dense lid -> leaf lookup table. Instance leaves are the block array
+   mapped through [Block.to_leaf], so their lids are exactly 0..n-1; a
+   duplicate or out-of-range lid means the caller wired the wrong leaf
+   set and every per-operand lookup downstream would be garbage, so it
+   is rejected up front with a structured diagnostic (not an
+   [invalid_arg]: the supervisor must never swallow it into a stage
+   fallback). Building the table once per instance also removes the
+   O(n) [Array.find_opt] scan per operand that made every tree build
+   quadratic. *)
+let leaf_table leaves =
+  let n = Array.length leaves in
+  if n = 0 then [||]
+  else begin
+    let table = Array.make n leaves.(0) in
+    let seen = Array.make n false in
+    Array.iter
+      (fun l ->
+        if l.lid < 0 || l.lid >= n then
+          Guard.Diag.fail ~code:"bad-leaf-table" ~stage:"floorplan"
+            (Printf.sprintf "leaf lid %d out of range for %d leaves (lids must be 0..%d)"
+               l.lid n (n - 1));
+        if seen.(l.lid) then
+          Guard.Diag.fail ~code:"bad-leaf-table" ~stage:"floorplan"
+            (Printf.sprintf "duplicate leaf lid %d in a %d-leaf instance" l.lid n);
+        seen.(l.lid) <- true;
+        table.(l.lid) <- l)
+      leaves;
+    table
+  end
+
+let leaf_of_table table i =
+  if i < 0 || i >= Array.length table then
+    Guard.Diag.fail ~code:"bad-leaf-table" ~stage:"floorplan"
+      (Printf.sprintf "expression operand %d has no leaf (%d leaves)" i
+         (Array.length table));
+  table.(i)
+
+let build_tree expr ~table =
   let stack = ref [] in
   Array.iter
     (fun e ->
       match e with
-      | Polish.Operand i ->
-        let leaf =
-          match Array.find_opt (fun l -> l.lid = i) leaves with
-          | Some l -> l
-          | None -> invalid_arg "Layout.evaluate: operand without leaf"
-        in
-        stack := Leaf leaf :: !stack
+      | Polish.Operand i -> stack := Leaf (leaf_of_table table i) :: !stack
       | Polish.Operator op ->
         (match !stack with
         | r :: l :: rest ->
@@ -132,7 +163,7 @@ let macro_min_extent curve ~cross ~axis =
       (need_axis, max 0.0 (need_cross -. cross) *. need_axis))
 
 let evaluate expr ~leaves ~budget =
-  let tree = build_tree expr ~leaves in
+  let tree = build_tree expr ~table:(leaf_table leaves) in
   let rects = ref [] in
   let viol = ref no_violations in
   let rec place t (r : Rect.t) =
@@ -218,7 +249,7 @@ let charge arr t v =
           arr.(l.lid) <- add_viol arr.(l.lid) (scale_viol v (share l)))
 
 let evaluate_attributed expr ~leaves ~budget =
-  let tree = build_tree expr ~leaves in
+  let tree = build_tree expr ~table:(leaf_table leaves) in
   let n = Array.fold_left (fun acc l -> max acc (l.lid + 1)) 0 leaves in
   let per_leaf = Array.make n no_violations in
   let rects = ref [] in
@@ -291,5 +322,5 @@ let evaluate_attributed expr ~leaves ~budget =
   ({ rects = List.rev !rects; viol = !viol }, per_leaf)
 
 let tree_curve expr ~leaves =
-  let tree = build_tree expr ~leaves in
+  let tree = build_tree expr ~table:(leaf_table leaves) in
   curve_of tree

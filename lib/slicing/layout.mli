@@ -57,3 +57,41 @@ val evaluate_attributed :
 val tree_curve : Polish.t -> leaves:leaf array -> Shape.Curve.t
 (** Bottom-up composition of the leaf curves along the tree — the shape
     curve of the whole arrangement. *)
+
+(** {1 Evaluation internals}
+
+    Shared with {!Inc}, the incremental evaluator, which must reproduce
+    this module's floats bit for bit. *)
+
+val leaf_table : leaf array -> leaf array
+(** Dense lid -> leaf table: slot [lid] holds the leaf carrying that
+    lid. The leaf lids must be exactly [0..n-1]; a duplicate or
+    out-of-range lid raises a structured [bad-leaf-table] diagnostic
+    ({!Guard.Diag.Fail}). Build it once per instance — it replaces the
+    per-operand linear scan that made tree construction quadratic. *)
+
+val leaf_of_table : leaf array -> int -> leaf
+(** Table lookup with the same [bad-leaf-table] diagnostic for an
+    operand index outside the table. *)
+
+val max_curve_points : int
+(** Pruning bound applied to every composed internal-node curve. *)
+
+val macro_min_extent :
+  Shape.Curve.t -> cross:float -> axis:[ `Width | `Height ] -> float * float
+(** Minimum extent along the cut axis for a subtree inside cross
+    dimension [cross], paired with any unavoidable macro deficit when no
+    curve point respects [cross]. *)
+
+val split_extent :
+  extent:float ->
+  cross:float ->
+  at_a:float ->
+  at_b:float ->
+  am_a:float ->
+  am_b:float ->
+  mac_min_a:float ->
+  mac_min_b:float ->
+  float * violations
+(** Size of the first child along the cut axis plus the split's
+    violation delta (see the implementation for the staged clamping). *)

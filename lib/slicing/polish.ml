@@ -57,6 +57,8 @@ let initial_random rng ~n =
 
 let elements t = Array.copy t
 
+let get (t : t) i = t.(i)
+
 let operand_count t =
   Array.fold_left (fun acc e -> if is_operand e then acc + 1 else acc) 0 t
 

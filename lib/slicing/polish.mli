@@ -32,6 +32,10 @@ val initial_random : Util.Rng.t -> n:int -> t
 val elements : t -> elt array
 (** Defensive copy. *)
 
+val get : t -> int -> elt
+(** O(1) read of element [i], no copy — the incremental evaluator diffs
+    expressions element by element on every SA move. *)
+
 val operand_count : t -> int
 
 val length : t -> int

@@ -93,6 +93,45 @@ let discrete_state_space =
       in
       r.Sa.best_cost <= cost 100)
 
+(* Calibration divides by log(initial_acceptance): a target outside
+   (0, 1) would silently quench (log 1 = 0) or produce NaN/negative
+   temperatures, so it must be rejected up front — but only when
+   calibration actually runs (an explicit initial_temp never reads the
+   target). *)
+let test_acceptance_validation () =
+  let cost, neighbor = quadratic_setup () in
+  let run params =
+    Sa.minimize ~rng:(Util.Rng.create 1) ~init:10.0 ~cost ~neighbor ~params ()
+  in
+  let rejected a =
+    match
+      run { Sa.default_params with Sa.initial_acceptance = a; max_moves = 50 }
+    with
+    | exception Guard.Diag.Fail d -> d.Guard.Diag.code = "bad-sa-acceptance"
+    | _ -> false
+  in
+  List.iter
+    (fun a ->
+      Alcotest.(check bool)
+        (Printf.sprintf "initial_acceptance %g rejected" a)
+        true (rejected a))
+    [ 0.0; 1.0; -0.3; 1.5; Float.nan ];
+  (* valid target and explicit-temperature paths stay untouched *)
+  let ok =
+    run
+      { Sa.default_params with Sa.initial_acceptance = 0.5; max_moves = 50 }
+  in
+  Alcotest.(check bool) "valid target runs" true (ok.Sa.moves > 0);
+  let explicit =
+    run
+      { Sa.default_params with
+        Sa.initial_temp = Some 5.0;
+        initial_acceptance = 1.5;
+        max_moves = 50 }
+  in
+  Alcotest.(check bool) "explicit temp skips the validation" true
+    (explicit.Sa.moves > 0)
+
 let suite =
   [ ( "anneal.sa",
       [ Alcotest.test_case "minimizes quadratic" `Quick test_minimizes_quadratic;
@@ -105,4 +144,6 @@ let suite =
           test_calibration_moves_zero_with_explicit_temp;
         Alcotest.test_case "cost calls accounted" `Quick test_cost_calls_accounted;
         Alcotest.test_case "stats consistent" `Quick test_stats_consistent;
+        Alcotest.test_case "acceptance target validated" `Quick
+          test_acceptance_validation;
         best_never_worse_than_init; discrete_state_space ] ) ]

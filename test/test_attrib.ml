@@ -177,7 +177,9 @@ let test_stream_v2 () =
   Alcotest.(check int) "hidap-progress schema version" 2 Obs.Stream.version;
   let path = Filename.temp_file "hidap_attrib" ".ndjson" in
   let oc = open_out path in
-  Obs.Stream.enable ~close_on_disable:true oc;
+  (* heartbeat_s 0: the heartbeat domain would race its first event
+     against [sa_progress] below, leaving two documents in the file. *)
+  Obs.Stream.enable ~heartbeat_s:0.0 ~close_on_disable:true oc;
   Obs.Stream.sa_progress ~instance:1 ~instances:1 ~temperature:0.5 ~best_cost:10.0
     ~cost_terms:[ ("wirelength", 9.0); ("residual", 1.0) ]
     ~moves:100 ~moves_per_s:50.0 ();

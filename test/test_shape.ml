@@ -147,6 +147,37 @@ let prune_conservative =
         let p = Curve.prune ~max_points:4 c in
         List.for_all (fun (w, h) -> Curve.fits c ~w ~h) (Curve.points p))
 
+(* The merge-walk compositions must be bit for bit the Pareto frontier
+   of the full cartesian product they replaced (DESIGN.md section 14
+   leans on this for SA determinism): same floats, same order. *)
+let compose_matches_cartesian =
+  let cartesian f a b =
+    let pts = ref [] in
+    List.iter
+      (fun p1 -> List.iter (fun p2 -> pts := f p1 p2 :: !pts) (Curve.points b))
+      (Curve.points a);
+    Curve.of_points !pts
+  in
+  qtest "merge compose = cartesian pareto, bitwise"
+    QCheck.(pair points_arb points_arb)
+    (fun (pa, pb) ->
+      match (Curve.of_points pa, Curve.of_points pb) with
+      | exception Invalid_argument _ -> true
+      | a, b ->
+        let beq_pts c c' =
+          List.for_all2
+            (fun (w, h) (w', h') ->
+              Int64.bits_of_float w = Int64.bits_of_float w'
+              && Int64.bits_of_float h = Int64.bits_of_float h')
+            (Curve.points c) (Curve.points c')
+        in
+        let same f g =
+          let m = f a b and c = cartesian g a b in
+          Curve.size m = Curve.size c && beq_pts m c
+        in
+        same Curve.compose_h (fun (w1, h1) (w2, h2) -> (w1 +. w2, max h1 h2))
+        && same Curve.compose_v (fun (w1, h1) (w2, h2) -> (max w1 w2, h1 +. h2)))
+
 let suite =
   [ ( "shape.curve",
       [ Alcotest.test_case "of_macro" `Quick test_of_macro;
@@ -159,4 +190,5 @@ let suite =
           test_compose_with_unconstrained;
         Alcotest.test_case "prune" `Quick test_prune;
         staircase_invariant; min_area_point_fits; compose_min_area_superadditive;
-        compose_best_at_least_as_good; fits_monotone; prune_conservative ] ) ]
+        compose_best_at_least_as_good; fits_monotone; prune_conservative;
+        compose_matches_cartesian ] ) ]

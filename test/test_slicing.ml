@@ -276,6 +276,10 @@ let test_tree_curve () =
   Alcotest.(check bool) "4x1 feasible" true (Curve.fits c ~w:4.0 ~h:1.0);
   Alcotest.(check bool) "2x2 feasible" true (Curve.fits c ~w:2.0 ~h:2.0)
 
+let diag_code = function
+  | Guard.Diag.Fail d -> Some d.Guard.Diag.code
+  | _ -> None
+
 let test_malformed_expression () =
   let leaves = soft_leaves [ 1.0 ] in
   match
@@ -283,8 +287,34 @@ let test_malformed_expression () =
       (Polish.of_elements [| Polish.Operand 5 |])
       ~leaves ~budget
   with
-  | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "expected missing-leaf error"
+  | exception (Guard.Diag.Fail _ as e) ->
+    Alcotest.(check (option string)) "structured code" (Some "bad-leaf-table")
+      (diag_code e)
+  | _ -> Alcotest.fail "expected missing-leaf diagnostic"
+
+(* The lid -> leaf table validates its input: lids must be exactly
+   0..n-1, so a duplicate or out-of-range lid is a structured
+   diagnostic, not a silent mis-assignment or a bare invalid_arg. *)
+let test_leaf_table_validation () =
+  let leaf lid =
+    { Layout.lid; curve = Shape.Curve.unconstrained; area_min = 1.0;
+      area_target = 1.0 }
+  in
+  (match Layout.leaf_table [| leaf 0; leaf 1 |] with
+  | table ->
+    Alcotest.(check int) "slot holds its lid" 1 table.(1).Layout.lid);
+  (match Layout.leaf_table [| leaf 0; leaf 0 |] with
+  | exception (Guard.Diag.Fail _ as e) ->
+    Alcotest.(check (option string)) "duplicate lid" (Some "bad-leaf-table")
+      (diag_code e)
+  | _ -> Alcotest.fail "duplicate lid accepted");
+  (match Layout.leaf_table [| leaf 0; leaf 2 |] with
+  | exception (Guard.Diag.Fail _ as e) ->
+    Alcotest.(check (option string)) "out-of-range lid" (Some "bad-leaf-table")
+      (diag_code e)
+  | _ -> Alcotest.fail "out-of-range lid accepted");
+  match Layout.leaf_table [||] with
+  | table -> Alcotest.(check int) "empty table" 0 (Array.length table)
 
 let layout_deterministic =
   qtest "evaluation is deterministic" QCheck.small_int (fun seed ->
@@ -312,4 +342,5 @@ let suite =
         Alcotest.test_case "penalty weights" `Quick test_penalty_weights;
         Alcotest.test_case "tree curve" `Quick test_tree_curve;
         Alcotest.test_case "malformed expression" `Quick test_malformed_expression;
+        Alcotest.test_case "leaf table validation" `Quick test_leaf_table_validation;
         layout_partitions_budget; layout_deterministic ] ) ]
