@@ -1069,11 +1069,101 @@ let bechamel_benches () =
   printf "%s@." (T.render ~header:[ "bench"; "ns/run" ] rows)
 
 (* ------------------------------------------------------------------ *)
+(* Serve: daemon throughput under concurrent clients                   *)
+(* ------------------------------------------------------------------ *)
+
+(* An in-process daemon loaded by N client domains each bursting its
+   whole batch of fig1-size jobs before collecting results, so the
+   bounded queue actually overflows: backpressure rejections (clients
+   re-submit after a short sleep) and the admission bound are part of
+   the measurement, not an error path. *)
+let serve_bench () =
+  printf "%s@." (T.section "Serve: job daemon under concurrent clients");
+  let dir = Filename.temp_file "hidap-bench-serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let sock = Filename.concat dir "s.sock" in
+  let queue_limit = 8 in
+  let cfg =
+    { (Serve.Engine.default_config ~socket_path:sock
+         ~state_dir:(Filename.concat dir "state"))
+      with Serve.Engine.queue_limit }
+  in
+  let eng = Serve.Engine.create cfg in
+  let daemon = Domain.spawn (fun () -> Serve.Engine.run eng) in
+  let hnl = Hnl.Printer.to_string (Circuitgen.Suite.fig1_design ()) in
+  let clients = 4 in
+  let per_client = if fast_mode then 3 else 6 in
+  let resubmits = Atomic.make 0 in
+  let completed = Atomic.make 0 in
+  let t0 = Obs.Clock.now_s () in
+  let client_doms =
+    List.init clients (fun ci ->
+        Domain.spawn (fun () ->
+            let cl = Serve.Client.connect ~socket_path:sock in
+            let rec submit spec =
+              match Serve.Client.submit cl spec with
+              | Ok (`Accepted (id, _)) -> Some id
+              | Ok (`Rejected _) ->
+                Atomic.incr resubmits;
+                Unix.sleepf 0.05;
+                submit spec
+              | Error _ -> None
+            in
+            let ids =
+              List.filter_map
+                (fun i ->
+                  submit
+                    { Serve.Proto.default_submit with
+                      Serve.Proto.hnl = Some hnl;
+                      seed = (ci * 100) + i;
+                      label = Printf.sprintf "bench-%d-%d" ci i })
+                (List.init per_client (fun i -> i + 1))
+            in
+            List.iter
+              (fun id ->
+                match Serve.Client.wait ~timeout_s:600.0 cl id with
+                | Ok v when v.Serve.Proto.state = Serve.Proto.Done ->
+                  Atomic.incr completed
+                | _ -> ())
+              ids;
+            Serve.Client.close cl))
+  in
+  List.iter Domain.join client_doms;
+  let wall_s = Obs.Clock.now_s () -. t0 in
+  let stats = Serve.Engine.stats eng in
+  Serve.Engine.request_drain eng;
+  Domain.join daemon;
+  let total = clients * per_client in
+  let jobs_per_min = float stats.Serve.Proto.completed /. wall_s *. 60.0 in
+  printf "%s@."
+    (T.render
+       ~header:[ "clients"; "jobs"; "wall(s)"; "jobs/min"; "rejected"; "queue" ]
+       [ [ string_of_int clients; string_of_int total; T.fmt_f 2 wall_s;
+           T.fmt_f 1 jobs_per_min;
+           string_of_int stats.Serve.Proto.rejected_backpressure;
+           Printf.sprintf "limit %d" queue_limit ] ]);
+  printf
+    "daemon: accepted %d, completed %d (clients saw %d), %d backpressure \
+     rejection(s), %d client re-submit(s)@."
+    stats.Serve.Proto.accepted stats.Serve.Proto.completed (Atomic.get completed)
+    stats.Serve.Proto.rejected_backpressure (Atomic.get resubmits);
+  if Atomic.get completed < total then
+    failwith "serve bench: not every submitted job completed";
+  [ ("clients", Obs.Jsonx.Int clients);
+    ("jobs", Obs.Jsonx.Int total);
+    ("wall_s", Obs.Jsonx.Float wall_s);
+    ("jobs_per_min", Obs.Jsonx.Float jobs_per_min);
+    ("queue_limit", Obs.Jsonx.Int queue_limit);
+    ("rejected_backpressure", Obs.Jsonx.Int stats.Serve.Proto.rejected_backpressure);
+    ("retried", Obs.Jsonx.Int stats.Serve.Proto.retried) ]
+
+(* ------------------------------------------------------------------ *)
 (* Suite-level QoR summary: one JSON per bench run at the repo root so *)
 (* the perf trajectory accumulates across commits (BENCH_<date>.json). *)
 (* ------------------------------------------------------------------ *)
 
-let suite_summary results ~speed ~overhead_pct ~attribution_pct ~elapsed_s =
+let suite_summary results ~speed ~overhead_pct ~attribution_pct ~serve ~elapsed_s =
   let module J = Obs.Jsonx in
   let tm = Unix.localtime (Unix.time ()) in
   let date =
@@ -1136,6 +1226,7 @@ let suite_summary results ~speed ~overhead_pct ~attribution_pct ~elapsed_s =
                              ("peak_rss_kb", J.Int e.Qor.Speed.peak_rss_kb);
                              ("major_words", J.Float e.Qor.Speed.major_words) ] ))
                      speed) ) ] );
+        ("serve", J.Obj serve);
         ("circuits", J.Obj per_circuit) ]
   in
   let path = Printf.sprintf "BENCH_%s.json" date in
@@ -1162,7 +1253,8 @@ let () =
   parallel_speedup ();
   let speed = speed @ incremental_check () in
   speed_table speed;
+  let serve = serve_bench () in
   bechamel_benches ();
   let elapsed_s = Obs.Clock.now_s () -. t0 in
-  suite_summary results ~speed ~overhead_pct ~attribution_pct ~elapsed_s;
+  suite_summary results ~speed ~overhead_pct ~attribution_pct ~serve ~elapsed_s;
   printf "@.total bench time: %.1fs@." elapsed_s

@@ -22,6 +22,7 @@ let exit_usage = 2
 let exit_invalid = 3
 let exit_budget = 4
 let exit_audit = 5
+let exit_interrupted = 6
 
 let exits =
   Cmd.Exit.info exit_usage
@@ -37,7 +38,17 @@ let exits =
   :: Cmd.Exit.info exit_audit
        ~doc:"when the placement legality audit fails (overlaps, out-of-die or \
              footprint-inconsistent macros)."
+  :: Cmd.Exit.info exit_interrupted
+       ~doc:"when SIGINT/SIGTERM interrupted a $(b,place) run that had \
+             $(b,--checkpoint-dir): a final snapshot was written first, so \
+             re-running with $(b,--resume) continues bit-identically. Also \
+             used by $(b,submit) for a job parked by a daemon drain."
   :: Cmd.Exit.defaults
+
+(* Raised (and caught around the telemetry bracket) when a signal
+   cancelled a checkpointed run: unwinds so --trace/--metrics are
+   still written, then exits with [exit_interrupted]. *)
+exception Interrupted
 
 let die_usage fmt =
   Format.kasprintf
@@ -345,6 +356,16 @@ let place_cmd =
       profile qor profile_out perf_out progress_file progress_fd ckpt_dir ckpt_every
       resume full_eval =
     if resume && ckpt_dir = None then die_usage "--resume requires --checkpoint-dir";
+    (* SIGINT/SIGTERM on a checkpointed run: ask the flow to stop at
+       its next budget poll instead of dying mid-write; the handler
+       below snapshots and exits with the documented code. Without a
+       checkpoint dir the default signal behaviour is kept. *)
+    Guard.Budget.clear_cancel ();
+    if ckpt_dir <> None then begin
+      let on_signal _ = Guard.Budget.request_cancel () in
+      Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
+    end;
     let faults, budgets = supervision ~budget in
     let qor_out = Option.map (open_output ~what:"qor") qor in
     let profile_out = Option.map (open_output ~what:"profile") profile_out in
@@ -370,7 +391,7 @@ let place_cmd =
     in
     (* The exit happens after [with_obs] unwinds so requested telemetry
        outputs are written even for degraded or audit-failing runs. *)
-    let code =
+    let run_body () =
       with_obs ~trace ~metrics ~profile
         ~force:(Option.is_some qor_out || Option.is_some profile_out)
         ~after
@@ -409,7 +430,8 @@ let place_cmd =
            rollbacks and snapshot-write failures belong in the same
            ledger. *)
         let (r, measured), degradations =
-          Guard.Supervisor.with_run ~budgets ~faults (fun () ->
+          try
+            Guard.Supervisor.with_run ~budgets ~faults (fun () ->
               (match ckpt_dir with
               | None -> ()
               | Some dir ->
@@ -449,6 +471,18 @@ let place_cmd =
                   Some m
               in
               (r, measured))
+          with Guard.Budget.Cancelled _ ->
+            (* The signal handler requested a stop: write a final
+               snapshot so --resume continues bit-identically, then
+               unwind to the interrupted exit code. *)
+            (match !session with
+            | Some s -> (try Ckpt.Session.save_now s ~stage:false with _ -> ())
+            | None -> ());
+            Format.eprintf
+              "hidap: interrupted; final checkpoint written, continue with \
+               --resume@.";
+            Obs.Stream.run_end ~status:"interrupted";
+            raise Interrupted
         in
         let ckpt_summary =
           Option.map
@@ -538,6 +572,22 @@ let place_cmd =
         else 0
       end
     in
+    (* The stream must be flushed and closed on every path — normal,
+       interrupted, or exceptional — so an NDJSON consumer never sees
+       a torn tail. [disable] is idempotent, so the extra call on the
+       normal path (which already disabled) is free. *)
+    let code =
+      match run_body () with
+      | code -> code
+      | exception Interrupted ->
+        Obs.Stream.disable ();
+        exit_interrupted
+      | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        Obs.Stream.disable ();
+        Printexc.raise_with_backtrace e bt
+    in
+    Obs.Stream.disable ();
     if code <> 0 then exit code
   in
   let ascii_arg =
@@ -1356,6 +1406,335 @@ let bench_cmd =
     Term.(const run $ circuits_arg $ baselines_arg $ update_arg $ jobs_arg $ qor_arg
           $ report_arg $ speed_out_arg $ check_incremental_arg)
 
+(* ---- serve / submit / jobs ---------------------------------------- *)
+
+let socket_arg =
+  Arg.(value & opt string "hidap.sock" & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Unix socket path of the daemon. Keep it short: the OS caps \
+               socket paths around 100 bytes.")
+
+let connect_client socket =
+  try Serve.Client.connect ~socket_path:socket
+  with Unix.Unix_error (e, _, _) ->
+    die_usage "cannot connect to %s: %s (is 'hidap serve' running?)" socket
+      (Unix.error_message e)
+
+let serve_cmd =
+  let run socket state_dir queue_limit drain_grace jobs retry_base retry_cap =
+    let faults =
+      match Guard.Fault.of_env () with Ok s -> s | Error msg -> die_usage "%s" msg
+    in
+    if queue_limit < 1 then die_usage "--queue-limit must be at least 1";
+    let cfg =
+      { (Serve.Engine.default_config ~socket_path:socket ~state_dir) with
+        Serve.Engine.queue_limit; drain_grace_s = drain_grace;
+        default_job_jobs = resolve_jobs jobs; retry_base_s = retry_base;
+        retry_cap_s = retry_cap; faults }
+    in
+    let eng =
+      try Serve.Engine.create cfg
+      with Unix.Unix_error (e, _, _) ->
+        die_usage "cannot listen on %s: %s" socket (Unix.error_message e)
+    in
+    let on_signal _ = Serve.Engine.request_drain eng in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+    Format.eprintf "hidap serve: listening on %s (state %s, queue limit %d)@."
+      socket state_dir queue_limit;
+    Serve.Engine.run eng;
+    Format.eprintf "hidap serve: drained@."
+  in
+  let state_dir_arg =
+    Arg.(required & opt (some string) None & info [ "state-dir" ] ~docv:"DIR"
+           ~doc:"Job state directory (created if needed). Every job persists \
+                 its spec, state, checkpoints and results under DIR/jobs/<id>; \
+                 restarting the daemon on the same DIR recovers in-flight jobs \
+                 bit-identically.")
+  in
+  let queue_limit_arg =
+    Arg.(value & opt int 8 & info [ "queue-limit" ] ~docv:"N"
+           ~doc:"Admission bound: with N jobs queued, the next submit is \
+                 rejected with a structured backpressure response (default 8).")
+  in
+  let drain_grace_arg =
+    Arg.(value & opt float 5.0 & info [ "drain-grace" ] ~docv:"SECONDS"
+           ~doc:"On drain (SIGTERM or a drain request), how long the in-flight \
+                 job may keep running before it is asked to checkpoint and \
+                 park (default 5).")
+  in
+  let retry_base_arg =
+    Arg.(value & opt float 0.05 & info [ "retry-base" ] ~docv:"SECONDS"
+           ~doc:"First retry backoff; doubles per attempt (deterministic, no \
+                 jitter).")
+  in
+  let retry_cap_arg =
+    Arg.(value & opt float 2.0 & info [ "retry-cap" ] ~docv:"SECONDS"
+           ~doc:"Backoff ceiling.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the placement job daemon (admission control, per-job \
+             deadlines, retry, graceful drain, crash recovery)" ~exits)
+    Term.(const run $ socket_arg $ state_dir_arg $ queue_limit_arg
+          $ drain_grace_arg $ jobs_arg $ retry_base_arg $ retry_cap_arg)
+
+let submit_cmd =
+  let run socket file circuit seed lambda jobs priority deadline max_retries
+      label watch wait result_out report_out =
+    let spec =
+      let base =
+        { Serve.Proto.default_submit with
+          Serve.Proto.seed; lambda; jobs; priority; deadline_s = deadline;
+          max_retries; label }
+      in
+      match (file, circuit) with
+      | Some path, None ->
+        let hnl =
+          match open_in_bin path with
+          | ic ->
+            let s = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            s
+          | exception Sys_error msg -> die_usage "%s" msg
+        in
+        { base with
+          Serve.Proto.hnl = Some hnl;
+          label =
+            (if label <> "" then label
+             else Filename.remove_extension (Filename.basename path)) }
+      | None, Some name -> { base with Serve.Proto.circuit = Some name }
+      | Some _, Some _ | None, None ->
+        die_usage "give exactly one of FILE.hnl or --circuit"
+    in
+    let cl = connect_client socket in
+    let fetch_outputs id =
+      (match result_out with
+      | None -> ()
+      | Some path ->
+        (match Serve.Client.result cl id with
+        | Ok qor ->
+          Obs.Jsonx.write_file path qor;
+          Format.printf "wrote qor %s@." path
+        | Error msg -> Format.eprintf "hidap: result: %s@." msg));
+      match report_out with
+      | None -> ()
+      | Some path ->
+        (match Serve.Client.report cl id with
+        | Ok html ->
+          let oc = open_out path in
+          output_string oc html;
+          close_out oc;
+          Format.printf "wrote report %s@." path
+        | Error msg -> Format.eprintf "hidap: report: %s@." msg)
+    in
+    let finish (v : Serve.Proto.job_view) =
+      Format.printf "job %s: %s%s@." v.Serve.Proto.id
+        (Serve.Proto.state_to_string v.Serve.Proto.state)
+        (if v.Serve.Proto.detail = "" then ""
+         else " (" ^ v.Serve.Proto.detail ^ ")");
+      if v.Serve.Proto.state = Serve.Proto.Done then fetch_outputs v.Serve.Proto.id;
+      match v.Serve.Proto.state with
+      | Serve.Proto.Done -> 0
+      | Serve.Proto.Timed_out -> exit_budget
+      | Serve.Proto.Parked -> exit_interrupted
+      | _ -> 1
+    in
+    let code =
+      match Serve.Client.submit cl spec with
+      | Error msg ->
+        Format.eprintf "hidap: submit: %s@." msg;
+        exit_invalid
+      | Ok (`Rejected (reason, depth, limit)) ->
+        Format.eprintf "hidap: submit rejected: %s (queue %d/%d)@." reason depth
+          limit;
+        1
+      | Ok (`Accepted (id, depth)) ->
+        Format.printf "accepted %s (queue depth %d)@." id depth;
+        if watch then begin
+          match
+            Serve.Client.watch cl id ~on_event:(fun e ->
+                Format.eprintf "%s@." (Obs.Jsonx.to_string ~compact:true e))
+          with
+          | Ok v -> finish v
+          | Error msg ->
+            Format.eprintf "hidap: watch: %s@." msg;
+            1
+        end
+        else if wait then begin
+          match Serve.Client.wait cl id with
+          | Ok v -> finish v
+          | Error msg ->
+            Format.eprintf "hidap: wait: %s@." msg;
+            1
+        end
+        else 0
+    in
+    Serve.Client.close cl;
+    if code <> 0 then exit code
+  in
+  let priority_arg =
+    Arg.(value & opt int 0 & info [ "priority" ] ~docv:"N"
+           ~doc:"Queue priority: higher runs first, FIFO within a priority \
+                 (default 0).")
+  in
+  let deadline_arg =
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS"
+           ~doc:"Per-attempt wall-clock deadline. A job past it lands in the \
+                 timed-out terminal state without harming other jobs.")
+  in
+  let max_retries_arg =
+    Arg.(value & opt int 0 & info [ "max-retries" ] ~docv:"N"
+           ~doc:"Extra attempts after a transient failure, re-queued with \
+                 deterministic capped exponential backoff (default 0).")
+  in
+  let label_arg =
+    Arg.(value & opt string "" & info [ "label" ] ~docv:"NAME"
+           ~doc:"Job label shown by 'hidap jobs' (default: the file name).")
+  in
+  let watch_flag =
+    Arg.(value & flag & info [ "watch" ]
+           ~doc:"Stream the job's progress events to stderr until it finishes; \
+                 the exit code reflects the terminal state.")
+  in
+  let wait_flag =
+    Arg.(value & flag & info [ "wait" ]
+           ~doc:"Block until the job reaches a terminal state (without \
+                 streaming progress).")
+  in
+  let result_out_arg =
+    Arg.(value & opt (some string) None & info [ "result-out" ] ~docv:"OUT.json"
+           ~doc:"With --watch/--wait: download the finished job's QoR ledger.")
+  in
+  let report_out_arg =
+    Arg.(value & opt (some string) None & info [ "report-out" ] ~docv:"OUT.html"
+           ~doc:"With --watch/--wait: download the finished job's HTML report.")
+  in
+  Cmd.v
+    (Cmd.info "submit" ~doc:"Submit a placement job to a running daemon" ~exits)
+    Term.(const run $ socket_arg $ file_arg $ circuit_arg $ seed_arg $ lambda_arg
+          $ jobs_arg $ priority_arg $ deadline_arg $ max_retries_arg $ label_arg
+          $ watch_flag $ wait_flag $ result_out_arg $ report_out_arg)
+
+let jobs_cmd =
+  let run socket stats status result report output drain =
+    let cl = connect_client socket in
+    let code =
+      match (status, result, report, stats, drain) with
+      | Some id, None, None, false, false ->
+        (match Serve.Client.status cl id with
+        | Ok v ->
+          Format.printf "%s  %-9s  attempts %d  priority %d  %s%s@."
+            v.Serve.Proto.id
+            (Serve.Proto.state_to_string v.Serve.Proto.state)
+            v.Serve.Proto.attempts v.Serve.Proto.priority v.Serve.Proto.label
+            (if v.Serve.Proto.detail = "" then ""
+             else "  — " ^ v.Serve.Proto.detail);
+          0
+        | Error msg ->
+          Format.eprintf "hidap: %s@." msg;
+          1)
+      | None, Some id, None, false, false ->
+        (match Serve.Client.result cl id with
+        | Ok qor ->
+          (match output with
+          | Some path ->
+            Obs.Jsonx.write_file path qor;
+            Format.printf "wrote qor %s@." path
+          | None -> print_endline (Obs.Jsonx.to_string qor));
+          0
+        | Error msg ->
+          Format.eprintf "hidap: %s@." msg;
+          1)
+      | None, None, Some id, false, false ->
+        (match Serve.Client.report cl id with
+        | Ok html ->
+          (match output with
+          | Some path ->
+            let oc = open_out path in
+            output_string oc html;
+            close_out oc;
+            Format.printf "wrote report %s@." path
+          | None -> print_string html);
+          0
+        | Error msg ->
+          Format.eprintf "hidap: %s@." msg;
+          1)
+      | None, None, None, true, false ->
+        (match Serve.Client.stats cl with
+        | Ok s ->
+          Format.printf
+            "queue %d/%d%s@.accepted %d  completed %d  failed %d  timed-out %d  \
+             parked %d  retried %d@.rejected: backpressure %d, draining %d@."
+            s.Serve.Proto.queue_depth s.Serve.Proto.queue_limit
+            (if s.Serve.Proto.draining then "  (draining)" else "")
+            s.Serve.Proto.accepted s.Serve.Proto.completed s.Serve.Proto.failed
+            s.Serve.Proto.timed_out s.Serve.Proto.parked s.Serve.Proto.retried
+            s.Serve.Proto.rejected_backpressure s.Serve.Proto.rejected_draining;
+          0
+        | Error msg ->
+          Format.eprintf "hidap: %s@." msg;
+          1)
+      | None, None, None, false, true ->
+        (match Serve.Client.drain cl with
+        | Ok () ->
+          Format.printf "drain requested@.";
+          0
+        | Error msg ->
+          Format.eprintf "hidap: %s@." msg;
+          1)
+      | None, None, None, false, false ->
+        (match Serve.Client.list cl with
+        | Ok [] ->
+          Format.printf "no jobs@.";
+          0
+        | Ok vs ->
+          List.iter
+            (fun (v : Serve.Proto.job_view) ->
+              Format.printf "%s  %-9s  attempts %d  priority %d  %s%s@."
+                v.Serve.Proto.id
+                (Serve.Proto.state_to_string v.Serve.Proto.state)
+                v.Serve.Proto.attempts v.Serve.Proto.priority v.Serve.Proto.label
+                (if v.Serve.Proto.detail = "" then ""
+                 else "  — " ^ v.Serve.Proto.detail))
+            vs;
+          0
+        | Error msg ->
+          Format.eprintf "hidap: %s@." msg;
+          1)
+      | _ -> die_usage "give at most one of --status, --result, --report, --stats, --drain"
+    in
+    Serve.Client.close cl;
+    if code <> 0 then exit code
+  in
+  let stats_flag =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print daemon statistics.")
+  in
+  let status_arg =
+    Arg.(value & opt (some string) None & info [ "status" ] ~docv:"ID"
+           ~doc:"Print one job's state.")
+  in
+  let result_arg =
+    Arg.(value & opt (some string) None & info [ "result" ] ~docv:"ID"
+           ~doc:"Fetch a completed job's QoR ledger.")
+  in
+  let report_arg =
+    Arg.(value & opt (some string) None & info [ "report" ] ~docv:"ID"
+           ~doc:"Fetch a completed job's HTML report.")
+  in
+  let output_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT"
+           ~doc:"Write --result/--report output to a file instead of stdout.")
+  in
+  let drain_flag =
+    Arg.(value & flag & info [ "drain" ]
+           ~doc:"Ask the daemon to drain: stop accepting jobs, finish or park \
+                 the in-flight one, and exit 0.")
+  in
+  Cmd.v
+    (Cmd.info "jobs" ~doc:"List and query a running daemon's jobs" ~exits)
+    Term.(const run $ socket_arg $ stats_flag $ status_arg $ result_arg
+          $ report_arg $ output_arg $ drain_flag)
+
 (* ---- ckpt --------------------------------------------------------- *)
 
 let ckpt_cmd =
@@ -1466,4 +1845,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ stats_cmd; place_cmd; eval_cmd; check_cmd; gen_cmd; view_cmd; report_cmd;
-            explain_cmd; diff_cmd; bench_cmd; ckpt_cmd ]))
+            explain_cmd; diff_cmd; bench_cmd; ckpt_cmd; serve_cmd; submit_cmd;
+            jobs_cmd ]))

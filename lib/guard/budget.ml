@@ -1,11 +1,43 @@
 exception Exceeded of { stage : string; budget_s : float }
 
+exception Deadline of { deadline_s : float }
+
+exception Cancelled of { stage : string }
+
 (* One cell per configured stage; the deadline is CAS-published by the
    first poll so every domain races to the same value (the winner's
    timestamp is the stage start for everyone). *)
 type cell = { stage : string; budget_s : float; deadline : float Atomic.t }
 
 let cells : cell array Atomic.t = Atomic.make [||]
+
+(* Whole-run controls, polled by every [check] regardless of stage:
+   an absolute run deadline ([hidap serve] per-job deadlines) and a
+   cooperative cancellation flag (daemon drain, SIGINT/SIGTERM on a
+   checkpointed [place]). Both are single atomics so the unarmed cost
+   per poll is two plain loads. *)
+type run_deadline = { abs : float; deadline_s : float }
+
+let deadline_cell : run_deadline option Atomic.t = Atomic.make None
+
+let cancel_cell = Atomic.make false
+
+let set_deadline seconds =
+  Atomic.set deadline_cell
+    (Some { abs = Obs.Clock.now_s () +. seconds; deadline_s = seconds })
+
+let clear_deadline () = Atomic.set deadline_cell None
+
+let deadline () =
+  match Atomic.get deadline_cell with
+  | None -> None
+  | Some { deadline_s; _ } -> Some deadline_s
+
+let request_cancel () = Atomic.set cancel_cell true
+
+let cancel_requested () = Atomic.get cancel_cell
+
+let clear_cancel () = Atomic.set cancel_cell false
 
 let configure budgets =
   Atomic.set cells
@@ -20,6 +52,13 @@ let budgets () =
   Array.to_list (Array.map (fun c -> (c.stage, c.budget_s)) (Atomic.get cells))
 
 let check ~stage =
+  (* Cancellation outranks the deadline, which outranks stage budgets:
+     a drain must park the job even when the deadline also passed. *)
+  if Atomic.get cancel_cell then raise (Cancelled { stage });
+  (match Atomic.get deadline_cell with
+  | Some { abs; deadline_s } when Obs.Clock.now_s () > abs ->
+    raise (Deadline { deadline_s })
+  | Some _ | None -> ());
   let arr = Atomic.get cells in
   for i = 0 to Array.length arr - 1 do
     let c = arr.(i) in
@@ -66,4 +105,8 @@ let () =
   Printexc.register_printer (function
     | Exceeded { stage; budget_s } ->
       Some (Printf.sprintf "Guard.Budget.Exceeded(stage=%s, budget=%gs)" stage budget_s)
+    | Deadline { deadline_s } ->
+      Some (Printf.sprintf "Guard.Budget.Deadline(deadline=%gs)" deadline_s)
+    | Cancelled { stage } ->
+      Some (Printf.sprintf "Guard.Budget.Cancelled(stage=%s)" stage)
     | _ -> None)

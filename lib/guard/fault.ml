@@ -18,7 +18,14 @@ let sites =
       "checkpoint snapshot write fails; the run continues without that snapshot" );
     ( "ckpt_load_corrupt",
       "resume finds the latest snapshot torn (bytes flipped, tail truncated); the \
-       store rolls back to the most recent valid snapshot" ) ]
+       store rolls back to the most recent valid snapshot" );
+    ( "serve.accept",
+      "a client connection fails to accept; the daemon logs and keeps serving" );
+    ( "serve.write",
+      "a client response write fails; the connection is dropped, the job continues" );
+    ( "serve.worker",
+      "a job attempt dies at start; the job retries with capped backoff up to its \
+       retry limit" ) ]
 
 let known name = List.mem_assoc name sites
 

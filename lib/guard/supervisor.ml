@@ -61,6 +61,10 @@ let with_run ?(budgets = []) ?(faults = []) f =
 
 let recoverable = function
   | Diag.Fail _ | Out_of_memory | Stack_overflow -> false
+  (* Whole-run terminations must unwind, not degrade: a timed-out or
+     cancelled job has a terminal state of its own, so no stage may
+     absorb these into a fallback. *)
+  | Budget.Deadline _ | Budget.Cancelled _ -> false
   | Fault.Injected _ | Budget.Exceeded _ -> true
   | Failure _ | Invalid_argument _ | Not_found | Division_by_zero | Assert_failure _ ->
     true

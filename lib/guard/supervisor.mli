@@ -51,7 +51,10 @@ val recoverable : exn -> bool
     faults, exceeded budgets, and generic runtime errors ([Failure],
     [Invalid_argument], [Not_found], [Division_by_zero],
     [Assert_failure], array/index errors). False for {!Diag.Fail},
-    [Out_of_memory], [Stack_overflow] and anything unknown. *)
+    [Out_of_memory], [Stack_overflow], the whole-run terminations
+    {!Budget.Deadline} and {!Budget.Cancelled} (they unwind the flow
+    to a terminal job state rather than degrade a stage), and anything
+    unknown. *)
 
 val protect : stage:string -> fallback:(string -> 'a) -> (unit -> 'a) -> 'a
 (** [protect ~stage ~fallback f] is [f ()], except that inside an

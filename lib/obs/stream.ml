@@ -19,6 +19,7 @@ type sink = {
   close_oc : bool;
   hb_stop : bool Atomic.t;
   mutable hb : unit Domain.t option;
+  mutable closed : bool;  (** guarded by [lock]; set by {!disable} *)
 }
 
 let enabled_flag = Atomic.make false
@@ -45,9 +46,16 @@ let emit event fields =
       Fun.protect
         ~finally:(fun () -> Mutex.unlock s.lock)
         (fun () ->
-          output_string s.oc line;
-          output_char s.oc '\n';
-          flush s.oc)
+          (* A racing [disable] may have closed the channel between our
+             read of [current] and taking the lock; the closed flag is
+             flipped under this same lock, so checking it here means a
+             line is either written whole before the close or skipped
+             entirely — never torn, never a write-after-close. *)
+          if not s.closed then begin
+            output_string s.oc line;
+            output_char s.oc '\n';
+            flush s.oc
+          end)
 
 let heartbeat () = emit "heartbeat" []
 
@@ -65,7 +73,7 @@ let enable ?(heartbeat_s = 1.0) ?(close_on_disable = false) oc =
   if not (enabled ()) then begin
     let s =
       { oc; lock = Mutex.create (); close_oc = close_on_disable;
-        hb_stop = Atomic.make false; hb = None }
+        hb_stop = Atomic.make false; hb = None; closed = false }
     in
     current := Some s;
     Atomic.set enabled_flag true;
@@ -83,12 +91,30 @@ let disable () =
   match !current with
   | None -> ()
   | Some s ->
+    (* Stop and join the heartbeat before touching the channel: the
+       heartbeat domain emits under [s.lock], so it must be gone (not
+       merely signalled) before the close. Joining outside the lock is
+       required — holding it here while the heartbeat waits for it
+       would deadlock. *)
     Atomic.set s.hb_stop true;
     Option.iter Domain.join s.hb;
+    s.hb <- None;
     Atomic.set enabled_flag false;
     current := None;
-    flush s.oc;
-    if s.close_oc then close_out s.oc
+    (* Close under the sink lock so an [emit] that read [current] just
+       before we cleared it either finishes its whole line first or
+       observes [closed] and skips. Flush/close failures (e.g. a
+       reader that vanished) are swallowed: disable sits on exception
+       paths and must never mask the original error. *)
+    Mutex.lock s.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock s.lock)
+      (fun () ->
+        if not s.closed then begin
+          s.closed <- true;
+          (try flush s.oc with Sys_error _ -> ());
+          if s.close_oc then try close_out s.oc with Sys_error _ -> ()
+        end)
 
 (* ---- event helpers ------------------------------------------------ *)
 

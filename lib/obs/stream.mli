@@ -34,8 +34,13 @@ val enable : ?heartbeat_s:float -> ?close_on_disable:bool -> out_channel -> unit
     when already enabled. Call from the main domain. *)
 
 val disable : unit -> unit
-(** Stop the heartbeat, flush, detach (and close the channel when
-    [close_on_disable] was set). *)
+(** Stop {e and join} the heartbeat domain, flush, detach (and close
+    the channel when [close_on_disable] was set). Safe on exception
+    paths: flush/close failures are swallowed, the call is idempotent,
+    and the close happens under the sink mutex so an [emit] racing
+    [disable] either writes its whole line before the close or skips —
+    an NDJSON line is never torn and the channel is never written
+    after close. *)
 
 val emit : string -> (string * Jsonx.t) list -> unit
 (** [emit event fields] writes one line with the standard envelope

@@ -1,0 +1,137 @@
+(* Blocking client for the hidap-serve socket.
+
+   One connection carries any number of request/response exchanges;
+   responses to one-shot requests come back in order, and a watch
+   turns the connection into a stream of progress events ended by the
+   job's terminal view. *)
+
+type t = { fd : Unix.file_descr; ic : in_channel; mutable open_ : bool }
+
+let connect ~socket_path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket_path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; ic = Unix.in_channel_of_descr fd; open_ = true }
+
+let close t =
+  if t.open_ then begin
+    t.open_ <- false;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let send_line t line =
+  let line = line ^ "\n" in
+  let rec write_all off =
+    if off < String.length line then
+      let n = Unix.write_substring t.fd line off (String.length line - off) in
+      write_all (off + n)
+  in
+  write_all 0
+
+let send t req = send_line t (Proto.to_line (Proto.request_to_json req))
+
+let recv t =
+  match input_line t.ic with
+  | line -> Proto.response_of_line line
+  | exception End_of_file -> Error "daemon disconnected"
+  | exception Sys_error msg -> Error msg
+
+let request t req =
+  match send t req with
+  | () -> recv t
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "send failed: %s" (Unix.error_message e))
+
+let ping t =
+  match request t Proto.Ping with
+  | Ok Proto.Pong -> Ok ()
+  | Ok (Proto.Error_reply m) | Error m -> Error m
+  | Ok _ -> Error "unexpected response to ping"
+
+let submit t spec =
+  match request t (Proto.Submit spec) with
+  | Ok (Proto.Accepted { id; depth }) -> Ok (`Accepted (id, depth))
+  | Ok (Proto.Rejected { reason; depth; limit }) -> Ok (`Rejected (reason, depth, limit))
+  | Ok (Proto.Error_reply m) -> Error m
+  | Ok _ -> Error "unexpected response to submit"
+  | Error m -> Error m
+
+let status t id =
+  match request t (Proto.Status id) with
+  | Ok (Proto.Job v) -> Ok v
+  | Ok (Proto.Error_reply m) -> Error m
+  | Ok _ -> Error "unexpected response to status"
+  | Error m -> Error m
+
+let list t =
+  match request t Proto.List with
+  | Ok (Proto.Jobs vs) -> Ok vs
+  | Ok (Proto.Error_reply m) -> Error m
+  | Ok _ -> Error "unexpected response to list"
+  | Error m -> Error m
+
+let stats t =
+  match request t Proto.Stats with
+  | Ok (Proto.Stats_reply s) -> Ok s
+  | Ok (Proto.Error_reply m) -> Error m
+  | Ok _ -> Error "unexpected response to stats"
+  | Error m -> Error m
+
+let result t id =
+  match request t (Proto.Result id) with
+  | Ok (Proto.Result_reply { qor; _ }) -> Ok qor
+  | Ok (Proto.Error_reply m) -> Error m
+  | Ok _ -> Error "unexpected response to result"
+  | Error m -> Error m
+
+let report t id =
+  match request t (Proto.Report id) with
+  | Ok (Proto.Report_reply { html; _ }) -> Ok html
+  | Ok (Proto.Error_reply m) -> Error m
+  | Ok _ -> Error "unexpected response to report"
+  | Error m -> Error m
+
+let drain t =
+  match request t Proto.Drain with
+  | Ok Proto.Draining_reply -> Ok ()
+  | Ok (Proto.Error_reply m) -> Error m
+  | Ok _ -> Error "unexpected response to drain"
+  | Error m -> Error m
+
+let watch t id ~on_event =
+  match send t (Proto.Watch id) with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "send failed: %s" (Unix.error_message e))
+  | () ->
+    let rec go () =
+      match recv t with
+      | Error m -> Error m
+      | Ok (Proto.Job v) when Proto.state_terminal v.Proto.state -> Ok v
+      | Ok (Proto.Job _) -> go ()
+      | Ok (Proto.Progress { event; _ }) ->
+        on_event event;
+        go ()
+      | Ok (Proto.Error_reply m) -> Error m
+      | Ok _ -> Error "unexpected response while watching"
+    in
+    go ()
+
+(* Poll a job to a terminal state over this connection. Retries and
+   parks count as terminal per Proto.state_terminal (a parked job will
+   not finish in this daemon's lifetime). *)
+let wait ?(poll_s = 0.05) ?(timeout_s = 120.0) t id =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    match status t id with
+    | Error m -> Error m
+    | Ok v when Proto.state_terminal v.Proto.state -> Ok v
+    | Ok _ ->
+      if Unix.gettimeofday () > deadline then Error "wait timed out"
+      else begin
+        Unix.sleepf poll_s;
+        go ()
+      end
+  in
+  go ()

@@ -1,0 +1,52 @@
+(** Blocking client for the hidap-serve Unix socket.
+
+    One connection carries any number of request/response exchanges.
+    Used by [hidap submit] / [hidap jobs], the bench load generator
+    and the tests. Every call returns [Error _] on protocol or
+    transport failure — connection problems never raise past
+    {!connect}. *)
+
+type t
+
+val connect : socket_path:string -> t
+(** Raises [Unix.Unix_error] when the socket is absent or refused. *)
+
+val close : t -> unit
+
+val request : t -> Proto.request -> (Proto.response, string) result
+(** One raw exchange (for tests; prefer the typed wrappers). *)
+
+val ping : t -> (unit, string) result
+
+val submit :
+  t ->
+  Proto.submit ->
+  ([ `Accepted of string * int | `Rejected of string * int * int ], string) result
+(** [`Accepted (id, depth)] or [`Rejected (reason, depth, limit)] —
+    a backpressure/draining rejection is a normal answer, not an
+    error. *)
+
+val status : t -> string -> (Proto.job_view, string) result
+
+val list : t -> (Proto.job_view list, string) result
+
+val stats : t -> (Proto.stats, string) result
+
+val result : t -> string -> (Obs.Jsonx.t, string) result
+(** The completed job's QoR ledger document. *)
+
+val report : t -> string -> (string, string) result
+(** The completed job's HTML report. *)
+
+val drain : t -> (unit, string) result
+
+val watch :
+  t -> string -> on_event:(Obs.Jsonx.t -> unit) -> (Proto.job_view, string) result
+(** Stream the job's relayed progress events through [on_event] until
+    it reaches a terminal state; returns the terminal view. The
+    connection is dedicated to the watch from this call on. *)
+
+val wait :
+  ?poll_s:float -> ?timeout_s:float -> t -> string -> (Proto.job_view, string) result
+(** Poll [status] until the job is terminal (default 50 ms period,
+    120 s timeout). *)

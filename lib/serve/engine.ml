@@ -1,0 +1,673 @@
+(* The hidap serve daemon engine.
+
+   Two domains: the caller's (the select loop — accept, framing,
+   request handling, progress relay) and one worker executing jobs
+   strictly one at a time. Serial execution is load-bearing, not lazy:
+   per-job deadlines and drain cancellation ride on Guard.Budget's
+   whole-run cells, which are global — one flow at a time is the
+   contract that keeps them unambiguous. Parallelism lives inside a
+   job (its [jobs] config drives Parexec), where it is deterministic.
+
+   Robustness model:
+   - admission control: a bounded Jobq; the N+1th submit gets a
+     structured backpressure rejection, memory stays bounded;
+   - per-job deadlines: Guard.Budget.set_deadline per attempt; the SA
+     polls raise Deadline, the job lands in timed-out, nothing else is
+     harmed;
+   - retry: a transient failure (injected serve.worker fault or a real
+     exception) re-enqueues the job with deterministic capped
+     exponential backoff, up to max_retries extra attempts;
+   - drain: stop admitting, let the in-flight job finish within the
+     grace window, then request cooperative cancellation so it
+     checkpoints and parks; undone jobs stay pending on disk;
+   - crash recovery: jobs found pending/running/parked in the state
+     dir are re-enqueued; their Ckpt stores make the resumed
+     placements bit-identical to uninterrupted runs.
+
+   Engine-level fault sites (serve.accept / serve.write /
+   serve.worker) use *transient* semantics: a spec [site:N] fails the
+   first N hits and then heals. Flow sites keep their usual
+   fire-from-hit-N-on meaning; the inversion is what server fault
+   testing needs (retry must eventually succeed) and is documented in
+   DESIGN.md §15. *)
+
+module J = Obs.Jsonx
+
+type config = {
+  socket_path : string;
+  state_dir : string;
+  queue_limit : int;
+  drain_grace_s : float;
+  retry_base_s : float;
+  retry_cap_s : float;
+  max_line_bytes : int;
+  default_job_jobs : int;
+  faults : Guard.Fault.spec list;
+}
+
+let default_config ~socket_path ~state_dir =
+  { socket_path; state_dir; queue_limit = 8; drain_grace_s = 5.0;
+    retry_base_s = 0.05; retry_cap_s = 2.0; max_line_bytes = 1 lsl 20;
+    default_job_jobs = 1; faults = [] }
+
+type counters = {
+  accepted : int Atomic.t;
+  rejected_backpressure : int Atomic.t;
+  rejected_draining : int Atomic.t;
+  completed : int Atomic.t;
+  failed : int Atomic.t;
+  timed_out : int Atomic.t;
+  parked : int Atomic.t;
+  retried : int Atomic.t;
+}
+
+type t = {
+  cfg : config;
+  lock : Mutex.t;  (* jobs table and every Job.t field mutation *)
+  jobs : (string, Job.t) Hashtbl.t;
+  mutable next_seq : int;
+  q : Job.t Jobq.t;
+  c : counters;
+  drain_req : bool Atomic.t;
+  draining : bool Atomic.t;
+  worker_done : bool Atomic.t;
+  running_id : string option Atomic.t;
+  (* serve.* specs with persistent cross-job hit counters (transient
+     semantics: fire while hits <= nth, then heal). *)
+  serve_faults : (Guard.Fault.spec * int Atomic.t) array;
+  job_faults : Guard.Fault.spec list;  (* flow sites, armed per job *)
+  listen_fd : Unix.file_descr;
+  progress_r : Unix.file_descr;
+  progress_w : Unix.file_descr;
+  mutable worker : unit Domain.t option;
+}
+
+exception Invalid_job of string
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let fault t site =
+  Array.iter
+    (fun ((spec : Guard.Fault.spec), count) ->
+      if spec.Guard.Fault.site = site then begin
+        let n = Atomic.fetch_and_add count 1 + 1 in
+        if n <= spec.Guard.Fault.nth then
+          match spec.Guard.Fault.action with
+          | Guard.Fault.Raise -> raise (Guard.Fault.Injected { site; hit = n })
+          | Guard.Fault.Stall s -> Unix.sleepf s
+      end)
+    t.serve_faults
+
+let is_serve_site (spec : Guard.Fault.spec) =
+  String.length spec.Guard.Fault.site >= 6
+  && String.sub spec.Guard.Fault.site 0 6 = "serve."
+
+let log t fmt =
+  ignore t;
+  Format.eprintf ("hidap serve: " ^^ fmt ^^ "@.")
+
+let create cfg =
+  (* EPIPE must surface as an exception on the write path, never kill
+     the daemon. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  Job.mkdir_p (Filename.concat cfg.state_dir "jobs");
+  let serve_specs, job_faults = List.partition is_serve_site cfg.faults in
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+  Unix.listen listen_fd 16;
+  let progress_r, progress_w = Unix.pipe () in
+  let t =
+    { cfg; lock = Mutex.create (); jobs = Hashtbl.create 16; next_seq = 1;
+      q = Jobq.create ~limit:cfg.queue_limit;
+      c =
+        { accepted = Atomic.make 0; rejected_backpressure = Atomic.make 0;
+          rejected_draining = Atomic.make 0; completed = Atomic.make 0;
+          failed = Atomic.make 0; timed_out = Atomic.make 0;
+          parked = Atomic.make 0; retried = Atomic.make 0 };
+      drain_req = Atomic.make false; draining = Atomic.make false;
+      worker_done = Atomic.make false; running_id = Atomic.make None;
+      serve_faults =
+        Array.of_list (List.map (fun s -> (s, Atomic.make 0)) serve_specs);
+      job_faults; listen_fd; progress_r; progress_w; worker = None }
+  in
+  (* Crash recovery: every job that was pending, running or parked
+     when the previous daemon died is re-enqueued as pending. Its
+     attempts survive; its checkpoint store makes the resumed
+     placement bit-identical. Terminal jobs stay queryable. *)
+  List.iter
+    (fun (j : Job.t) ->
+      Hashtbl.replace t.jobs j.Job.id j;
+      if j.Job.seq >= t.next_seq then t.next_seq <- j.Job.seq + 1;
+      match j.Job.state with
+      | Proto.Pending | Proto.Running | Proto.Parked ->
+        let note =
+          match j.Job.state with
+          | Proto.Running -> "recovered after crash"
+          | Proto.Parked -> "resumed after drain"
+          | _ -> j.Job.detail
+        in
+        j.Job.state <- Proto.Pending;
+        j.Job.detail <- note;
+        Job.save ~state_dir:cfg.state_dir j;
+        Jobq.force_push t.q ~priority:j.Job.spec.Proto.priority ~seq:j.Job.seq j
+      | Proto.Done | Proto.Failed | Proto.Timed_out -> ())
+    (Job.load_all ~state_dir:cfg.state_dir);
+  t
+
+let request_drain t = Atomic.set t.drain_req true
+
+let stats t =
+  { Proto.queue_depth = Jobq.depth t.q; queue_limit = Jobq.limit t.q;
+    accepted = Atomic.get t.c.accepted;
+    rejected_backpressure = Atomic.get t.c.rejected_backpressure;
+    rejected_draining = Atomic.get t.c.rejected_draining;
+    completed = Atomic.get t.c.completed;
+    failed = Atomic.get t.c.failed;
+    timed_out = Atomic.get t.c.timed_out;
+    parked = Atomic.get t.c.parked;
+    retried = Atomic.get t.c.retried;
+    draining = Atomic.get t.draining }
+
+(* ---- worker: job execution ---------------------------------------- *)
+
+let backoff_s cfg attempts =
+  Float.min cfg.retry_cap_s (cfg.retry_base_s *. (2.0 ** float_of_int (attempts - 1)))
+
+let design_of_spec (spec : Proto.submit) =
+  match (spec.Proto.circuit, spec.Proto.hnl) with
+  | Some name, None ->
+    (match Circuitgen.Suite.find name with
+    | Some c -> (name, Circuitgen.Gen.generate c.Circuitgen.Suite.params)
+    | None -> raise (Invalid_job (Printf.sprintf "unknown suite circuit %s" name)))
+  | None, Some text ->
+    let name = if spec.Proto.label <> "" then spec.Proto.label else "inline" in
+    (match Hnl.Parser.parse_string text with
+    | Ok d -> (name, d)
+    | Error { Hnl.Parser.line; col; message } ->
+      raise (Invalid_job (Printf.sprintf "hnl:%d:%d: %s" line col message)))
+  | Some _, Some _ | None, None ->
+    raise (Invalid_job "give exactly one of circuit or hnl")
+
+let run_attempt t (job : Job.t) =
+  fault t "serve.worker";
+  let spec = job.Job.spec in
+  let name, design = design_of_spec spec in
+  let design =
+    match Guard.Validate.design ~strict:false design with
+    | Ok r -> r.Guard.Validate.design
+    | Error diags ->
+      raise
+        (Invalid_job
+           (String.concat "; "
+              (List.map (fun d -> Format.asprintf "%a" Guard.Diag.pp d) diags)))
+  in
+  let flat =
+    try Netlist.Flat.elaborate design
+    with Invalid_argument msg -> raise (Invalid_job msg)
+  in
+  let config =
+    { Hidap.Config.default with
+      Hidap.Config.seed = spec.Proto.seed;
+      jobs =
+        (if spec.Proto.jobs <= 0 then t.cfg.default_job_jobs else spec.Proto.jobs);
+      faults = t.job_faults }
+  in
+  let config =
+    match spec.Proto.lambda with
+    | Some l -> Hidap.Config.with_lambda config l
+    | None -> config
+  in
+  let die = Hidap.die_for flat ~config in
+  let ckdir = Job.ckpt_dir ~state_dir:t.cfg.state_dir job.Job.id in
+  Job.mkdir_p ckdir;
+  let fp =
+    { Ckpt.State.circuit = name; seed = config.Hidap.Config.seed;
+      lambda = config.Hidap.Config.lambda;
+      sa_starts = config.Hidap.Config.sa_starts;
+      cells = Netlist.Flat.cell_count flat;
+      macro_count = Netlist.Flat.macro_count flat }
+  in
+  let session =
+    match Ckpt.Session.start ~dir:ckdir ~resume:true fp with
+    | Ok s -> s
+    | Error d -> raise (Invalid_job (Format.asprintf "%a" Guard.Diag.pp d))
+  in
+  (* The deadline is per attempt: each retry gets the full window. *)
+  Option.iter Guard.Budget.set_deadline spec.Proto.deadline_s;
+  Fun.protect ~finally:Guard.Budget.clear_deadline @@ fun () ->
+  match
+    Guard.Supervisor.with_run ~faults:t.job_faults (fun () ->
+        let r = Hidap.place ~config ~die ~ckpt:session flat in
+        let macros =
+          List.map
+            (fun (p : Hidap.macro_placement) ->
+              { Cellplace.fid = p.Hidap.fid; rect = p.Hidap.rect;
+                orient = p.Hidap.orient })
+            r.Hidap.placements
+        in
+        let m, _ =
+          Evalflow.measure ~flat ~gseq:r.Hidap.gseq ~ports:r.Hidap.ports
+            ~die:r.Hidap.die ~macros
+        in
+        (r, m))
+  with
+  | (r, measured), degradations ->
+    let sm = Ckpt.Session.summary session in
+    let ckpt =
+      { Qor.Record.resumed_from = sm.Ckpt.Session.resumed_from;
+        snapshots_written = sm.Ckpt.Session.snapshots_written;
+        instances_reused = sm.Ckpt.Session.instances_reused }
+    in
+    let record =
+      Qor.Record.of_place ~circuit:name ~flat ~config ~degradations ~measured
+        ~ckpt r
+    in
+    Qor.Record.write_ledger
+      (Job.result_path ~state_dir:t.cfg.state_dir job.Job.id)
+      [ record ];
+    Qor.Html.write_file
+      (Job.report_path ~state_dir:t.cfg.state_dir job.Job.id)
+      (Qor.Html.render ~title:(Printf.sprintf "hidap serve — %s" job.Job.id)
+         [ record ]);
+    ()
+  | exception Guard.Budget.Cancelled c ->
+    (* Drain reached the in-flight job: park it on a final snapshot so
+       the next daemon resumes it bit-identically. *)
+    (try Ckpt.Session.save_now session ~stage:false with _ -> ());
+    raise (Guard.Budget.Cancelled c)
+
+let set_state t (job : Job.t) state detail =
+  with_lock t (fun () ->
+      job.Job.state <- state;
+      job.Job.detail <- detail;
+      Job.save ~state_dir:t.cfg.state_dir job)
+
+let emit_job_event (job : Job.t) event extra =
+  Obs.Stream.emit event
+    (( ("id", J.String job.Job.id)
+     :: ("state", J.String (Proto.state_to_string job.Job.state))
+     :: ("attempt", J.Int job.Job.attempts)
+     :: extra ))
+
+let execute t (job : Job.t) =
+  with_lock t (fun () ->
+      job.Job.state <- Proto.Running;
+      job.Job.attempts <- job.Job.attempts + 1;
+      Job.save ~state_dir:t.cfg.state_dir job);
+  Atomic.set t.running_id (Some job.Job.id);
+  emit_job_event job "job-start" [];
+  let outcome =
+    match run_attempt t job with
+    | () -> `Done
+    | exception Guard.Budget.Deadline { deadline_s } -> `Timed_out deadline_s
+    | exception Guard.Budget.Cancelled _ -> `Parked
+    | exception Invalid_job msg -> `Invalid msg
+    | exception e -> `Transient (Printexc.to_string e)
+  in
+  Atomic.set t.running_id None;
+  (match outcome with
+  | `Done ->
+    (* keep recovery provenance visible on the terminal view; anything
+       else (retry notes) is stale once the job completed *)
+    let note =
+      match job.Job.detail with
+      | ("recovered after crash" | "resumed after drain") as d -> d
+      | _ -> ""
+    in
+    set_state t job Proto.Done note;
+    Atomic.incr t.c.completed;
+    emit_job_event job "job-end" []
+  | `Timed_out d ->
+    set_state t job Proto.Timed_out
+      (Printf.sprintf "deadline %gs exceeded on attempt %d" d job.Job.attempts);
+    Atomic.incr t.c.timed_out;
+    emit_job_event job "job-end" []
+  | `Parked ->
+    set_state t job Proto.Parked "parked by drain; restart resumes it";
+    Atomic.incr t.c.parked;
+    emit_job_event job "job-end" []
+  | `Invalid msg ->
+    (* A job the flow can never run is failed outright: retrying an
+       unknown circuit or unparsable netlist cannot help. *)
+    set_state t job Proto.Failed ("invalid job: " ^ msg);
+    Atomic.incr t.c.failed;
+    emit_job_event job "job-end" []
+  | `Transient msg ->
+    if job.Job.attempts <= job.Job.spec.Proto.max_retries then begin
+      let delay = backoff_s t.cfg job.Job.attempts in
+      set_state t job Proto.Pending
+        (Printf.sprintf "attempt %d failed (%s); retrying in %gs"
+           job.Job.attempts msg delay);
+      Atomic.incr t.c.retried;
+      emit_job_event job "job-retry" [ ("delay_s", J.Float delay) ];
+      Jobq.force_push t.q ~priority:job.Job.spec.Proto.priority ~seq:job.Job.seq
+        ~ready_s:(Unix.gettimeofday () +. delay)
+        job
+    end
+    else begin
+      set_state t job Proto.Failed
+        (Printf.sprintf "failed after %d attempt%s: %s" job.Job.attempts
+           (if job.Job.attempts = 1 then "" else "s")
+           msg);
+      Atomic.incr t.c.failed;
+      emit_job_event job "job-end" []
+    end)
+
+let worker t =
+  (* All job progress goes to the relay pipe; the select loop tags it
+     with the running job (via job-start/job-end markers emitted here,
+     in-band, so tagging can never race the stream). *)
+  Obs.Stream.enable ~heartbeat_s:0.5 ~close_on_disable:false
+    (Unix.out_channel_of_descr t.progress_w);
+  let rec loop () =
+    match Jobq.pop t.q with
+    | None -> ()
+    | Some job ->
+      execute t job;
+      loop ()
+  in
+  loop ();
+  Obs.Stream.disable ();
+  Atomic.set t.worker_done true
+
+(* ---- select loop: connections, framing, requests ------------------ *)
+
+type conn = {
+  fd : Unix.file_descr;
+  rbuf : Buffer.t;
+  mutable watching : string option;
+  mutable alive : bool;
+}
+
+let drop c =
+  if c.alive then begin
+    c.alive <- false;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end
+
+let send t c resp =
+  if c.alive then begin
+    match
+      fault t "serve.write";
+      let line = Proto.to_line (Proto.response_to_json resp) ^ "\n" in
+      let rec write_all off =
+        if off < String.length line then
+          let n = Unix.write_substring c.fd line off (String.length line - off) in
+          write_all (off + n)
+      in
+      write_all 0
+    with
+    | () -> ()
+    | exception Guard.Fault.Injected _ ->
+      log t "injected write fault; dropping client";
+      drop c
+    | exception Unix.Unix_error _ -> drop c
+  end
+
+let view_of t id =
+  with_lock t (fun () ->
+      Option.map Job.view (Hashtbl.find_opt t.jobs id))
+
+let job_views t =
+  with_lock t (fun () ->
+      Hashtbl.fold (fun _ j acc -> j :: acc) t.jobs []
+      |> List.sort (fun (a : Job.t) b -> compare a.Job.seq b.Job.seq)
+      |> List.map Job.view)
+
+let handle_submit t spec =
+  if Atomic.get t.draining || Atomic.get t.drain_req then begin
+    Atomic.incr t.c.rejected_draining;
+    Proto.Rejected
+      { reason = "draining"; depth = Jobq.depth t.q; limit = Jobq.limit t.q }
+  end
+  else
+    match (spec.Proto.circuit, spec.Proto.hnl) with
+    | Some _, Some _ | None, None ->
+      Proto.Error_reply "give exactly one of circuit or hnl"
+    | _ ->
+      with_lock t (fun () ->
+          let seq = t.next_seq in
+          let job = Job.make ~seq spec in
+          match Jobq.push t.q ~priority:spec.Proto.priority ~seq job with
+          | Jobq.Full depth ->
+            Atomic.incr t.c.rejected_backpressure;
+            Proto.Rejected
+              { reason = "backpressure"; depth; limit = Jobq.limit t.q }
+          | Jobq.Enqueued depth ->
+            t.next_seq <- seq + 1;
+            Hashtbl.replace t.jobs job.Job.id job;
+            Job.save ~state_dir:t.cfg.state_dir job;
+            Atomic.incr t.c.accepted;
+            Proto.Accepted { id = job.Job.id; depth })
+
+let read_file_opt path =
+  match open_in_bin path with
+  | ic ->
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Some s
+  | exception Sys_error _ -> None
+
+let handle_request t c line =
+  match Proto.request_of_line line with
+  | Error msg -> send t c (Proto.Error_reply msg)
+  | Ok req ->
+    (match req with
+    | Proto.Ping -> send t c Proto.Pong
+    | Proto.Submit spec -> send t c (handle_submit t spec)
+    | Proto.Status id ->
+      (match view_of t id with
+      | Some v -> send t c (Proto.Job v)
+      | None -> send t c (Proto.Error_reply (Printf.sprintf "unknown job %s" id)))
+    | Proto.List -> send t c (Proto.Jobs (job_views t))
+    | Proto.Stats -> send t c (Proto.Stats_reply (stats t))
+    | Proto.Result id ->
+      (match view_of t id with
+      | None -> send t c (Proto.Error_reply (Printf.sprintf "unknown job %s" id))
+      | Some v when v.Proto.state <> Proto.Done ->
+        send t c
+          (Proto.Error_reply
+             (Printf.sprintf "job %s is %s, not done" id
+                (Proto.state_to_string v.Proto.state)))
+      | Some _ ->
+        (match
+           Option.map J.parse
+             (read_file_opt (Job.result_path ~state_dir:t.cfg.state_dir id))
+         with
+        | Some (Ok qor) -> send t c (Proto.Result_reply { id; qor })
+        | Some (Error e) ->
+          send t c (Proto.Error_reply (Printf.sprintf "corrupt result: %s" e))
+        | None -> send t c (Proto.Error_reply "result file missing")))
+    | Proto.Report id ->
+      (match read_file_opt (Job.report_path ~state_dir:t.cfg.state_dir id) with
+      | Some html -> send t c (Proto.Report_reply { id; html })
+      | None ->
+        send t c (Proto.Error_reply (Printf.sprintf "no report for job %s" id)))
+    | Proto.Watch id ->
+      (match view_of t id with
+      | None -> send t c (Proto.Error_reply (Printf.sprintf "unknown job %s" id))
+      | Some v ->
+        send t c (Proto.Job v);
+        if not (Proto.state_terminal v.Proto.state) then c.watching <- Some id)
+    | Proto.Drain ->
+      request_drain t;
+      send t c Proto.Draining_reply)
+
+(* Split buffered bytes into complete lines; the remainder stays. *)
+let take_lines buf =
+  let data = Buffer.contents buf in
+  Buffer.clear buf;
+  let rec go start acc =
+    match String.index_from_opt data start '\n' with
+    | Some i -> go (i + 1) (String.sub data start (i - start) :: acc)
+    | None ->
+      Buffer.add_substring buf data start (String.length data - start);
+      List.rev acc
+  in
+  go 0 []
+
+let feed_conn t c chunk =
+  Buffer.add_string c.rbuf chunk;
+  let lines = take_lines c.rbuf in
+  List.iter
+    (fun line ->
+      if c.alive then
+        if String.length line > t.cfg.max_line_bytes then begin
+          send t c
+            (Proto.Error_reply
+               (Printf.sprintf "line exceeds %d bytes" t.cfg.max_line_bytes));
+          drop c
+        end
+        else if line <> "" then handle_request t c line)
+    lines;
+  (* An unterminated line larger than the bound can never complete
+     legally: reject it without buffering unbounded garbage. *)
+  if c.alive && Buffer.length c.rbuf > t.cfg.max_line_bytes then begin
+    send t c
+      (Proto.Error_reply
+         (Printf.sprintf "line exceeds %d bytes" t.cfg.max_line_bytes));
+    drop c
+  end
+
+(* ---- progress relay ----------------------------------------------- *)
+
+type relay = { pbuf : Buffer.t; mutable current : string option }
+
+let notify_watchers t conns id =
+  match view_of t id with
+  | None -> ()
+  | Some v ->
+    List.iter
+      (fun c ->
+        if c.alive && c.watching = Some id then begin
+          send t c (Proto.Job v);
+          if Proto.state_terminal v.Proto.state then c.watching <- None
+        end)
+      conns
+
+let relay_line t relay conns line =
+  match J.parse line with
+  | Error _ -> ()
+  | Ok j ->
+    let event = Option.bind (J.member "event" j) J.to_string_opt in
+    let id = Option.bind (J.member "id" j) J.to_string_opt in
+    (match event with
+    | Some "job-start" ->
+      relay.current <- id;
+      Option.iter (notify_watchers t conns) id
+    | Some ("job-end" | "job-retry") ->
+      relay.current <- None;
+      Option.iter (notify_watchers t conns) id
+    | _ ->
+      (match relay.current with
+      | None -> ()
+      | Some id ->
+        List.iter
+          (fun c ->
+            if c.alive && c.watching = Some id then
+              send t c (Proto.Progress { id; event = j }))
+          conns))
+
+let feed_relay t relay conns chunk =
+  Buffer.add_string relay.pbuf chunk;
+  List.iter (relay_line t relay conns) (take_lines relay.pbuf)
+
+(* ---- main loop ----------------------------------------------------- *)
+
+let accept_client t conns =
+  match Unix.accept t.listen_fd with
+  | exception Unix.Unix_error (e, _, _) ->
+    log t "accept failed: %s; still serving" (Unix.error_message e)
+  | fd, _ ->
+    (match fault t "serve.accept" with
+    | () ->
+      conns :=
+        { fd; rbuf = Buffer.create 256; watching = None; alive = true } :: !conns
+    | exception Guard.Fault.Injected _ ->
+      (* The accept path failed: this client is lost, the daemon keeps
+         serving everyone else. *)
+      log t "injected accept fault; dropping client";
+      (try Unix.close fd with Unix.Unix_error _ -> ()))
+
+let run t =
+  t.worker <- Some (Domain.spawn (fun () -> worker t));
+  let conns = ref [] in
+  let relay = { pbuf = Buffer.create 256; current = None } in
+  let drain_deadline = ref None in
+  let cleanup () =
+    Option.iter Domain.join t.worker;
+    t.worker <- None;
+    (* Drain whatever progress is still in the pipe so final job-end
+       notifications reach their watchers before the sockets close. *)
+    Unix.set_nonblock t.progress_r;
+    let buf = Bytes.create 65536 in
+    (try
+       let rec go () =
+         let n = Unix.read t.progress_r buf 0 (Bytes.length buf) in
+         if n > 0 then begin
+           feed_relay t relay !conns (Bytes.sub_string buf 0 n);
+           go ()
+         end
+       in
+       go ()
+     with Unix.Unix_error _ -> ());
+    List.iter drop !conns;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (try Unix.close t.progress_r with Unix.Unix_error _ -> ());
+    (try Unix.close t.progress_w with Unix.Unix_error _ -> ());
+    (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ());
+    Guard.Budget.clear_cancel ();
+    Guard.Budget.clear_deadline ()
+  in
+  let buf = Bytes.create 65536 in
+  let rec loop () =
+    if Atomic.get t.drain_req && not (Atomic.get t.draining) then begin
+      Atomic.set t.draining true;
+      log t "draining: no longer accepting jobs";
+      Jobq.close t.q;
+      drain_deadline := Some (Unix.gettimeofday () +. t.cfg.drain_grace_s)
+    end;
+    (match !drain_deadline with
+    | Some dl
+      when Unix.gettimeofday () > dl
+           && Atomic.get t.running_id <> None
+           && not (Guard.Budget.cancel_requested ()) ->
+      log t "drain grace expired: parking the in-flight job";
+      Guard.Budget.request_cancel ()
+    | _ -> ());
+    if Atomic.get t.worker_done then cleanup ()
+    else begin
+      let fds =
+        t.listen_fd :: t.progress_r
+        :: List.filter_map (fun c -> if c.alive then Some c.fd else None) !conns
+      in
+      (match Unix.select fds [] [] 0.1 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | ready, _, _ ->
+        List.iter
+          (fun fd ->
+            if fd = t.listen_fd then accept_client t conns
+            else if fd = t.progress_r then begin
+              match Unix.read t.progress_r buf 0 (Bytes.length buf) with
+              | 0 -> ()
+              | n -> feed_relay t relay !conns (Bytes.sub_string buf 0 n)
+              | exception Unix.Unix_error _ -> ()
+            end
+            else
+              match List.find_opt (fun c -> c.fd = fd && c.alive) !conns with
+              | None -> ()
+              | Some c ->
+                (match Unix.read c.fd buf 0 (Bytes.length buf) with
+                | 0 -> drop c
+                | n -> feed_conn t c (Bytes.sub_string buf 0 n)
+                | exception Unix.Unix_error _ -> drop c))
+          ready);
+      conns := List.filter (fun c -> c.alive) !conns;
+      loop ()
+    end
+  in
+  loop ()

@@ -1,0 +1,67 @@
+(** The hidap serve daemon engine.
+
+    Two domains: the caller's (running {!run}: accept loop, NDJSON
+    framing, request handling, progress relay) and one worker
+    executing jobs strictly one at a time. Serial job execution is
+    the contract that keeps {!Guard.Budget}'s whole-run deadline and
+    cancellation cells unambiguous; parallelism lives {e inside} a job
+    (its [jobs] config drives {!Parexec}), where it is deterministic.
+
+    Robustness (DESIGN.md §15): bounded admission with structured
+    backpressure rejections; per-attempt deadlines landing jobs in
+    timed-out; deterministic capped-exponential retry for transient
+    failures; graceful drain (finish or checkpoint-and-park the
+    in-flight job, leave the rest pending on disk); crash recovery by
+    state-dir scan, bit-identical thanks to each job's {!Ckpt} store.
+
+    The serve.* fault sites ([serve.accept], [serve.write],
+    [serve.worker]) are checked engine-side with {e transient}
+    semantics: a spec [site:N] fails the first N hits and then heals
+    (flow sites keep their fire-from-hit-N-on meaning). Transient is
+    what server fault testing needs — a retry must eventually be able
+    to succeed. *)
+
+type config = {
+  socket_path : string;  (** Unix socket path (~100 byte OS limit) *)
+  state_dir : string;  (** per-job dirs live under [state_dir]/jobs *)
+  queue_limit : int;  (** admission bound; the N+1th submit is rejected *)
+  drain_grace_s : float;
+      (** how long a drain lets the in-flight job finish before
+          requesting cooperative cancellation (checkpoint + park) *)
+  retry_base_s : float;  (** backoff of the first retry *)
+  retry_cap_s : float;
+      (** ceiling of [base * 2^(attempt-1)] — deterministic, no jitter *)
+  max_line_bytes : int;  (** request framing bound *)
+  default_job_jobs : int;  (** worker domains for jobs submitting [jobs=0] *)
+  faults : Guard.Fault.spec list;
+      (** serve.* specs are armed engine-side; the rest are armed
+          around every job's flow ({!Guard.Supervisor.with_run}) *)
+}
+
+val default_config : socket_path:string -> state_dir:string -> config
+(** queue_limit 8, drain_grace_s 5, retry 0.05 s doubling capped at
+    2 s, 1 MiB lines, single-domain jobs, no faults. *)
+
+type t
+
+val create : config -> t
+(** Bind and listen on the socket, prepare the state dir, and recover:
+    jobs found pending/running/parked from a previous daemon are
+    re-enqueued as pending (attempts preserved, checkpoints intact).
+    Clients may connect as soon as [create] returns; requests are
+    answered once {!run} starts. Ignores SIGPIPE process-wide. *)
+
+val run : t -> unit
+(** Serve until drained: returns after a drain request once the
+    in-flight job finished or parked, with every socket closed and the
+    socket path unlinked. The caller then exits 0. *)
+
+val request_drain : t -> unit
+(** Stop admitting jobs and shut down gracefully. Async-signal-safe
+    (one atomic store) — call it from a SIGTERM/SIGINT handler. *)
+
+val stats : t -> Proto.stats
+
+val backoff_s : config -> int -> float
+(** [backoff_s cfg attempt] — the deterministic delay after a failed
+    [attempt] (1-based): [min retry_cap_s (retry_base_s * 2^(attempt-1))]. *)

@@ -1,0 +1,101 @@
+(* Bounded priority queue between the accept loop and the worker.
+
+   A mutex + condition around a small list: queue depths are bounded
+   by admission control (the whole point), so linear scans beat a heap
+   on clarity. Ordering is priority descending, then submission
+   sequence ascending (FIFO within a priority). An entry can carry a
+   ready time in the future (retry backoff); [pop] never returns it
+   early.
+
+   OCaml's Condition has no timed wait, so when every queued entry is
+   still backing off the consumer polls with short bounded sleeps
+   instead of blocking on the condition (which only push/close
+   signal). *)
+
+type 'a entry = { priority : int; seq : int; ready_s : float; v : 'a }
+
+type 'a t = {
+  lock : Mutex.t;
+  cond : Condition.t;
+  limit : int;
+  mutable entries : 'a entry list;
+  mutable closed : bool;
+}
+
+type push_result = Enqueued of int | Full of int
+
+let create ~limit =
+  { lock = Mutex.create (); cond = Condition.create ();
+    limit = max 1 limit; entries = []; closed = false }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let depth t = locked t (fun () -> List.length t.entries)
+
+let limit t = t.limit
+
+let insert t ~priority ~seq ~ready_s v =
+  t.entries <- { priority; seq; ready_s; v } :: t.entries;
+  Condition.broadcast t.cond
+
+let push t ~priority ~seq ?(ready_s = 0.0) v =
+  locked t (fun () ->
+      let d = List.length t.entries in
+      if t.closed || d >= t.limit then Full d
+      else begin
+        insert t ~priority ~seq ~ready_s v;
+        Enqueued (d + 1)
+      end)
+
+(* Retries and crash recovery re-enter the queue past the admission
+   bound: the job was already admitted once, and dropping it would
+   turn a transient fault into a lost job. *)
+let force_push t ~priority ~seq ?(ready_s = 0.0) v =
+  locked t (fun () -> if not t.closed then insert t ~priority ~seq ~ready_s v)
+
+let close t =
+  locked t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.cond)
+
+let best_ready ~now entries =
+  List.fold_left
+    (fun acc e ->
+      if e.ready_s > now then acc
+      else
+        match acc with
+        | Some b
+          when b.priority > e.priority
+               || (b.priority = e.priority && b.seq < e.seq) ->
+          acc
+        | _ -> Some e)
+    None entries
+
+let rec pop t =
+  Mutex.lock t.lock;
+  if t.closed then begin
+    (* Close means drain: entries left in the queue are NOT handed
+       out — they stay persisted as pending for the next daemon. *)
+    Mutex.unlock t.lock;
+    None
+  end
+  else begin
+    let now = Unix.gettimeofday () in
+    match best_ready ~now t.entries with
+    | Some e ->
+      t.entries <- List.filter (fun x -> x != e) t.entries;
+      Mutex.unlock t.lock;
+      Some e.v
+    | None ->
+      if t.entries = [] then Condition.wait t.cond t.lock
+      else begin
+        (* Only backing-off entries: poll on a short bounded sleep. *)
+        Mutex.unlock t.lock;
+        Unix.sleepf 0.02;
+        Mutex.lock t.lock
+      end;
+      Mutex.unlock t.lock;
+      pop t
+  end

@@ -1,0 +1,42 @@
+(** Bounded priority queue between the daemon's accept loop and its
+    worker.
+
+    Ordering: priority descending, then submission sequence ascending
+    (FIFO within a priority). Entries may carry a future ready time
+    (retry backoff); {!pop} never hands one out early. The bound is
+    the admission-control limit — {!push} refuses past it, returning
+    the depth for the structured backpressure rejection. *)
+
+type 'a t
+
+type push_result =
+  | Enqueued of int  (** depth after the push *)
+  | Full of int  (** depth that caused the refusal *)
+
+val create : limit:int -> 'a t
+(** [limit] is clamped to at least 1. *)
+
+val push : 'a t -> priority:int -> seq:int -> ?ready_s:float -> 'a -> push_result
+(** Admission-controlled push; [Full] when the queue is at its limit
+    or closed. [ready_s] is an absolute [Unix.gettimeofday] time
+    before which the entry is not eligible (default: immediately). *)
+
+val force_push : 'a t -> priority:int -> seq:int -> ?ready_s:float -> 'a -> unit
+(** Push past the admission bound — for retries and crash recovery,
+    which re-enter work that was already admitted once. Silently
+    dropped on a closed queue (the entry is persisted on disk and the
+    next daemon will recover it). *)
+
+val pop : 'a t -> 'a option
+(** Block until an eligible entry exists and return the best one, or
+    [None] once the queue is closed. A closed queue returns [None]
+    even when entries remain: close means drain, and undone entries
+    stay persisted for the next daemon. Single-consumer. *)
+
+val close : 'a t -> unit
+(** Stop the queue: subsequent pushes are refused/dropped and {!pop}
+    returns [None]. *)
+
+val depth : 'a t -> int
+
+val limit : 'a t -> int

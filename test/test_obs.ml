@@ -409,6 +409,56 @@ let test_stream_ndjson_roundtrip () =
     = Some (Jsonx.String "ok"));
   Alcotest.(check bool) "stream detached" false (Obs.Stream.enabled ())
 
+(* Emitters racing disable: disable must be idempotent, never raise,
+   and never leave a torn line — every byte in the file parses as one
+   complete NDJSON document, even when emits from several domains and
+   the heartbeat were in flight while the sink closed (DESIGN.md §15
+   relies on this: the serve worker disables the relay stream while a
+   watcher fan-out still runs). *)
+let test_stream_emit_disable_race () =
+  for round = 1 to 8 do
+    let path = Filename.temp_file "hidap_stream_race" ".ndjson" in
+    Obs.Stream.enable ~heartbeat_s:0.001 ~close_on_disable:true (open_out path);
+    Obs.Stream.run_start ~circuit:"race" ~seed:round ~jobs:4;
+    let stop = Atomic.make false in
+    let emitters =
+      List.init 4 (fun d ->
+          Domain.spawn (fun () ->
+              let n = ref 0 in
+              while not (Atomic.get stop) && !n < 50_000 do
+                incr n;
+                Obs.Stream.checkpoint ~seq:!n
+                  ~file:(Printf.sprintf "d%d/%06d.snap" d !n)
+              done))
+    in
+    (* disable in the middle of the barrage, then again: idempotent *)
+    Unix.sleepf 0.002;
+    (match Obs.Stream.disable () with
+    | () -> ()
+    | exception e ->
+      Alcotest.failf "disable raised %s" (Printexc.to_string e));
+    Obs.Stream.disable ();
+    Atomic.set stop true;
+    List.iter Domain.join emitters;
+    Alcotest.(check bool) "stream detached" false (Obs.Stream.enabled ());
+    (* late emits on the closed stream must be no-ops, not crashes *)
+    Obs.Stream.checkpoint ~seq:0 ~file:"late.snap";
+    let ic = open_in path in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.trim line <> "" then
+           match Jsonx.parse line with
+           | Ok j ->
+             Alcotest.(check bool) "line has the stream envelope" true
+               (Jsonx.member "schema" j = Some (Jsonx.String Obs.Stream.schema))
+           | Error msg -> Alcotest.failf "torn line %S: %s" line msg
+       done
+     with End_of_file -> ());
+    close_in ic;
+    Sys.remove path
+  done
+
 let suite =
   [ ( "obs",
       [ Alcotest.test_case "span nesting and timing" `Quick test_span_nesting;
@@ -429,6 +479,8 @@ let suite =
           test_sampler_collapsed_stacks;
         Alcotest.test_case "progress stream NDJSON round-trip" `Quick
           test_stream_ndjson_roundtrip;
+        Alcotest.test_case "emit/disable race leaves no torn lines" `Slow
+          test_stream_emit_disable_race;
         Alcotest.test_case "perf counter merge determinism" `Slow
           test_perf_merge_determinism;
         Alcotest.test_case "tracing preserves determinism" `Slow

@@ -1,0 +1,620 @@
+(* lib/serve: protocol round-trips and fuzz, job-queue semantics, and
+   end-to-end daemon robustness — deadline, backpressure, retry,
+   drain/park/resume, crash recovery — against in-process engines
+   talking over real Unix sockets. *)
+
+module P = Serve.Proto
+module J = Obs.Jsonx
+module Jobq = Serve.Jobq
+
+(* ---- fixtures ----------------------------------------------------- *)
+
+(* fig1 as inline HNL text: the smallest design the flow places, so
+   daemon jobs stay fast. *)
+let fig1_hnl = lazy (Hnl.Printer.to_string (Circuitgen.Suite.fig1_design ()))
+
+let fig1_submit ?(seed = 1) ?(priority = 0) ?deadline_s ?(max_retries = 0)
+    ?(label = "fig1") () =
+  { P.default_submit with
+    P.hnl = Some (Lazy.force fig1_hnl); seed; priority; deadline_s; max_retries;
+    label }
+
+let c1_submit ?(label = "c1") () =
+  { P.default_submit with P.circuit = Some "c1"; label }
+
+(* Short scratch dirs: Unix socket paths are capped around 100 bytes,
+   so everything lives directly under the system temp dir. *)
+let scratch () =
+  let dir = Filename.temp_file "hidap-serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  dir
+
+type daemon = {
+  eng : Serve.Engine.t;
+  dom : unit Domain.t;
+  sock : string;
+  state_dir : string;
+}
+
+let start ?(queue_limit = 8) ?(drain_grace_s = 5.0) ?(retry_base_s = 0.005)
+    ?(max_line_bytes = 1 lsl 20) ?(faults = []) dir =
+  let sock = Filename.concat dir "s.sock" in
+  let state_dir = Filename.concat dir "state" in
+  let cfg =
+    { (Serve.Engine.default_config ~socket_path:sock ~state_dir) with
+      Serve.Engine.queue_limit; drain_grace_s; retry_base_s; max_line_bytes;
+      faults }
+  in
+  let eng = Serve.Engine.create cfg in
+  let dom = Domain.spawn (fun () -> Serve.Engine.run eng) in
+  { eng; dom; sock; state_dir }
+
+let stop d =
+  Serve.Engine.request_drain d.eng;
+  Domain.join d.dom
+
+let connect d = Serve.Client.connect ~socket_path:d.sock
+
+let ok = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg
+
+let submit_ok cl spec =
+  match ok (Serve.Client.submit cl spec) with
+  | `Accepted (id, _) -> id
+  | `Rejected (reason, _, _) -> Alcotest.failf "unexpected rejection: %s" reason
+
+let wait_state cl id = (ok (Serve.Client.wait cl id)).P.state
+
+(* ---- protocol ----------------------------------------------------- *)
+
+let test_proto_request_roundtrip () =
+  let reqs =
+    [ P.Ping; P.Submit (fig1_submit ~seed:7 ~priority:3 ~deadline_s:1.5 ());
+      P.Submit (c1_submit ()); P.Status "j0001"; P.List; P.Stats;
+      P.Result "j0002"; P.Report "j0003"; P.Watch "j0004"; P.Drain ]
+  in
+  List.iter
+    (fun r ->
+      match P.request_of_json (P.request_to_json r) with
+      | Ok r' -> Alcotest.(check bool) "request round-trips" true (r = r')
+      | Error msg -> Alcotest.failf "round-trip failed: %s" msg)
+    reqs
+
+let test_proto_response_roundtrip () =
+  let view =
+    { P.id = "j0001"; label = "x"; state = P.Timed_out; attempts = 2;
+      priority = 1; detail = "deadline 0.5s" }
+  in
+  let stats =
+    { P.queue_depth = 1; queue_limit = 8; accepted = 3; rejected_backpressure = 1;
+      rejected_draining = 0; completed = 2; failed = 0; timed_out = 1; parked = 0;
+      retried = 1; draining = false }
+  in
+  let resps =
+    [ P.Pong; P.Accepted { id = "j0001"; depth = 2 };
+      P.Rejected { reason = "backpressure"; depth = 8; limit = 8 }; P.Job view;
+      P.Jobs [ view; { view with P.id = "j0002"; state = P.Running } ];
+      P.Stats_reply stats;
+      P.Result_reply { id = "j0001"; qor = J.Obj [ ("k", J.Int 1) ] };
+      P.Report_reply { id = "j0001"; html = "<html>&\"</html>" };
+      P.Progress { id = "j0001"; event = J.Obj [ ("event", J.String "x") ] };
+      P.Draining_reply; P.Error_reply "nope" ]
+  in
+  List.iter
+    (fun r ->
+      match P.response_of_json (P.response_to_json r) with
+      | Ok r' -> Alcotest.(check bool) "response round-trips" true (r = r')
+      | Error msg -> Alcotest.failf "round-trip failed: %s" msg)
+    resps;
+  (* every state has a stable wire name *)
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "state round-trips" true
+        (P.state_of_string (P.state_to_string s) = Some s))
+    [ P.Pending; P.Running; P.Done; P.Failed; P.Timed_out; P.Parked ]
+
+let test_proto_envelope () =
+  let reject line =
+    match P.request_of_line line with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted bad envelope: %s" line
+  in
+  reject {|{"schema":"wrong","version":1,"req":"ping"}|};
+  reject {|{"schema":"hidap-serve","version":99,"req":"ping"}|};
+  reject {|{"schema":"hidap-serve","version":1}|};
+  reject {|{"schema":"hidap-serve","version":1,"req":"no-such-request"}|};
+  reject "not json at all";
+  reject "";
+  match P.request_of_line {|{"schema":"hidap-serve","version":1,"req":"ping"}|} with
+  | Ok P.Ping -> ()
+  | _ -> Alcotest.fail "minimal ping refused"
+
+(* Byte-level garbage must always come back as [Error _] — decoding is
+   total because the daemon feeds raw client input through it. *)
+let test_proto_decode_total () =
+  let rng = Util.Rng.create 0x5E41 in
+  let good = P.to_line (P.request_to_json (P.Submit (fig1_submit ()))) in
+  for _ = 1 to 300 do
+    let b = Bytes.of_string good in
+    for _ = 0 to Util.Rng.int rng 6 do
+      Bytes.set b
+        (Util.Rng.int rng (Bytes.length b))
+        (Char.chr (Util.Rng.int rng 256))
+    done;
+    let s = Bytes.to_string b in
+    let s =
+      if Util.Rng.int rng 3 = 0 then
+        String.sub s 0 (Util.Rng.int rng (String.length s))
+      else s
+    in
+    (match P.request_of_line s with
+    | Ok _ | Error _ -> ()
+    | exception e ->
+      Alcotest.failf "request_of_line raised %s" (Printexc.to_string e));
+    match P.response_of_line s with
+    | Ok _ | Error _ -> ()
+    | exception e ->
+      Alcotest.failf "response_of_line raised %s" (Printexc.to_string e)
+  done
+
+(* ---- job queue ---------------------------------------------------- *)
+
+let test_jobq_admission () =
+  let q = Jobq.create ~limit:2 in
+  (match Jobq.push q ~priority:0 ~seq:1 "a" with
+  | Jobq.Enqueued 1 -> ()
+  | _ -> Alcotest.fail "first push");
+  (match Jobq.push q ~priority:0 ~seq:2 "b" with
+  | Jobq.Enqueued 2 -> ()
+  | _ -> Alcotest.fail "second push");
+  (match Jobq.push q ~priority:9 ~seq:3 "c" with
+  | Jobq.Full 2 -> ()
+  | _ -> Alcotest.fail "push past the bound must be refused");
+  (* retries re-enter past the bound *)
+  Jobq.force_push q ~priority:0 ~seq:4 "d";
+  Alcotest.(check int) "forced depth" 3 (Jobq.depth q)
+
+let test_jobq_ordering () =
+  let q = Jobq.create ~limit:10 in
+  ignore (Jobq.push q ~priority:0 ~seq:1 "low-first");
+  ignore (Jobq.push q ~priority:5 ~seq:2 "high-a");
+  ignore (Jobq.push q ~priority:5 ~seq:3 "high-b");
+  ignore (Jobq.push q ~priority:0 ~seq:4 "low-second");
+  let order = List.init 4 (fun _ -> Option.get (Jobq.pop q)) in
+  Alcotest.(check (list string))
+    "priority desc, FIFO within a priority"
+    [ "high-a"; "high-b"; "low-first"; "low-second" ]
+    order
+
+let test_jobq_backoff () =
+  let q = Jobq.create ~limit:4 in
+  let t0 = Unix.gettimeofday () in
+  Jobq.force_push q ~priority:0 ~seq:1 ~ready_s:(t0 +. 0.15) "later";
+  ignore (Jobq.push q ~priority:0 ~seq:2 "now");
+  Alcotest.(check string) "eligible entry first" "now" (Option.get (Jobq.pop q));
+  Alcotest.(check string) "backed-off entry held" "later"
+    (Option.get (Jobq.pop q));
+  let waited = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "pop waited for ready time (%.3fs)" waited)
+    true (waited >= 0.14)
+
+let test_jobq_close_drains () =
+  let q = Jobq.create ~limit:4 in
+  ignore (Jobq.push q ~priority:0 ~seq:1 "left-behind");
+  Jobq.close q;
+  (match Jobq.push q ~priority:0 ~seq:2 "refused" with
+  | Jobq.Full _ -> ()
+  | Jobq.Enqueued _ -> Alcotest.fail "closed queue accepted a push");
+  Alcotest.(check bool) "pop on closed queue is None (drain)" true
+    (Jobq.pop q = None);
+  (* a blocked pop wakes up on close *)
+  let q2 = Jobq.create ~limit:1 in
+  let popper = Domain.spawn (fun () -> Jobq.pop q2) in
+  Unix.sleepf 0.05;
+  Jobq.close q2;
+  Alcotest.(check bool) "blocked pop released" true (Domain.join popper = None)
+
+(* ---- end-to-end daemon -------------------------------------------- *)
+
+let test_serve_done_result_report () =
+  let d = start (scratch ()) in
+  Fun.protect ~finally:(fun () -> try stop d with _ -> ()) @@ fun () ->
+  let cl = connect d in
+  ok (Serve.Client.ping cl);
+  let id = submit_ok cl (fig1_submit ()) in
+  Alcotest.(check string) "first id" "j0001" id;
+  (match wait_state cl id with
+  | P.Done -> ()
+  | s -> Alcotest.failf "job ended %s" (P.state_to_string s));
+  (* the QoR ledger and the HTML report are served back *)
+  let qor = ok (Serve.Client.result cl id) in
+  (match J.member "records" qor with
+  | Some (J.List [ _ ]) -> ()
+  | _ -> Alcotest.fail "result is not a one-record ledger");
+  let html = ok (Serve.Client.report cl id) in
+  Alcotest.(check bool) "report looks like html" true
+    (String.length html > 0
+    && Astring.String.is_infix ~affix:"<html" (String.lowercase_ascii html));
+  let s = ok (Serve.Client.stats cl) in
+  Alcotest.(check int) "accepted" 1 s.P.accepted;
+  Alcotest.(check int) "completed" 1 s.P.completed;
+  (* result of a non-existent job is a structured error *)
+  (match Serve.Client.result cl "j9999" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "result for unknown job succeeded");
+  Serve.Client.close cl
+
+let test_serve_deadline_lands_timed_out () =
+  let d = start (scratch ()) in
+  Fun.protect ~finally:(fun () -> try stop d with _ -> ()) @@ fun () ->
+  let cl = connect d in
+  let id = submit_ok cl (fig1_submit ~deadline_s:0.0005 ~label:"doomed" ()) in
+  (match wait_state cl id with
+  | P.Timed_out -> ()
+  | s -> Alcotest.failf "deadline job ended %s" (P.state_to_string s));
+  (* the blast radius is one job: the next one completes normally *)
+  let id2 = submit_ok cl (fig1_submit ~label:"fine" ()) in
+  (match wait_state cl id2 with
+  | P.Done -> ()
+  | s -> Alcotest.failf "follow-up job ended %s" (P.state_to_string s));
+  let s = ok (Serve.Client.stats cl) in
+  Alcotest.(check int) "timed_out" 1 s.P.timed_out;
+  Alcotest.(check int) "completed" 1 s.P.completed;
+  Serve.Client.close cl
+
+let test_serve_backpressure () =
+  (* Stall the worker on its first job so submissions pile up behind a
+     queue bound of 1: the third submit must be refused, structured. *)
+  let faults =
+    [ { Guard.Fault.site = "serve.worker"; nth = 1; action = Guard.Fault.Stall 0.6 } ]
+  in
+  let d = start ~queue_limit:1 ~faults (scratch ()) in
+  Fun.protect ~finally:(fun () -> try stop d with _ -> ()) @@ fun () ->
+  let cl = connect d in
+  let id1 = submit_ok cl (fig1_submit ~label:"stalled" ()) in
+  Unix.sleepf 0.15 (* let the worker pop it and hit the stall *);
+  let id2 = submit_ok cl (fig1_submit ~label:"queued" ()) in
+  (match ok (Serve.Client.submit cl (fig1_submit ~label:"refused" ())) with
+  | `Rejected ("backpressure", depth, limit) ->
+    Alcotest.(check int) "depth at refusal" 1 depth;
+    Alcotest.(check int) "limit reported" 1 limit
+  | `Rejected (r, _, _) -> Alcotest.failf "wrong rejection reason %s" r
+  | `Accepted _ -> Alcotest.fail "overfull submit accepted");
+  (* both admitted jobs still finish *)
+  List.iter
+    (fun id ->
+      match wait_state cl id with
+      | P.Done -> ()
+      | s -> Alcotest.failf "%s ended %s" id (P.state_to_string s))
+    [ id1; id2 ];
+  let s = ok (Serve.Client.stats cl) in
+  Alcotest.(check int) "rejections counted" 1 s.P.rejected_backpressure;
+  Serve.Client.close cl
+
+let test_serve_retry_then_done () =
+  (* Transient serve.worker fault: attempt 1 dies, the retry heals. *)
+  let faults =
+    [ { Guard.Fault.site = "serve.worker"; nth = 1; action = Guard.Fault.Raise } ]
+  in
+  let d = start ~faults (scratch ()) in
+  Fun.protect ~finally:(fun () -> try stop d with _ -> ()) @@ fun () ->
+  let cl = connect d in
+  let id = submit_ok cl (fig1_submit ~max_retries:2 ()) in
+  let v = ok (Serve.Client.wait cl id) in
+  (match v.P.state with
+  | P.Done -> ()
+  | s -> Alcotest.failf "retried job ended %s" (P.state_to_string s));
+  Alcotest.(check int) "two attempts" 2 v.P.attempts;
+  let s = ok (Serve.Client.stats cl) in
+  Alcotest.(check int) "retried" 1 s.P.retried;
+  Serve.Client.close cl
+
+let test_serve_fails_after_retry_budget () =
+  let faults =
+    [ { Guard.Fault.site = "serve.worker"; nth = 99; action = Guard.Fault.Raise } ]
+  in
+  let d = start ~faults (scratch ()) in
+  Fun.protect ~finally:(fun () -> try stop d with _ -> ()) @@ fun () ->
+  let cl = connect d in
+  let id = submit_ok cl (fig1_submit ~max_retries:1 ()) in
+  let v = ok (Serve.Client.wait cl id) in
+  (match v.P.state with
+  | P.Failed -> ()
+  | s -> Alcotest.failf "exhausted job ended %s" (P.state_to_string s));
+  Alcotest.(check int) "initial attempt + one retry" 2 v.P.attempts;
+  Serve.Client.close cl
+
+let test_serve_invalid_submissions () =
+  let d = start (scratch ()) in
+  Fun.protect ~finally:(fun () -> try stop d with _ -> ()) @@ fun () ->
+  let cl = connect d in
+  (* neither circuit nor hnl: refused at the door *)
+  (match Serve.Client.submit cl P.default_submit with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty submit accepted");
+  (* unparseable netlist: accepted, then fails terminally without retry *)
+  let id =
+    submit_ok cl
+      { P.default_submit with P.hnl = Some "not a netlist"; max_retries = 5 }
+  in
+  let v = ok (Serve.Client.wait cl id) in
+  (match v.P.state with
+  | P.Failed -> ()
+  | s -> Alcotest.failf "invalid job ended %s" (P.state_to_string s));
+  Alcotest.(check int) "invalid jobs never retry" 1 v.P.attempts;
+  Serve.Client.close cl
+
+let test_serve_watch_streams_progress () =
+  let d = start (scratch ()) in
+  Fun.protect ~finally:(fun () -> try stop d with _ -> ()) @@ fun () ->
+  let cl = connect d in
+  let id = submit_ok cl (fig1_submit ()) in
+  let events = ref 0 in
+  let v =
+    ok
+      (Serve.Client.watch cl id ~on_event:(fun e ->
+           (* relayed events are hidap-progress documents *)
+           (match J.member "schema" e with
+           | Some (J.String "hidap-progress") -> ()
+           | _ -> Alcotest.fail "relayed event is not a progress document");
+           incr events))
+  in
+  (match v.P.state with
+  | P.Done -> ()
+  | s -> Alcotest.failf "watched job ended %s" (P.state_to_string s));
+  Alcotest.(check bool)
+    (Printf.sprintf "progress events relayed (%d)" !events)
+    true (!events > 0);
+  Serve.Client.close cl
+
+(* ---- framing fuzz -------------------------------------------------- *)
+
+let raw_connect sock =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+  fd
+
+let raw_send fd s =
+  let rec go off =
+    if off < String.length s then
+      go (off + Unix.write_substring fd s off (String.length s - off))
+  in
+  (* the daemon is allowed to drop the connection mid-write *)
+  try go 0 with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
+
+(* Read one response line; [None] on clean disconnect or timeout. *)
+let raw_recv_line fd =
+  let buf = Buffer.create 256 in
+  let b = Bytes.create 1 in
+  let rec go () =
+    match Unix.read fd b 0 1 with
+    | 0 -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+    | _ ->
+      if Bytes.get b 0 = '\n' then Some (Buffer.contents buf)
+      else begin
+        Buffer.add_char buf (Bytes.get b 0);
+        go ()
+      end
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> None
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> None
+  in
+  go ()
+
+let test_serve_framing_fuzz () =
+  (* the bound must clear the inline-HNL submit used at the end, so
+     real work still fits while the oversized probes do not *)
+  let submit_len =
+    String.length (P.to_line (P.request_to_json (P.Submit (fig1_submit ()))))
+  in
+  let max_line_bytes = 4 * submit_len in
+  let d = start ~max_line_bytes (scratch ()) in
+  Fun.protect ~finally:(fun () -> try stop d with _ -> ()) @@ fun () ->
+  let assert_alive tag =
+    let cl = connect d in
+    (match Serve.Client.ping cl with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "daemon dead after %s: %s" tag msg);
+    Serve.Client.close cl
+  in
+  let expect_error tag line =
+    let fd = raw_connect d.sock in
+    raw_send fd line;
+    (match raw_recv_line fd with
+    | None -> () (* clean disconnect is an acceptable answer *)
+    | Some reply -> (
+      match P.response_of_line reply with
+      | Ok (P.Error_reply _) -> ()
+      | Ok r ->
+        Alcotest.failf "%s answered %s" tag
+          (J.to_string ~compact:true (P.response_to_json r))
+      | Error msg -> Alcotest.failf "%s: unparseable reply %s" tag msg));
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    assert_alive tag
+  in
+  expect_error "garbage" "complete garbage\n";
+  expect_error "wrong schema" ({|{"schema":"mqtt","version":1,"req":"ping"}|} ^ "\n");
+  expect_error "newer version" {|{"schema":"hidap-serve","version":42,"req":"ping"}
+|};
+  expect_error "unknown request" {|{"schema":"hidap-serve","version":1,"req":"?"}
+|};
+  expect_error "oversized line" (String.make (max_line_bytes + 1024) 'a' ^ "\n");
+  (* oversized with no terminator at all: the buffer bound trips *)
+  expect_error "oversized unterminated" (String.make (2 * max_line_bytes) 'b');
+  (* truncated request then hard disconnect *)
+  let fd = raw_connect d.sock in
+  raw_send fd {|{"schema":"hidap-serve","ver|};
+  Unix.close fd;
+  assert_alive "truncated disconnect";
+  (* random bytes, many connections *)
+  let rng = Util.Rng.create 0xFA22 in
+  for _ = 1 to 25 do
+    let n = 1 + Util.Rng.int rng 600 in
+    let b = Bytes.create n in
+    for i = 0 to n - 1 do
+      Bytes.set b i (Char.chr (Util.Rng.int rng 256))
+    done;
+    let fd = raw_connect d.sock in
+    raw_send fd (Bytes.to_string b);
+    raw_send fd "\n";
+    ignore (raw_recv_line fd);
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  done;
+  assert_alive "random bytes";
+  (* and after all that abuse, real work still goes through *)
+  let cl = connect d in
+  let id = submit_ok cl (fig1_submit ()) in
+  (match wait_state cl id with
+  | P.Done -> ()
+  | s -> Alcotest.failf "post-fuzz job ended %s" (P.state_to_string s));
+  Serve.Client.close cl
+
+(* ---- drain / park / resume ---------------------------------------- *)
+
+let record_macros path =
+  match J.parse_file path with
+  | Error msg -> Alcotest.failf "%s: %s" path msg
+  | Ok doc -> (
+    match J.member "records" doc with
+    | Some (J.List [ r ]) -> (
+      match J.member "macros" r with
+      | Some m -> m
+      | None -> Alcotest.failf "%s: no macros in record" path)
+    | _ -> Alcotest.failf "%s: not a one-record ledger" path)
+
+let record_resumed_from path =
+  match J.parse_file path with
+  | Error msg -> Alcotest.failf "%s: %s" path msg
+  | Ok doc -> (
+    match J.member "records" doc with
+    | Some (J.List [ r ]) -> (
+      match J.member "ckpt" r with
+      | Some ck -> J.member "resumed_from" ck
+      | None -> None)
+    | _ -> None)
+
+(* SIGTERM mid-job: the job checkpoints and parks; a new daemon on the
+   same state dir resumes it to a placement bit-identical to a control
+   run of the same spec. c1 runs long enough to be caught mid-SA. *)
+let test_serve_drain_parks_then_resumes () =
+  let dir = scratch () in
+  let spec = c1_submit () in
+  let d1 = start ~drain_grace_s:0.05 dir in
+  let id =
+    Fun.protect ~finally:(fun () -> try stop d1 with _ -> ()) @@ fun () ->
+    let cl = connect d1 in
+    let id = submit_ok cl spec in
+    Unix.sleepf 0.4 (* let the job get mid-flow *);
+    Serve.Engine.request_drain d1.eng;
+    Serve.Client.close cl;
+    id
+  in
+  (* the daemon is gone; the parked job survives on disk *)
+  (match Serve.Job.load ~state_dir:d1.state_dir id with
+  | Ok j ->
+    (match j.Serve.Job.state with
+    | P.Parked -> ()
+    | P.Done ->
+      (* the machine outran the sleep: the job finished inside the
+         grace window, which is also a correct drain. Nothing to
+         resume, so the rest of this test has no subject. *)
+      Alcotest.skip ()
+    | s -> Alcotest.failf "after drain the job is %s" (P.state_to_string s))
+  | Error msg -> Alcotest.failf "parked job unreadable: %s" msg);
+  (* restart on the same state dir: the job resumes and completes *)
+  let d2 = start dir in
+  Fun.protect ~finally:(fun () -> try stop d2 with _ -> ()) @@ fun () ->
+  let cl = connect d2 in
+  let control = submit_ok cl spec in
+  (* serial worker: the recovered job (lower seq) runs first *)
+  (match wait_state cl control with
+  | P.Done -> ()
+  | s -> Alcotest.failf "control job ended %s" (P.state_to_string s));
+  let v = ok (Serve.Client.status cl id) in
+  (match v.P.state with
+  | P.Done -> ()
+  | s -> Alcotest.failf "resumed job ended %s" (P.state_to_string s));
+  let resumed = Serve.Job.result_path ~state_dir:d2.state_dir id in
+  let fresh = Serve.Job.result_path ~state_dir:d2.state_dir control in
+  (match record_resumed_from resumed with
+  | Some J.Null | None ->
+    Alcotest.fail "resumed job did not restart from a checkpoint"
+  | Some _ -> ());
+  Alcotest.(check bool) "resumed placement bit-identical to control" true
+    (record_macros resumed = record_macros fresh);
+  Serve.Client.close cl
+
+(* kill -9 simulation: a job.json left in running state (no daemon
+   shutdown ran) must be recovered as pending and completed. *)
+let test_serve_crash_recovery () =
+  let dir = scratch () in
+  let state_dir = Filename.concat dir "state" in
+  let j = Serve.Job.make ~seq:1 (fig1_submit ()) in
+  j.Serve.Job.state <- P.Running;
+  j.Serve.Job.attempts <- 1;
+  Serve.Job.save ~state_dir j;
+  let d = start dir in
+  Fun.protect ~finally:(fun () -> try stop d with _ -> ()) @@ fun () ->
+  let cl = connect d in
+  let v = ok (Serve.Client.wait cl j.Serve.Job.id) in
+  (match v.P.state with
+  | P.Done -> ()
+  | s -> Alcotest.failf "recovered job ended %s" (P.state_to_string s));
+  Alcotest.(check bool) "recovery noted in detail" true
+    (Astring.String.is_infix ~affix:"recover" v.P.detail);
+  let s = ok (Serve.Client.stats cl) in
+  Alcotest.(check int) "completed after recovery" 1 s.P.completed;
+  Serve.Client.close cl
+
+(* Draining refuses new work with its own structured reason. *)
+let test_serve_draining_rejects () =
+  let d = start (scratch ()) in
+  let cl = connect d in
+  ok (Serve.Client.drain cl);
+  (match Serve.Client.submit cl (fig1_submit ()) with
+  | Ok (`Rejected ("draining", _, _)) -> ()
+  | Ok (`Rejected (r, _, _)) -> Alcotest.failf "wrong rejection %s" r
+  | Ok (`Accepted _) -> Alcotest.fail "draining daemon accepted a job"
+  | Error _ -> () (* the daemon may already have shut the socket *));
+  Serve.Client.close cl;
+  Domain.join d.dom
+
+let suite =
+  [ ( "serve",
+      [ Alcotest.test_case "proto request round-trip" `Quick
+          test_proto_request_roundtrip;
+        Alcotest.test_case "proto response round-trip" `Quick
+          test_proto_response_roundtrip;
+        Alcotest.test_case "proto envelope checks" `Quick test_proto_envelope;
+        Alcotest.test_case "proto decoding is total" `Quick
+          test_proto_decode_total;
+        Alcotest.test_case "jobq admission bound" `Quick test_jobq_admission;
+        Alcotest.test_case "jobq priority + FIFO" `Quick test_jobq_ordering;
+        Alcotest.test_case "jobq retry backoff" `Quick test_jobq_backoff;
+        Alcotest.test_case "jobq close means drain" `Quick
+          test_jobq_close_drains;
+        Alcotest.test_case "job done, result and report served" `Slow
+          test_serve_done_result_report;
+        Alcotest.test_case "deadline lands in timed-out" `Slow
+          test_serve_deadline_lands_timed_out;
+        Alcotest.test_case "backpressure rejection at the bound" `Slow
+          test_serve_backpressure;
+        Alcotest.test_case "transient fault retries then done" `Slow
+          test_serve_retry_then_done;
+        Alcotest.test_case "retry budget exhausts to failed" `Slow
+          test_serve_fails_after_retry_budget;
+        Alcotest.test_case "invalid submissions fail fast" `Slow
+          test_serve_invalid_submissions;
+        Alcotest.test_case "watch streams progress" `Slow
+          test_serve_watch_streams_progress;
+        Alcotest.test_case "framing fuzz never kills the daemon" `Slow
+          test_serve_framing_fuzz;
+        Alcotest.test_case "drain parks, restart resumes bit-identically" `Slow
+          test_serve_drain_parks_then_resumes;
+        Alcotest.test_case "crash recovery completes the job" `Slow
+          test_serve_crash_recovery;
+        Alcotest.test_case "draining rejects new work" `Quick
+          test_serve_draining_rejects ] ) ]
