@@ -23,6 +23,7 @@ let exit_invalid = 3
 let exit_budget = 4
 let exit_audit = 5
 let exit_interrupted = 6
+let exit_daemon = 7
 
 let exits =
   Cmd.Exit.info exit_usage
@@ -43,6 +44,11 @@ let exits =
              $(b,--checkpoint-dir): a final snapshot was written first, so \
              re-running with $(b,--resume) continues bit-identically. Also \
              used by $(b,submit) for a job parked by a daemon drain."
+  :: Cmd.Exit.info exit_daemon
+       ~doc:"when the daemon conversation broke: $(b,submit)/$(b,jobs) could \
+             not connect, or the daemon died mid-conversation (connection \
+             refused or EOF). Also used by $(b,serve) when a live daemon \
+             already answers on the socket path."
   :: Cmd.Exit.defaults
 
 (* Raised (and caught around the telemetry bracket) when a signal
@@ -1414,33 +1420,57 @@ let socket_arg =
                socket paths around 100 bytes.")
 
 let connect_client socket =
+  (* a daemon dying mid-conversation must surface as EPIPE on the next
+     send (-> exit 7), not kill the client with SIGPIPE *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   try Serve.Client.connect ~socket_path:socket
   with Unix.Unix_error (e, _, _) ->
-    die_usage "cannot connect to %s: %s (is 'hidap serve' running?)" socket
-      (Unix.error_message e)
+    Format.eprintf "hidap: cannot connect to %s: %s (is 'hidap serve' running?)@."
+      socket (Unix.error_message e);
+    exit exit_daemon
+
+(* A broken daemon conversation (refused, died mid-exchange) gets its
+   own exit code so scripts can tell it from a failed job. *)
+let client_error_code e fallback =
+  if Serve.Client.is_conn e then exit_daemon else fallback
 
 let serve_cmd =
-  let run socket state_dir queue_limit drain_grace jobs retry_base retry_cap =
+  let run socket state_dir queue_limit workers drain_grace jobs retry_base
+      retry_cap job_mem_mb job_cpu_s job_stall max_line_bytes =
     let faults =
       match Guard.Fault.of_env () with Ok s -> s | Error msg -> die_usage "%s" msg
     in
     if queue_limit < 1 then die_usage "--queue-limit must be at least 1";
+    if workers < 1 then die_usage "--workers must be at least 1";
+    (match job_mem_mb with
+    | Some m when m < 16 -> die_usage "--job-mem-mb must be at least 16"
+    | _ -> ());
+    (match job_cpu_s with
+    | Some s when s < 1 -> die_usage "--job-cpu-s must be at least 1"
+    | _ -> ());
+    if job_stall <= 0.0 then die_usage "--job-stall-s must be positive";
+    if max_line_bytes < 1024 then die_usage "--max-line-bytes must be at least 1024";
     let cfg =
       { (Serve.Engine.default_config ~socket_path:socket ~state_dir) with
-        Serve.Engine.queue_limit; drain_grace_s = drain_grace;
+        Serve.Engine.queue_limit; workers; drain_grace_s = drain_grace;
         default_job_jobs = resolve_jobs jobs; retry_base_s = retry_base;
-        retry_cap_s = retry_cap; faults }
+        retry_cap_s = retry_cap; job_mem_mb; job_cpu_s; stall_s = job_stall;
+        max_line_bytes; faults }
     in
     let eng =
-      try Serve.Engine.create cfg
-      with Unix.Unix_error (e, _, _) ->
+      try Serve.Engine.create cfg with
+      | Unix.Unix_error (e, _, _) ->
         die_usage "cannot listen on %s: %s" socket (Unix.error_message e)
+      | Guard.Diag.Fail d ->
+        print_diag d;
+        exit exit_daemon
     in
     let on_signal _ = Serve.Engine.request_drain eng in
     Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
     Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
-    Format.eprintf "hidap serve: listening on %s (state %s, queue limit %d)@."
-      socket state_dir queue_limit;
+    Format.eprintf
+      "hidap serve: listening on %s (state %s, queue limit %d, workers %d)@."
+      socket state_dir queue_limit workers;
     Serve.Engine.run eng;
     Format.eprintf "hidap serve: drained@."
   in
@@ -1471,12 +1501,45 @@ let serve_cmd =
     Arg.(value & opt float 2.0 & info [ "retry-cap" ] ~docv:"SECONDS"
            ~doc:"Backoff ceiling.")
   in
+  let workers_arg =
+    Arg.(value & opt int 1 & info [ "workers" ] ~docv:"N"
+           ~doc:"Worker processes. Each job attempt runs in its own forked \
+                 process, so N jobs run genuinely in parallel and a crashing \
+                 or hung job can never take the daemon down (default 1).")
+  in
+  let job_mem_mb_arg =
+    Arg.(value & opt (some int) None & info [ "job-mem-mb" ] ~docv:"MB"
+           ~doc:"Per-job address-space limit (setrlimit, soft=hard). A worker \
+                 exhausting it fails its job with an rlimit classification; \
+                 exhaustion is deterministic, so the job is not retried.")
+  in
+  let job_cpu_s_arg =
+    Arg.(value & opt (some int) None & info [ "job-cpu-s" ] ~docv:"SECONDS"
+           ~doc:"Per-job CPU-time limit (setrlimit; the kernel delivers \
+                 SIGXCPU at the soft limit). Same no-retry classification as \
+                 --job-mem-mb.")
+  in
+  let job_stall_arg =
+    Arg.(value & opt float 30.0 & info [ "job-stall-s" ] ~docv:"SECONDS"
+           ~doc:"Hung-job watchdog: SIGKILL a worker whose progress pipe has \
+                 been silent this long and retry its job. Workers heartbeat \
+                 every 0.5s, so this catches wedged workers, not slow jobs \
+                 (default 30).")
+  in
+  let max_line_bytes_arg =
+    Arg.(value & opt int (1 lsl 20) & info [ "max-line-bytes" ] ~docv:"N"
+           ~doc:"Request framing bound: a request line longer than N bytes is \
+                 rejected and the connection dropped (default 1MiB).")
+  in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Run the placement job daemon (admission control, per-job \
-             deadlines, retry, graceful drain, crash recovery)" ~exits)
+       ~doc:"Run the placement job daemon (crash-contained worker processes, \
+             admission control, per-job rlimits and deadlines, hung-job \
+             watchdog, retry, graceful drain, crash recovery)" ~exits)
     Term.(const run $ socket_arg $ state_dir_arg $ queue_limit_arg
-          $ drain_grace_arg $ jobs_arg $ retry_base_arg $ retry_cap_arg)
+          $ workers_arg $ drain_grace_arg $ jobs_arg $ retry_base_arg
+          $ retry_cap_arg $ job_mem_mb_arg $ job_cpu_s_arg $ job_stall_arg
+          $ max_line_bytes_arg)
 
 let submit_cmd =
   let run socket file circuit seed lambda jobs priority deadline max_retries
@@ -1515,7 +1578,8 @@ let submit_cmd =
         | Ok qor ->
           Obs.Jsonx.write_file path qor;
           Format.printf "wrote qor %s@." path
-        | Error msg -> Format.eprintf "hidap: result: %s@." msg));
+        | Error e ->
+          Format.eprintf "hidap: result: %s@." (Serve.Client.error_message e)));
       match report_out with
       | None -> ()
       | Some path ->
@@ -1525,7 +1589,8 @@ let submit_cmd =
           output_string oc html;
           close_out oc;
           Format.printf "wrote report %s@." path
-        | Error msg -> Format.eprintf "hidap: report: %s@." msg)
+        | Error e ->
+          Format.eprintf "hidap: report: %s@." (Serve.Client.error_message e))
     in
     let finish (v : Serve.Proto.job_view) =
       Format.printf "job %s: %s%s@." v.Serve.Proto.id
@@ -1541,9 +1606,9 @@ let submit_cmd =
     in
     let code =
       match Serve.Client.submit cl spec with
-      | Error msg ->
-        Format.eprintf "hidap: submit: %s@." msg;
-        exit_invalid
+      | Error e ->
+        Format.eprintf "hidap: submit: %s@." (Serve.Client.error_message e);
+        client_error_code e exit_invalid
       | Ok (`Rejected (reason, depth, limit)) ->
         Format.eprintf "hidap: submit rejected: %s (queue %d/%d)@." reason depth
           limit;
@@ -1556,16 +1621,16 @@ let submit_cmd =
                 Format.eprintf "%s@." (Obs.Jsonx.to_string ~compact:true e))
           with
           | Ok v -> finish v
-          | Error msg ->
-            Format.eprintf "hidap: watch: %s@." msg;
-            1
+          | Error e ->
+            Format.eprintf "hidap: watch: %s@." (Serve.Client.error_message e);
+            client_error_code e 1
         end
         else if wait then begin
           match Serve.Client.wait cl id with
           | Ok v -> finish v
-          | Error msg ->
-            Format.eprintf "hidap: wait: %s@." msg;
-            1
+          | Error e ->
+            Format.eprintf "hidap: wait: %s@." (Serve.Client.error_message e);
+            client_error_code e 1
         end
         else 0
     in
@@ -1630,9 +1695,9 @@ let jobs_cmd =
             (if v.Serve.Proto.detail = "" then ""
              else "  — " ^ v.Serve.Proto.detail);
           0
-        | Error msg ->
-          Format.eprintf "hidap: %s@." msg;
-          1)
+        | Error e ->
+          Format.eprintf "hidap: %s@." (Serve.Client.error_message e);
+          client_error_code e 1)
       | None, Some id, None, false, false ->
         (match Serve.Client.result cl id with
         | Ok qor ->
@@ -1642,9 +1707,9 @@ let jobs_cmd =
             Format.printf "wrote qor %s@." path
           | None -> print_endline (Obs.Jsonx.to_string qor));
           0
-        | Error msg ->
-          Format.eprintf "hidap: %s@." msg;
-          1)
+        | Error e ->
+          Format.eprintf "hidap: %s@." (Serve.Client.error_message e);
+          client_error_code e 1)
       | None, None, Some id, false, false ->
         (match Serve.Client.report cl id with
         | Ok html ->
@@ -1656,32 +1721,42 @@ let jobs_cmd =
             Format.printf "wrote report %s@." path
           | None -> print_string html);
           0
-        | Error msg ->
-          Format.eprintf "hidap: %s@." msg;
-          1)
+        | Error e ->
+          Format.eprintf "hidap: %s@." (Serve.Client.error_message e);
+          client_error_code e 1)
       | None, None, None, true, false ->
         (match Serve.Client.stats cl with
         | Ok s ->
           Format.printf
             "queue %d/%d%s@.accepted %d  completed %d  failed %d  timed-out %d  \
-             parked %d  retried %d@.rejected: backpressure %d, draining %d@."
+             parked %d  retried %d  worker-lost %d@.rejected: backpressure %d, \
+             draining %d@."
             s.Serve.Proto.queue_depth s.Serve.Proto.queue_limit
             (if s.Serve.Proto.draining then "  (draining)" else "")
             s.Serve.Proto.accepted s.Serve.Proto.completed s.Serve.Proto.failed
             s.Serve.Proto.timed_out s.Serve.Proto.parked s.Serve.Proto.retried
-            s.Serve.Proto.rejected_backpressure s.Serve.Proto.rejected_draining;
+            s.Serve.Proto.worker_lost s.Serve.Proto.rejected_backpressure
+            s.Serve.Proto.rejected_draining;
+          List.iter
+            (fun (w : Serve.Proto.worker_view) ->
+              match (w.Serve.Proto.pid, w.Serve.Proto.job) with
+              | Some pid, Some job ->
+                Format.printf "worker %d  pid %d  %s  %.1fs@." w.Serve.Proto.slot
+                  pid job w.Serve.Proto.elapsed_s
+              | _ -> Format.printf "worker %d  idle@." w.Serve.Proto.slot)
+            s.Serve.Proto.workers;
           0
-        | Error msg ->
-          Format.eprintf "hidap: %s@." msg;
-          1)
+        | Error e ->
+          Format.eprintf "hidap: %s@." (Serve.Client.error_message e);
+          client_error_code e 1)
       | None, None, None, false, true ->
         (match Serve.Client.drain cl with
         | Ok () ->
           Format.printf "drain requested@.";
           0
-        | Error msg ->
-          Format.eprintf "hidap: %s@." msg;
-          1)
+        | Error e ->
+          Format.eprintf "hidap: %s@." (Serve.Client.error_message e);
+          client_error_code e 1)
       | None, None, None, false, false ->
         (match Serve.Client.list cl with
         | Ok [] ->
@@ -1698,9 +1773,9 @@ let jobs_cmd =
                  else "  — " ^ v.Serve.Proto.detail))
             vs;
           0
-        | Error msg ->
-          Format.eprintf "hidap: %s@." msg;
-          1)
+        | Error e ->
+          Format.eprintf "hidap: %s@." (Serve.Client.error_message e);
+          client_error_code e 1)
       | _ -> die_usage "give at most one of --status, --result, --report, --stats, --drain"
     in
     Serve.Client.close cl;

@@ -61,7 +61,18 @@ let codes =
     ("bad-output-path", "error",
      "a telemetry output path (--trace, --metrics, --qor, --profile-out, \
       --perf-out, --progress-file) cannot be opened for writing; checked before \
-      the run starts so a long run never silently loses its telemetry") ]
+      the run starts so a long run never silently loses its telemetry");
+    ("serve-socket-busy", "error",
+     "hidap serve found a live daemon answering on its socket path and refuses \
+      to steal it (a dead leftover socket is probed, unlinked and reused)");
+    ("serve-worker-lost", "warning (job retried within its retry budget)",
+     "a worker process died without a classified exit (killed, crashed, or \
+      watchdog-SIGKILLed for silence); the job's checkpoint store makes the \
+      retry resume bit-identically");
+    ("serve-rlimit", "error",
+     "a worker exhausted its per-job resource limit (--job-mem-mb address \
+      space or --job-cpu-s CPU time); deterministic exhaustion, so the job \
+      fails without retry") ]
 
 let make ~code ~severity ~stage ?loc message = { code; severity; stage; loc; message }
 

@@ -25,7 +25,13 @@ let sites =
       "a client response write fails; the connection is dropped, the job continues" );
     ( "serve.worker",
       "a job attempt dies at start; the job retries with capped backoff up to its \
-       retry limit" ) ]
+       retry limit" );
+    ( "serve.worker_kill",
+      "the worker process SIGKILLs itself mid-job; the daemon classifies the \
+       signaled exit as worker-lost and retries within the job's retry budget" );
+    ( "serve.worker_hang",
+      "the worker process stalls before emitting any progress; the hung-job \
+       watchdog SIGKILLs it and the job retries" ) ]
 
 let known name = List.mem_assoc name sites
 

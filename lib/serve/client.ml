@@ -3,7 +3,18 @@
    One connection carries any number of request/response exchanges;
    responses to one-shot requests come back in order, and a watch
    turns the connection into a stream of progress events ended by the
-   job's terminal view. *)
+   job's terminal view.
+
+   Errors are typed: [Conn] means the conversation with the daemon
+   broke (refused, EOF mid-exchange, send failure) — the CLI maps
+   these to its daemon-unreachable exit code — while [Remote] carries
+   a daemon-sent error reply or a protocol-level surprise. *)
+
+type error = Conn of string | Remote of string
+
+let error_message = function Conn m | Remote m -> m
+
+let is_conn = function Conn _ -> true | Remote _ -> false
 
 type t = { fd : Unix.file_descr; ic : in_channel; mutable open_ : bool }
 
@@ -34,87 +45,92 @@ let send t req = send_line t (Proto.to_line (Proto.request_to_json req))
 
 let recv t =
   match input_line t.ic with
-  | line -> Proto.response_of_line line
-  | exception End_of_file -> Error "daemon disconnected"
-  | exception Sys_error msg -> Error msg
+  | line ->
+    (match Proto.response_of_line line with
+    | Ok r -> Ok r
+    | Error m -> Error (Remote m))
+  | exception End_of_file ->
+    Error (Conn "daemon disconnected mid-conversation (EOF)")
+  | exception Sys_error msg -> Error (Conn msg)
 
 let request t req =
   match send t req with
   | () -> recv t
   | exception Unix.Unix_error (e, _, _) ->
-    Error (Printf.sprintf "send failed: %s" (Unix.error_message e))
+    Error (Conn (Printf.sprintf "send to daemon failed: %s" (Unix.error_message e)))
 
 let ping t =
   match request t Proto.Ping with
   | Ok Proto.Pong -> Ok ()
-  | Ok (Proto.Error_reply m) | Error m -> Error m
-  | Ok _ -> Error "unexpected response to ping"
+  | Ok (Proto.Error_reply m) -> Error (Remote m)
+  | Ok _ -> Error (Remote "unexpected response to ping")
+  | Error e -> Error e
 
 let submit t spec =
   match request t (Proto.Submit spec) with
   | Ok (Proto.Accepted { id; depth }) -> Ok (`Accepted (id, depth))
   | Ok (Proto.Rejected { reason; depth; limit }) -> Ok (`Rejected (reason, depth, limit))
-  | Ok (Proto.Error_reply m) -> Error m
-  | Ok _ -> Error "unexpected response to submit"
-  | Error m -> Error m
+  | Ok (Proto.Error_reply m) -> Error (Remote m)
+  | Ok _ -> Error (Remote "unexpected response to submit")
+  | Error e -> Error e
 
 let status t id =
   match request t (Proto.Status id) with
   | Ok (Proto.Job v) -> Ok v
-  | Ok (Proto.Error_reply m) -> Error m
-  | Ok _ -> Error "unexpected response to status"
-  | Error m -> Error m
+  | Ok (Proto.Error_reply m) -> Error (Remote m)
+  | Ok _ -> Error (Remote "unexpected response to status")
+  | Error e -> Error e
 
 let list t =
   match request t Proto.List with
   | Ok (Proto.Jobs vs) -> Ok vs
-  | Ok (Proto.Error_reply m) -> Error m
-  | Ok _ -> Error "unexpected response to list"
-  | Error m -> Error m
+  | Ok (Proto.Error_reply m) -> Error (Remote m)
+  | Ok _ -> Error (Remote "unexpected response to list")
+  | Error e -> Error e
 
 let stats t =
   match request t Proto.Stats with
   | Ok (Proto.Stats_reply s) -> Ok s
-  | Ok (Proto.Error_reply m) -> Error m
-  | Ok _ -> Error "unexpected response to stats"
-  | Error m -> Error m
+  | Ok (Proto.Error_reply m) -> Error (Remote m)
+  | Ok _ -> Error (Remote "unexpected response to stats")
+  | Error e -> Error e
 
 let result t id =
   match request t (Proto.Result id) with
   | Ok (Proto.Result_reply { qor; _ }) -> Ok qor
-  | Ok (Proto.Error_reply m) -> Error m
-  | Ok _ -> Error "unexpected response to result"
-  | Error m -> Error m
+  | Ok (Proto.Error_reply m) -> Error (Remote m)
+  | Ok _ -> Error (Remote "unexpected response to result")
+  | Error e -> Error e
 
 let report t id =
   match request t (Proto.Report id) with
   | Ok (Proto.Report_reply { html; _ }) -> Ok html
-  | Ok (Proto.Error_reply m) -> Error m
-  | Ok _ -> Error "unexpected response to report"
-  | Error m -> Error m
+  | Ok (Proto.Error_reply m) -> Error (Remote m)
+  | Ok _ -> Error (Remote "unexpected response to report")
+  | Error e -> Error e
 
 let drain t =
   match request t Proto.Drain with
   | Ok Proto.Draining_reply -> Ok ()
-  | Ok (Proto.Error_reply m) -> Error m
-  | Ok _ -> Error "unexpected response to drain"
-  | Error m -> Error m
+  | Ok (Proto.Error_reply m) -> Error (Remote m)
+  | Ok _ -> Error (Remote "unexpected response to drain")
+  | Error e -> Error e
 
 let watch t id ~on_event =
   match send t (Proto.Watch id) with
   | exception Unix.Unix_error (e, _, _) ->
-    Error (Printf.sprintf "send failed: %s" (Unix.error_message e))
+    Error (Conn (Printf.sprintf "send to daemon failed: %s" (Unix.error_message e)))
   | () ->
     let rec go () =
       match recv t with
-      | Error m -> Error m
+      | Error e -> Error e
       | Ok (Proto.Job v) when Proto.state_terminal v.Proto.state -> Ok v
       | Ok (Proto.Job _) -> go ()
       | Ok (Proto.Progress { event; _ }) ->
         on_event event;
         go ()
-      | Ok (Proto.Error_reply m) -> Error m
-      | Ok _ -> Error "unexpected response while watching"
+      | Ok (Proto.Error_reply m) -> Error (Remote m)
+      | Ok _ -> Error (Remote "unexpected response while watching")
     in
     go ()
 
@@ -125,10 +141,10 @@ let wait ?(poll_s = 0.05) ?(timeout_s = 120.0) t id =
   let deadline = Unix.gettimeofday () +. timeout_s in
   let rec go () =
     match status t id with
-    | Error m -> Error m
+    | Error e -> Error e
     | Ok v when Proto.state_terminal v.Proto.state -> Ok v
     | Ok _ ->
-      if Unix.gettimeofday () > deadline then Error "wait timed out"
+      if Unix.gettimeofday () > deadline then Error (Remote "wait timed out")
       else begin
         Unix.sleepf poll_s;
         go ()

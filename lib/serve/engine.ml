@@ -1,35 +1,53 @@
 (* The hidap serve daemon engine.
 
-   Two domains: the caller's (the select loop — accept, framing,
-   request handling, progress relay) and one worker executing jobs
-   strictly one at a time. Serial execution is load-bearing, not lazy:
-   per-job deadlines and drain cancellation ride on Guard.Budget's
-   whole-run cells, which are global — one flow at a time is the
-   contract that keeps them unambiguous. Parallelism lives inside a
-   job (its [jobs] config drives Parexec), where it is deterministic.
+   One process, one domain, many worker processes. The daemon itself
+   is a single-domain select loop — accept, framing, request handling,
+   progress relay, spawn/reap/watchdog — and every job attempt runs in
+   a forked child (Worker.exec) supervised through Pool. That split is
+   load-bearing twice over:
+
+   - containment: a job can segfault, OOM, spin forever or be SIGKILLed
+     and the daemon only ever observes an exit status and a closed
+     pipe; Worker.classify turns every possible death into a verdict
+     (done / invalid / timed-out / parked / rlimit-failed / retry);
+   - concurrency: Guard.Budget's deadline/cancel cells are process
+     globals, which is what forced PR 9 to run jobs serially; a fresh
+     process per attempt makes them per-job, so --workers N runs N
+     jobs genuinely in parallel.
+
+   The parent must stay fork-safe: OCaml 5 refuses Unix.fork in any
+   process that has EVER created a domain, so nothing here may call
+   Domain.spawn (children may — Parexec and the stream heartbeat live
+   on the other side of the fork).
 
    Robustness model:
    - admission control: a bounded Jobq; the N+1th submit gets a
      structured backpressure rejection, memory stays bounded;
-   - per-job deadlines: Guard.Budget.set_deadline per attempt; the SA
-     polls raise Deadline, the job lands in timed-out, nothing else is
-     harmed;
-   - retry: a transient failure (injected serve.worker fault or a real
-     exception) re-enqueues the job with deterministic capped
-     exponential backoff, up to max_retries extra attempts;
-   - drain: stop admitting, let the in-flight job finish within the
-     grace window, then request cooperative cancellation so it
-     checkpoints and parks; undone jobs stay pending on disk;
-   - crash recovery: jobs found pending/running/parked in the state
-     dir are re-enqueued; their Ckpt stores make the resumed
-     placements bit-identical to uninterrupted runs.
+   - per-job rlimits: --job-mem-mb / --job-cpu-s cap each child's
+     address space and CPU; exhaustion is deterministic, so those jobs
+     fail with an rlimit classification instead of retrying;
+   - per-job deadlines: enforced inside the child (Guard.Budget) with
+     a parent-side watchdog backstop that SIGKILLs a child running
+     past deadline + grace — a wedged worker cannot hold a slot;
+   - hung-job watchdog: the stream heartbeat (0.5 s) makes pipe bytes
+     a liveness signal; a child silent past --job-stall-s is killed
+     and its job retried with a serve-worker-lost note;
+   - retry: transient failures and lost workers re-enqueue with
+     deterministic capped exponential backoff up to max_retries;
+   - drain: stop admitting; grace for in-flight jobs to finish; then
+     SIGTERM (cooperative checkpoint-and-park); then SIGKILL, with the
+     job re-pended — undone work always survives on disk;
+   - crash recovery: pending/running/parked jobs found in the state
+     dir are re-enqueued; Ckpt stores make resumed placements
+     bit-identical. A leftover socket is probed: unlinked when dead,
+     refused with a structured serve-socket-busy diag when live.
 
-   Engine-level fault sites (serve.accept / serve.write /
-   serve.worker) use *transient* semantics: a spec [site:N] fails the
-   first N hits and then heals. Flow sites keep their usual
-   fire-from-hit-N-on meaning; the inversion is what server fault
-   testing needs (retry must eventually succeed) and is documented in
-   DESIGN.md §15. *)
+   Engine-level fault sites use *transient* semantics: a spec [site:N]
+   fails the first N hits and then heals (flow sites keep their usual
+   fire-from-hit-N-on meaning). serve.accept / serve.write fire in the
+   parent; serve.worker / serve.worker_kill / serve.worker_hang are
+   counted in the parent (per spawn) and executed in the child, which
+   is what lets a single spec span retries. DESIGN.md §15. *)
 
 module J = Obs.Jsonx
 
@@ -37,68 +55,94 @@ type config = {
   socket_path : string;
   state_dir : string;
   queue_limit : int;
+  workers : int;
   drain_grace_s : float;
   retry_base_s : float;
   retry_cap_s : float;
   max_line_bytes : int;
   default_job_jobs : int;
+  job_mem_mb : int option;
+  job_cpu_s : int option;
+  stall_s : float;
+  deadline_grace_s : float;
   faults : Guard.Fault.spec list;
 }
 
 let default_config ~socket_path ~state_dir =
-  { socket_path; state_dir; queue_limit = 8; drain_grace_s = 5.0;
+  { socket_path; state_dir; queue_limit = 8; workers = 1; drain_grace_s = 5.0;
     retry_base_s = 0.05; retry_cap_s = 2.0; max_line_bytes = 1 lsl 20;
-    default_job_jobs = 1; faults = [] }
+    default_job_jobs = 1; job_mem_mb = None; job_cpu_s = None; stall_s = 30.0;
+    deadline_grace_s = 2.0; faults = [] }
 
+(* Single-domain now: plain ints, mutated only from the select loop. *)
 type counters = {
-  accepted : int Atomic.t;
-  rejected_backpressure : int Atomic.t;
-  rejected_draining : int Atomic.t;
-  completed : int Atomic.t;
-  failed : int Atomic.t;
-  timed_out : int Atomic.t;
-  parked : int Atomic.t;
-  retried : int Atomic.t;
+  mutable accepted : int;
+  mutable rejected_backpressure : int;
+  mutable rejected_draining : int;
+  mutable completed : int;
+  mutable failed : int;
+  mutable timed_out : int;
+  mutable parked : int;
+  mutable retried : int;
+  mutable worker_lost : int;
 }
 
 type t = {
   cfg : config;
-  lock : Mutex.t;  (* jobs table and every Job.t field mutation *)
   jobs : (string, Job.t) Hashtbl.t;
   mutable next_seq : int;
   q : Job.t Jobq.t;
   c : counters;
-  drain_req : bool Atomic.t;
-  draining : bool Atomic.t;
-  worker_done : bool Atomic.t;
-  running_id : string option Atomic.t;
+  drain_req : bool Atomic.t;  (* set from the SIGTERM/SIGINT handler *)
+  mutable draining : bool;
   (* serve.* specs with persistent cross-job hit counters (transient
      semantics: fire while hits <= nth, then heal). *)
-  serve_faults : (Guard.Fault.spec * int Atomic.t) array;
-  job_faults : Guard.Fault.spec list;  (* flow sites, armed per job *)
+  serve_faults : (Guard.Fault.spec * int ref) array;
+  job_faults : Guard.Fault.spec list;  (* flow sites, armed in the child *)
+  pool : Pool.t;
   listen_fd : Unix.file_descr;
-  progress_r : Unix.file_descr;
-  progress_w : Unix.file_descr;
-  mutable worker : unit Domain.t option;
 }
-
-exception Invalid_job of string
-
-let with_lock t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let fault t site =
   Array.iter
     (fun ((spec : Guard.Fault.spec), count) ->
       if spec.Guard.Fault.site = site then begin
-        let n = Atomic.fetch_and_add count 1 + 1 in
-        if n <= spec.Guard.Fault.nth then
+        incr count;
+        if !count <= spec.Guard.Fault.nth then
           match spec.Guard.Fault.action with
-          | Guard.Fault.Raise -> raise (Guard.Fault.Injected { site; hit = n })
+          | Guard.Fault.Raise -> raise (Guard.Fault.Injected { site; hit = !count })
           | Guard.Fault.Stall s -> Unix.sleepf s
       end)
     t.serve_faults
+
+(* Consume one hit of [site]'s spec (if armed and still firing) and
+   return its action. Worker-site hits are counted here, per spawn,
+   but executed in the child — the parent-side counter is what lets
+   one [serve.worker:1] spec fail the first attempt and heal for the
+   retry even though each attempt is a fresh process. *)
+let fire_spec t site =
+  let result = ref None in
+  Array.iter
+    (fun ((spec : Guard.Fault.spec), count) ->
+      if spec.Guard.Fault.site = site && !result = None then begin
+        incr count;
+        if !count <= spec.Guard.Fault.nth then result := Some spec.Guard.Fault.action
+      end)
+    t.serve_faults;
+  !result
+
+let decide_inject t =
+  match fire_spec t "serve.worker_hang" with
+  | Some _ -> Worker.Inj_hang
+  | None ->
+    (match fire_spec t "serve.worker_kill" with
+    | Some (Guard.Fault.Stall d) -> Worker.Inj_kill d
+    | Some Guard.Fault.Raise -> Worker.Inj_kill 0.25
+    | None ->
+      (match fire_spec t "serve.worker" with
+      | Some Guard.Fault.Raise -> Worker.Inj_fail
+      | Some (Guard.Fault.Stall s) -> Worker.Inj_stall s
+      | None -> Worker.Inj_none))
 
 let is_serve_site (spec : Guard.Fault.spec) =
   String.length spec.Guard.Fault.site >= 6
@@ -108,30 +152,75 @@ let log t fmt =
   ignore t;
   Format.eprintf ("hidap serve: " ^^ fmt ^^ "@.")
 
+(* ---- stale-socket recovery ----------------------------------------- *)
+
+(* A daemon that was kill -9ed leaves its socket file behind; binding
+   would fail with EADDRINUSE. Probe it: a live daemon answers the
+   connect and must not be robbed of its socket; a dead one refuses,
+   and the leftover is safe to unlink. Anything unprobeable (not a
+   socket, permissions) is refused too — never delete what we cannot
+   prove is ours and dead. *)
+let probe_socket path =
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) -> `Error (Unix.error_message e)
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        match Unix.connect fd (Unix.ADDR_UNIX path) with
+        | () -> `Live
+        | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> `Dead
+        | exception Unix.Unix_error (Unix.ENOENT, _, _) -> `Gone
+        | exception Unix.Unix_error (e, _, _) -> `Error (Unix.error_message e))
+
 let create cfg =
   (* EPIPE must surface as an exception on the write path, never kill
      the daemon. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   Job.mkdir_p (Filename.concat cfg.state_dir "jobs");
   let serve_specs, job_faults = List.partition is_serve_site cfg.faults in
+  if Sys.file_exists cfg.socket_path then begin
+    match probe_socket cfg.socket_path with
+    | `Live ->
+      raise
+        (Guard.Diag.Fail
+           (Guard.Diag.error ~code:"serve-socket-busy" ~stage:"serve"
+              (Printf.sprintf
+                 "%s: a live daemon already answers on this socket; refusing \
+                  to steal it"
+                 cfg.socket_path)))
+    | `Error msg ->
+      raise
+        (Guard.Diag.Fail
+           (Guard.Diag.error ~code:"serve-socket-busy" ~stage:"serve"
+              (Printf.sprintf
+                 "%s: cannot probe the existing socket path (%s); remove it \
+                  manually if no daemon owns it"
+                 cfg.socket_path msg)))
+    | `Dead ->
+      Format.eprintf
+        "hidap serve: removing stale socket %s (no daemon answered)@."
+        cfg.socket_path;
+      (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ())
+    | `Gone -> ()
+  end;
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
   Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
   Unix.listen listen_fd 16;
-  let progress_r, progress_w = Unix.pipe () in
   let t =
-    { cfg; lock = Mutex.create (); jobs = Hashtbl.create 16; next_seq = 1;
+    { cfg; jobs = Hashtbl.create 16; next_seq = 1;
       q = Jobq.create ~limit:cfg.queue_limit;
       c =
-        { accepted = Atomic.make 0; rejected_backpressure = Atomic.make 0;
-          rejected_draining = Atomic.make 0; completed = Atomic.make 0;
-          failed = Atomic.make 0; timed_out = Atomic.make 0;
-          parked = Atomic.make 0; retried = Atomic.make 0 };
-      drain_req = Atomic.make false; draining = Atomic.make false;
-      worker_done = Atomic.make false; running_id = Atomic.make None;
-      serve_faults =
-        Array.of_list (List.map (fun s -> (s, Atomic.make 0)) serve_specs);
-      job_faults; listen_fd; progress_r; progress_w; worker = None }
+        { accepted = 0; rejected_backpressure = 0; rejected_draining = 0;
+          completed = 0; failed = 0; timed_out = 0; parked = 0; retried = 0;
+          worker_lost = 0 };
+      drain_req = Atomic.make false; draining = false;
+      serve_faults = Array.of_list (List.map (fun s -> (s, ref 0)) serve_specs);
+      job_faults;
+      pool =
+        Pool.create ~size:cfg.workers ~stall_s:cfg.stall_s
+          ~deadline_grace_s:cfg.deadline_grace_s;
+      listen_fd }
   in
   (* Crash recovery: every job that was pending, running or parked
      when the previous daemon died is re-enqueued as pending. Its
@@ -161,219 +250,22 @@ let request_drain t = Atomic.set t.drain_req true
 
 let stats t =
   { Proto.queue_depth = Jobq.depth t.q; queue_limit = Jobq.limit t.q;
-    accepted = Atomic.get t.c.accepted;
-    rejected_backpressure = Atomic.get t.c.rejected_backpressure;
-    rejected_draining = Atomic.get t.c.rejected_draining;
-    completed = Atomic.get t.c.completed;
-    failed = Atomic.get t.c.failed;
-    timed_out = Atomic.get t.c.timed_out;
-    parked = Atomic.get t.c.parked;
-    retried = Atomic.get t.c.retried;
-    draining = Atomic.get t.draining }
-
-(* ---- worker: job execution ---------------------------------------- *)
+    accepted = t.c.accepted;
+    rejected_backpressure = t.c.rejected_backpressure;
+    rejected_draining = t.c.rejected_draining;
+    completed = t.c.completed;
+    failed = t.c.failed;
+    timed_out = t.c.timed_out;
+    parked = t.c.parked;
+    retried = t.c.retried;
+    worker_lost = t.c.worker_lost;
+    draining = t.draining;
+    workers = Pool.views t.pool ~now:(Unix.gettimeofday ()) }
 
 let backoff_s cfg attempts =
   Float.min cfg.retry_cap_s (cfg.retry_base_s *. (2.0 ** float_of_int (attempts - 1)))
 
-let design_of_spec (spec : Proto.submit) =
-  match (spec.Proto.circuit, spec.Proto.hnl) with
-  | Some name, None ->
-    (match Circuitgen.Suite.find name with
-    | Some c -> (name, Circuitgen.Gen.generate c.Circuitgen.Suite.params)
-    | None -> raise (Invalid_job (Printf.sprintf "unknown suite circuit %s" name)))
-  | None, Some text ->
-    let name = if spec.Proto.label <> "" then spec.Proto.label else "inline" in
-    (match Hnl.Parser.parse_string text with
-    | Ok d -> (name, d)
-    | Error { Hnl.Parser.line; col; message } ->
-      raise (Invalid_job (Printf.sprintf "hnl:%d:%d: %s" line col message)))
-  | Some _, Some _ | None, None ->
-    raise (Invalid_job "give exactly one of circuit or hnl")
-
-let run_attempt t (job : Job.t) =
-  fault t "serve.worker";
-  let spec = job.Job.spec in
-  let name, design = design_of_spec spec in
-  let design =
-    match Guard.Validate.design ~strict:false design with
-    | Ok r -> r.Guard.Validate.design
-    | Error diags ->
-      raise
-        (Invalid_job
-           (String.concat "; "
-              (List.map (fun d -> Format.asprintf "%a" Guard.Diag.pp d) diags)))
-  in
-  let flat =
-    try Netlist.Flat.elaborate design
-    with Invalid_argument msg -> raise (Invalid_job msg)
-  in
-  let config =
-    { Hidap.Config.default with
-      Hidap.Config.seed = spec.Proto.seed;
-      jobs =
-        (if spec.Proto.jobs <= 0 then t.cfg.default_job_jobs else spec.Proto.jobs);
-      faults = t.job_faults }
-  in
-  let config =
-    match spec.Proto.lambda with
-    | Some l -> Hidap.Config.with_lambda config l
-    | None -> config
-  in
-  let die = Hidap.die_for flat ~config in
-  let ckdir = Job.ckpt_dir ~state_dir:t.cfg.state_dir job.Job.id in
-  Job.mkdir_p ckdir;
-  let fp =
-    { Ckpt.State.circuit = name; seed = config.Hidap.Config.seed;
-      lambda = config.Hidap.Config.lambda;
-      sa_starts = config.Hidap.Config.sa_starts;
-      cells = Netlist.Flat.cell_count flat;
-      macro_count = Netlist.Flat.macro_count flat }
-  in
-  let session =
-    match Ckpt.Session.start ~dir:ckdir ~resume:true fp with
-    | Ok s -> s
-    | Error d -> raise (Invalid_job (Format.asprintf "%a" Guard.Diag.pp d))
-  in
-  (* The deadline is per attempt: each retry gets the full window. *)
-  Option.iter Guard.Budget.set_deadline spec.Proto.deadline_s;
-  Fun.protect ~finally:Guard.Budget.clear_deadline @@ fun () ->
-  match
-    Guard.Supervisor.with_run ~faults:t.job_faults (fun () ->
-        let r = Hidap.place ~config ~die ~ckpt:session flat in
-        let macros =
-          List.map
-            (fun (p : Hidap.macro_placement) ->
-              { Cellplace.fid = p.Hidap.fid; rect = p.Hidap.rect;
-                orient = p.Hidap.orient })
-            r.Hidap.placements
-        in
-        let m, _ =
-          Evalflow.measure ~flat ~gseq:r.Hidap.gseq ~ports:r.Hidap.ports
-            ~die:r.Hidap.die ~macros
-        in
-        (r, m))
-  with
-  | (r, measured), degradations ->
-    let sm = Ckpt.Session.summary session in
-    let ckpt =
-      { Qor.Record.resumed_from = sm.Ckpt.Session.resumed_from;
-        snapshots_written = sm.Ckpt.Session.snapshots_written;
-        instances_reused = sm.Ckpt.Session.instances_reused }
-    in
-    let record =
-      Qor.Record.of_place ~circuit:name ~flat ~config ~degradations ~measured
-        ~ckpt r
-    in
-    Qor.Record.write_ledger
-      (Job.result_path ~state_dir:t.cfg.state_dir job.Job.id)
-      [ record ];
-    Qor.Html.write_file
-      (Job.report_path ~state_dir:t.cfg.state_dir job.Job.id)
-      (Qor.Html.render ~title:(Printf.sprintf "hidap serve — %s" job.Job.id)
-         [ record ]);
-    ()
-  | exception Guard.Budget.Cancelled c ->
-    (* Drain reached the in-flight job: park it on a final snapshot so
-       the next daemon resumes it bit-identically. *)
-    (try Ckpt.Session.save_now session ~stage:false with _ -> ());
-    raise (Guard.Budget.Cancelled c)
-
-let set_state t (job : Job.t) state detail =
-  with_lock t (fun () ->
-      job.Job.state <- state;
-      job.Job.detail <- detail;
-      Job.save ~state_dir:t.cfg.state_dir job)
-
-let emit_job_event (job : Job.t) event extra =
-  Obs.Stream.emit event
-    (( ("id", J.String job.Job.id)
-     :: ("state", J.String (Proto.state_to_string job.Job.state))
-     :: ("attempt", J.Int job.Job.attempts)
-     :: extra ))
-
-let execute t (job : Job.t) =
-  with_lock t (fun () ->
-      job.Job.state <- Proto.Running;
-      job.Job.attempts <- job.Job.attempts + 1;
-      Job.save ~state_dir:t.cfg.state_dir job);
-  Atomic.set t.running_id (Some job.Job.id);
-  emit_job_event job "job-start" [];
-  let outcome =
-    match run_attempt t job with
-    | () -> `Done
-    | exception Guard.Budget.Deadline { deadline_s } -> `Timed_out deadline_s
-    | exception Guard.Budget.Cancelled _ -> `Parked
-    | exception Invalid_job msg -> `Invalid msg
-    | exception e -> `Transient (Printexc.to_string e)
-  in
-  Atomic.set t.running_id None;
-  (match outcome with
-  | `Done ->
-    (* keep recovery provenance visible on the terminal view; anything
-       else (retry notes) is stale once the job completed *)
-    let note =
-      match job.Job.detail with
-      | ("recovered after crash" | "resumed after drain") as d -> d
-      | _ -> ""
-    in
-    set_state t job Proto.Done note;
-    Atomic.incr t.c.completed;
-    emit_job_event job "job-end" []
-  | `Timed_out d ->
-    set_state t job Proto.Timed_out
-      (Printf.sprintf "deadline %gs exceeded on attempt %d" d job.Job.attempts);
-    Atomic.incr t.c.timed_out;
-    emit_job_event job "job-end" []
-  | `Parked ->
-    set_state t job Proto.Parked "parked by drain; restart resumes it";
-    Atomic.incr t.c.parked;
-    emit_job_event job "job-end" []
-  | `Invalid msg ->
-    (* A job the flow can never run is failed outright: retrying an
-       unknown circuit or unparsable netlist cannot help. *)
-    set_state t job Proto.Failed ("invalid job: " ^ msg);
-    Atomic.incr t.c.failed;
-    emit_job_event job "job-end" []
-  | `Transient msg ->
-    if job.Job.attempts <= job.Job.spec.Proto.max_retries then begin
-      let delay = backoff_s t.cfg job.Job.attempts in
-      set_state t job Proto.Pending
-        (Printf.sprintf "attempt %d failed (%s); retrying in %gs"
-           job.Job.attempts msg delay);
-      Atomic.incr t.c.retried;
-      emit_job_event job "job-retry" [ ("delay_s", J.Float delay) ];
-      Jobq.force_push t.q ~priority:job.Job.spec.Proto.priority ~seq:job.Job.seq
-        ~ready_s:(Unix.gettimeofday () +. delay)
-        job
-    end
-    else begin
-      set_state t job Proto.Failed
-        (Printf.sprintf "failed after %d attempt%s: %s" job.Job.attempts
-           (if job.Job.attempts = 1 then "" else "s")
-           msg);
-      Atomic.incr t.c.failed;
-      emit_job_event job "job-end" []
-    end)
-
-let worker t =
-  (* All job progress goes to the relay pipe; the select loop tags it
-     with the running job (via job-start/job-end markers emitted here,
-     in-band, so tagging can never race the stream). *)
-  Obs.Stream.enable ~heartbeat_s:0.5 ~close_on_disable:false
-    (Unix.out_channel_of_descr t.progress_w);
-  let rec loop () =
-    match Jobq.pop t.q with
-    | None -> ()
-    | Some job ->
-      execute t job;
-      loop ()
-  in
-  loop ();
-  Obs.Stream.disable ();
-  Atomic.set t.worker_done true
-
-(* ---- select loop: connections, framing, requests ------------------ *)
+(* ---- connections: framing, requests ------------------------------- *)
 
 type conn = {
   fd : Unix.file_descr;
@@ -407,19 +299,33 @@ let send t c resp =
     | exception Unix.Unix_error _ -> drop c
   end
 
-let view_of t id =
-  with_lock t (fun () ->
-      Option.map Job.view (Hashtbl.find_opt t.jobs id))
+let view_of t id = Option.map Job.view (Hashtbl.find_opt t.jobs id)
 
 let job_views t =
-  with_lock t (fun () ->
-      Hashtbl.fold (fun _ j acc -> j :: acc) t.jobs []
-      |> List.sort (fun (a : Job.t) b -> compare a.Job.seq b.Job.seq)
-      |> List.map Job.view)
+  Hashtbl.fold (fun _ j acc -> j :: acc) t.jobs []
+  |> List.sort (fun (a : Job.t) b -> compare a.Job.seq b.Job.seq)
+  |> List.map Job.view
+
+let set_state t (job : Job.t) state detail =
+  job.Job.state <- state;
+  job.Job.detail <- detail;
+  Job.save ~state_dir:t.cfg.state_dir job
+
+let notify_watchers t conns id =
+  match view_of t id with
+  | None -> ()
+  | Some v ->
+    List.iter
+      (fun c ->
+        if c.alive && c.watching = Some id then begin
+          send t c (Proto.Job v);
+          if Proto.state_terminal v.Proto.state then c.watching <- None
+        end)
+      conns
 
 let handle_submit t spec =
-  if Atomic.get t.draining || Atomic.get t.drain_req then begin
-    Atomic.incr t.c.rejected_draining;
+  if t.draining || Atomic.get t.drain_req then begin
+    t.c.rejected_draining <- t.c.rejected_draining + 1;
     Proto.Rejected
       { reason = "draining"; depth = Jobq.depth t.q; limit = Jobq.limit t.q }
   end
@@ -428,20 +334,18 @@ let handle_submit t spec =
     | Some _, Some _ | None, None ->
       Proto.Error_reply "give exactly one of circuit or hnl"
     | _ ->
-      with_lock t (fun () ->
-          let seq = t.next_seq in
-          let job = Job.make ~seq spec in
-          match Jobq.push t.q ~priority:spec.Proto.priority ~seq job with
-          | Jobq.Full depth ->
-            Atomic.incr t.c.rejected_backpressure;
-            Proto.Rejected
-              { reason = "backpressure"; depth; limit = Jobq.limit t.q }
-          | Jobq.Enqueued depth ->
-            t.next_seq <- seq + 1;
-            Hashtbl.replace t.jobs job.Job.id job;
-            Job.save ~state_dir:t.cfg.state_dir job;
-            Atomic.incr t.c.accepted;
-            Proto.Accepted { id = job.Job.id; depth })
+      let seq = t.next_seq in
+      let job = Job.make ~seq spec in
+      (match Jobq.push t.q ~priority:spec.Proto.priority ~seq job with
+      | Jobq.Full depth ->
+        t.c.rejected_backpressure <- t.c.rejected_backpressure + 1;
+        Proto.Rejected { reason = "backpressure"; depth; limit = Jobq.limit t.q }
+      | Jobq.Enqueued depth ->
+        t.next_seq <- seq + 1;
+        Hashtbl.replace t.jobs job.Job.id job;
+        Job.save ~state_dir:t.cfg.state_dir job;
+        t.c.accepted <- t.c.accepted + 1;
+        Proto.Accepted { id = job.Job.id; depth })
 
 let read_file_opt path =
   match open_in_bin path with
@@ -533,48 +437,131 @@ let feed_conn t c chunk =
     drop c
   end
 
-(* ---- progress relay ----------------------------------------------- *)
+(* ---- job lifecycle (spawn / verdict) ------------------------------- *)
 
-type relay = { pbuf : Buffer.t; mutable current : string option }
+(* Every child NDJSON line reaches the watchers of its job — the
+   per-worker pipes make tagging trivial (PR 9 needed in-band
+   job-start/job-end markers on one shared pipe). *)
+let relay_event t conns (job : Job.t) event =
+  List.iter
+    (fun c ->
+      if c.alive && c.watching = Some job.Job.id then
+        send t c (Proto.Progress { id = job.Job.id; event }))
+    conns
 
-let notify_watchers t conns id =
-  match view_of t id with
-  | None -> ()
-  | Some v ->
-    List.iter
-      (fun c ->
-        if c.alive && c.watching = Some id then begin
-          send t c (Proto.Job v);
-          if Proto.state_terminal v.Proto.state then c.watching <- None
-        end)
-      conns
+let retry_or_fail t conns (job : Job.t) msg =
+  if job.Job.attempts <= job.Job.spec.Proto.max_retries then begin
+    let delay = backoff_s t.cfg job.Job.attempts in
+    set_state t job Proto.Pending
+      (Printf.sprintf "attempt %d failed (%s); retrying in %gs" job.Job.attempts
+         msg delay);
+    t.c.retried <- t.c.retried + 1;
+    Jobq.force_push t.q ~priority:job.Job.spec.Proto.priority ~seq:job.Job.seq
+      ~ready_s:(Unix.gettimeofday () +. delay)
+      job
+  end
+  else begin
+    set_state t job Proto.Failed
+      (Printf.sprintf "failed after %d attempt%s: %s" job.Job.attempts
+         (if job.Job.attempts = 1 then "" else "s")
+         msg);
+    t.c.failed <- t.c.failed + 1
+  end;
+  notify_watchers t conns job.Job.id
 
-let relay_line t relay conns line =
-  match J.parse line with
-  | Error _ -> ()
-  | Ok j ->
-    let event = Option.bind (J.member "event" j) J.to_string_opt in
-    let id = Option.bind (J.member "id" j) J.to_string_opt in
-    (match event with
-    | Some "job-start" ->
-      relay.current <- id;
-      Option.iter (notify_watchers t conns) id
-    | Some ("job-end" | "job-retry") ->
-      relay.current <- None;
-      Option.iter (notify_watchers t conns) id
-    | _ ->
-      (match relay.current with
-      | None -> ()
-      | Some id ->
-        List.iter
-          (fun c ->
-            if c.alive && c.watching = Some id then
-              send t c (Proto.Progress { id; event = j }))
-          conns))
+let start_job t conns (job : Job.t) =
+  job.Job.state <- Proto.Running;
+  job.Job.attempts <- job.Job.attempts + 1;
+  Job.save ~state_dir:t.cfg.state_dir job;
+  let inject = decide_inject t in
+  let extra_close =
+    t.listen_fd
+    :: List.filter_map (fun c -> if c.alive then Some c.fd else None) conns
+  in
+  match
+    Pool.spawn t.pool ~job ~extra_close ~child:(fun ~pipe_w ~close_fds ->
+        Worker.exec ~state_dir:t.cfg.state_dir
+          ~default_job_jobs:t.cfg.default_job_jobs ~flow_faults:t.job_faults
+          ~mem_mb:t.cfg.job_mem_mb ~cpu_s:t.cfg.job_cpu_s ~inject ~job ~pipe_w
+          ~close_fds)
+  with
+  | Pool.Spawned _ -> notify_watchers t conns job.Job.id
+  | Pool.No_slot ->
+    (* cannot happen — the fill loop checked idle_slots — but stay
+       total: count the attempt and let the retry budget decide *)
+    retry_or_fail t conns job "no worker slot free"
+  | Pool.Fork_failed msg ->
+    (* transient resource exhaustion (EAGAIN/EMFILE): the attempt
+       never started, retry within the budget *)
+    log t "spawn for %s failed: %s" job.Job.id msg;
+    retry_or_fail t conns job (Printf.sprintf "fork failed (%s)" msg)
 
-let feed_relay t relay conns chunk =
-  Buffer.add_string relay.pbuf chunk;
-  List.iter (relay_line t relay conns) (take_lines relay.pbuf)
+(* Fill free worker slots from the queue. Backing-off entries are
+   simply not ready yet; the next tick polls again. *)
+let rec fill t conns =
+  if (not t.draining) && Pool.idle_slots t.pool > 0 then
+    match Jobq.try_pop t.q with
+    | None -> ()
+    | Some job ->
+      start_job t conns job;
+      fill t conns
+
+let finish_worker t conns (r : Pool.running) =
+  let job = r.job in
+  if r.drain_killed then begin
+    (* The hard drain phase killed it: not a failure of the job, just
+       of this daemon's patience. Re-pend; the checkpoint store makes
+       the next daemon's resume bit-identical. *)
+    set_state t job Proto.Parked
+      "drain killed the worker; restart resumes from its last checkpoint";
+    t.c.parked <- t.c.parked + 1;
+    t.c.worker_lost <- t.c.worker_lost + 1;
+    notify_watchers t conns job.Job.id
+  end
+  else begin
+    let status = Option.value ~default:(Unix.WEXITED 127) r.status in
+    match
+      Worker.classify status ~frame:r.frame ~killed:r.killed
+        ~mem_limited:(t.cfg.job_mem_mb <> None) ~attempt:job.Job.attempts
+    with
+    | Worker.Done ->
+      (* keep recovery provenance visible on the terminal view; anything
+         else (retry notes) is stale once the job completed *)
+      let note =
+        match job.Job.detail with
+        | ("recovered after crash" | "resumed after drain") as d -> d
+        | _ -> ""
+      in
+      set_state t job Proto.Done note;
+      t.c.completed <- t.c.completed + 1;
+      notify_watchers t conns job.Job.id
+    | Worker.Invalid msg ->
+      (* A job the flow can never run is failed outright: retrying an
+         unknown circuit or unparsable netlist cannot help. *)
+      set_state t job Proto.Failed ("invalid job: " ^ msg);
+      t.c.failed <- t.c.failed + 1;
+      notify_watchers t conns job.Job.id
+    | Worker.Timed_out msg ->
+      set_state t job Proto.Timed_out msg;
+      t.c.timed_out <- t.c.timed_out + 1;
+      if r.killed <> None then t.c.worker_lost <- t.c.worker_lost + 1;
+      notify_watchers t conns job.Job.id
+    | Worker.Parked msg ->
+      set_state t job Proto.Parked msg;
+      t.c.parked <- t.c.parked + 1;
+      notify_watchers t conns job.Job.id
+    | Worker.Rlimit msg ->
+      (* Resource exhaustion under an explicit limit is deterministic:
+         the same job would exhaust it again, so no retry. *)
+      set_state t job Proto.Failed msg;
+      t.c.failed <- t.c.failed + 1;
+      notify_watchers t conns job.Job.id
+    | Worker.Transient msg -> retry_or_fail t conns job msg
+    | Worker.Lost msg ->
+      t.c.worker_lost <- t.c.worker_lost + 1;
+      log t "worker pid %d lost (%s)" r.pid msg;
+      retry_or_fail t conns job msg
+  end
 
 (* ---- main loop ----------------------------------------------------- *)
 
@@ -593,78 +580,76 @@ let accept_client t conns =
       log t "injected accept fault; dropping client";
       (try Unix.close fd with Unix.Unix_error _ -> ()))
 
+(* Drain escalation: Graceful (let in-flight jobs finish) → Term
+   (SIGTERM: checkpoint and park) → Kill (SIGKILL: re-pend). Each
+   phase gets the configured grace window. *)
+type drain_phase = Serving | Graceful of float | Terming of float | Killing
+
 let run t =
-  t.worker <- Some (Domain.spawn (fun () -> worker t));
   let conns = ref [] in
-  let relay = { pbuf = Buffer.create 256; current = None } in
-  let drain_deadline = ref None in
+  let phase = ref Serving in
+  let buf = Bytes.create 65536 in
   let cleanup () =
-    Option.iter Domain.join t.worker;
-    t.worker <- None;
-    (* Drain whatever progress is still in the pipe so final job-end
-       notifications reach their watchers before the sockets close. *)
-    Unix.set_nonblock t.progress_r;
-    let buf = Bytes.create 65536 in
-    (try
-       let rec go () =
-         let n = Unix.read t.progress_r buf 0 (Bytes.length buf) in
-         if n > 0 then begin
-           feed_relay t relay !conns (Bytes.sub_string buf 0 n);
-           go ()
-         end
-       in
-       go ()
-     with Unix.Unix_error _ -> ());
     List.iter drop !conns;
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-    (try Unix.close t.progress_r with Unix.Unix_error _ -> ());
-    (try Unix.close t.progress_w with Unix.Unix_error _ -> ());
-    (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ());
-    Guard.Budget.clear_cancel ();
-    Guard.Budget.clear_deadline ()
+    (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ())
   in
-  let buf = Bytes.create 65536 in
+  let on_event job event = relay_event t !conns job event in
   let rec loop () =
-    if Atomic.get t.drain_req && not (Atomic.get t.draining) then begin
-      Atomic.set t.draining true;
-      log t "draining: no longer accepting jobs";
-      Jobq.close t.q;
-      drain_deadline := Some (Unix.gettimeofday () +. t.cfg.drain_grace_s)
-    end;
-    (match !drain_deadline with
-    | Some dl
-      when Unix.gettimeofday () > dl
-           && Atomic.get t.running_id <> None
-           && not (Guard.Budget.cancel_requested ()) ->
-      log t "drain grace expired: parking the in-flight job";
-      Guard.Budget.request_cancel ()
-    | _ -> ());
-    if Atomic.get t.worker_done then cleanup ()
+    let now = Unix.gettimeofday () in
+    (match !phase with
+    | Serving ->
+      if Atomic.get t.drain_req then begin
+        t.draining <- true;
+        log t "draining: no longer accepting jobs";
+        Jobq.close t.q;
+        phase := Graceful (now +. t.cfg.drain_grace_s)
+      end
+    | Graceful dl when now > dl ->
+      if Pool.busy t.pool then begin
+        log t "drain grace expired: asking workers to checkpoint and park";
+        Pool.term_all t.pool
+      end;
+      phase := Terming (now +. t.cfg.drain_grace_s)
+    | Terming dl when now > dl ->
+      if Pool.busy t.pool then begin
+        log t "drain: killing workers that did not park; their jobs re-pend";
+        Pool.kill_all t.pool
+      end;
+      phase := Killing
+    | Graceful _ | Terming _ | Killing -> ());
+    List.iter
+      (fun ((job : Job.t), reason) ->
+        match reason with
+        | Worker.Kill_deadline d ->
+          log t "watchdog: killing %s's worker, %gs past its %gs deadline"
+            job.Job.id t.cfg.deadline_grace_s d
+        | Worker.Kill_hang s ->
+          log t "watchdog: killing %s's worker, silent for %gs" job.Job.id s)
+      (Pool.watchdog t.pool ~now);
+    List.iter (finish_worker t !conns) (Pool.reap t.pool ~on_event);
+    fill t !conns;
+    if t.draining && (not (Pool.busy t.pool)) then cleanup ()
     else begin
+      let pipe_fds = Pool.pipe_fds t.pool in
       let fds =
-        t.listen_fd :: t.progress_r
-        :: List.filter_map (fun c -> if c.alive then Some c.fd else None) !conns
+        (t.listen_fd :: pipe_fds)
+        @ List.filter_map (fun c -> if c.alive then Some c.fd else None) !conns
       in
-      (match Unix.select fds [] [] 0.1 with
+      (match Unix.select fds [] [] 0.05 with
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
       | ready, _, _ ->
         List.iter
           (fun fd ->
             if fd = t.listen_fd then accept_client t conns
-            else if fd = t.progress_r then begin
-              match Unix.read t.progress_r buf 0 (Bytes.length buf) with
-              | 0 -> ()
-              | n -> feed_relay t relay !conns (Bytes.sub_string buf 0 n)
-              | exception Unix.Unix_error _ -> ()
-            end
             else
               match List.find_opt (fun c -> c.fd = fd && c.alive) !conns with
-              | None -> ()
               | Some c ->
                 (match Unix.read c.fd buf 0 (Bytes.length buf) with
                 | 0 -> drop c
                 | n -> feed_conn t c (Bytes.sub_string buf 0 n)
-                | exception Unix.Unix_error _ -> drop c))
+                | exception Unix.Unix_error _ -> drop c)
+              | None -> Pool.handle_readable t.pool fd ~on_event)
           ready);
       conns := List.filter (fun c -> c.alive) !conns;
       loop ()

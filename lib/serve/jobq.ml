@@ -73,6 +73,20 @@ let best_ready ~now entries =
         | _ -> Some e)
     None entries
 
+(* Non-blocking pop for the daemon's single-domain select loop, which
+   must never sleep in the queue: it owns accept, relay and reaping
+   too. Backing-off entries simply stay put until a later tick. *)
+let try_pop t =
+  locked t (fun () ->
+      if t.closed then None
+      else
+        let now = Unix.gettimeofday () in
+        match best_ready ~now t.entries with
+        | Some e ->
+          t.entries <- List.filter (fun x -> x != e) t.entries;
+          Some e.v
+        | None -> None)
+
 let rec pop t =
   Mutex.lock t.lock;
   if t.closed then begin

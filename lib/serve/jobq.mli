@@ -27,6 +27,12 @@ val force_push : 'a t -> priority:int -> seq:int -> ?ready_s:float -> 'a -> unit
     dropped on a closed queue (the entry is persisted on disk and the
     next daemon will recover it). *)
 
+val try_pop : 'a t -> 'a option
+(** Non-blocking {!pop}: the best eligible entry right now, or [None]
+    when the queue is closed, empty, or holds only entries still
+    backing off. The daemon's select loop polls this once per free
+    worker slot per tick. *)
+
 val pop : 'a t -> 'a option
 (** Block until an eligible entry exists and return the best one, or
     [None] once the queue is closed. A closed queue returns [None]

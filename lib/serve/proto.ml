@@ -165,6 +165,17 @@ type job_view = {
   detail : string;
 }
 
+(* One worker slot of the daemon's process pool: idle ([pid]/[job]
+   absent) or running a job. Exposing the pid is deliberate — it lets
+   operators (and the stress tests) kill a wedged worker externally
+   and watch the daemon absorb it. *)
+type worker_view = {
+  slot : int;
+  pid : int option;
+  job : string option;
+  elapsed_s : float;  (** 0 when idle *)
+}
+
 type stats = {
   queue_depth : int;
   queue_limit : int;
@@ -176,7 +187,9 @@ type stats = {
   timed_out : int;
   parked : int;
   retried : int;
+  worker_lost : int;
   draining : bool;
+  workers : worker_view list;
 }
 
 type response =
@@ -210,6 +223,19 @@ let job_view_of_json j =
         detail = Option.value ~default:"" (opt_str j "detail") }
   | _ -> Error "bad job view"
 
+let worker_view_to_json w =
+  J.Obj
+    [ ("slot", J.Int w.slot);
+      ("pid", (match w.pid with Some p -> J.Int p | None -> J.Null));
+      ("job", (match w.job with Some id -> J.String id | None -> J.Null));
+      ("elapsed_s", J.Float w.elapsed_s) ]
+
+let worker_view_of_json j =
+  { slot = int_or j "slot" 0;
+    pid = opt_int j "pid";
+    job = opt_str j "job";
+    elapsed_s = Option.value ~default:0.0 (opt_float j "elapsed_s") }
+
 let stats_to_json s =
   J.Obj
     [ ("queue_depth", J.Int s.queue_depth); ("queue_limit", J.Int s.queue_limit);
@@ -218,7 +244,9 @@ let stats_to_json s =
       ("rejected_draining", J.Int s.rejected_draining);
       ("completed", J.Int s.completed); ("failed", J.Int s.failed);
       ("timed_out", J.Int s.timed_out); ("parked", J.Int s.parked);
-      ("retried", J.Int s.retried); ("draining", J.Bool s.draining) ]
+      ("retried", J.Int s.retried); ("worker_lost", J.Int s.worker_lost);
+      ("draining", J.Bool s.draining);
+      ("workers", J.List (List.map worker_view_to_json s.workers)) ]
 
 let stats_of_json j =
   { queue_depth = int_or j "queue_depth" 0;
@@ -231,7 +259,12 @@ let stats_of_json j =
     timed_out = int_or j "timed_out" 0;
     parked = int_or j "parked" 0;
     retried = int_or j "retried" 0;
-    draining = (match J.member "draining" j with Some (J.Bool b) -> b | _ -> false) }
+    worker_lost = int_or j "worker_lost" 0;
+    draining = (match J.member "draining" j with Some (J.Bool b) -> b | _ -> false);
+    workers =
+      (match Option.bind (J.member "workers" j) J.to_list_opt with
+      | Some l -> List.map worker_view_of_json l
+      | None -> []) }
 
 let response_to_json = function
   | Pong -> envelope [ ("resp", J.String "pong") ]

@@ -82,6 +82,17 @@ type job_view = {
   detail : string;  (** last failure / retry / recovery note *)
 }
 
+(** One worker slot of the daemon's process pool. [pid] and [job] are
+    absent when idle. The pid is exposed on purpose: operators (and
+    the stress tests) can kill a wedged worker externally and let the
+    daemon absorb and retry it. *)
+type worker_view = {
+  slot : int;
+  pid : int option;
+  job : string option;
+  elapsed_s : float;  (** seconds the current job has been running; 0 idle *)
+}
+
 type stats = {
   queue_depth : int;
   queue_limit : int;
@@ -93,8 +104,16 @@ type stats = {
   timed_out : int;
   parked : int;
   retried : int;
+  worker_lost : int;
+      (** workers that died unclassified (killed, crashed, or
+          watchdog-SIGKILLed); each is a [serve-worker-lost] event *)
   draining : bool;
+  workers : worker_view list;  (** one entry per pool slot *)
 }
+
+val worker_view_to_json : worker_view -> Obs.Jsonx.t
+
+val worker_view_of_json : Obs.Jsonx.t -> worker_view
 
 type response =
   | Pong

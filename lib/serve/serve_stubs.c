@@ -1,0 +1,54 @@
+/* OS bindings for worker-process isolation.
+
+   Three tiny knobs the daemon's forked workers need and the Unix
+   module does not expose: address-space and CPU rlimits (per-job
+   resource containment) and Linux's parent-death signal (a kill -9 on
+   the daemon must never leak orphan workers). Everything here runs in
+   the child between fork and the job flow, so failures raise into
+   OCaml rather than abort. */
+
+#include <caml/mlvalues.h>
+#include <caml/fail.h>
+#include <signal.h>
+#include <sys/resource.h>
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
+/* Cap the virtual address space at [bytes]. Soft = hard, so a breach
+   surfaces as a failed allocation (ENOMEM -> OCaml Out_of_memory)
+   the worker can catch and classify, not a kill. */
+value hidap_serve_rlimit_as(value bytes)
+{
+  struct rlimit rl;
+  rl.rlim_cur = (rlim_t)Long_val(bytes);
+  rl.rlim_max = (rlim_t)Long_val(bytes);
+  if (setrlimit(RLIMIT_AS, &rl) != 0)
+    caml_failwith("setrlimit(RLIMIT_AS) failed");
+  return Val_unit;
+}
+
+/* Cap CPU time at [sec] seconds: SIGXCPU at the soft limit (the
+   parent classifies the signaled exit as an rlimit kill), SIGKILL two
+   seconds later if the process somehow survives it. */
+value hidap_serve_rlimit_cpu(value sec)
+{
+  struct rlimit rl;
+  rl.rlim_cur = (rlim_t)Long_val(sec);
+  rl.rlim_max = (rlim_t)Long_val(sec) + 2;
+  if (setrlimit(RLIMIT_CPU, &rl) != 0)
+    caml_failwith("setrlimit(RLIMIT_CPU) failed");
+  return Val_unit;
+}
+
+/* Deliver SIGKILL to the calling process when its parent dies.
+   Linux-only; elsewhere this is a no-op and workers merely outlive a
+   kill -9 on the daemon until their job ends. */
+value hidap_serve_pdeathsig(value unit)
+{
+#ifdef __linux__
+  (void)prctl(PR_SET_PDEATHSIG, SIGKILL);
+#endif
+  (void)unit;
+  return Val_unit;
+}
